@@ -1,0 +1,6 @@
+"""Benchmark harness: one module per paper table/figure plus ablations.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` (add ``REPRO_FULL=1``
+for paper-scale sweeps). Each module prints the regenerated table and
+asserts the paper's qualitative shape.
+"""

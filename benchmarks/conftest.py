@@ -1,0 +1,97 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables/figures and prints it
+(run pytest with ``-s`` to see the tables). By default the sweeps run at a
+reduced scale so the whole harness finishes in minutes; set ``REPRO_FULL=1``
+to run the paper's scales (128-node emulation, 1024-16384-node simulation —
+budget an hour or more).
+
+Shape assertions (who wins, roughly by how much, where trends point) are
+made at *both* scales; absolute numbers are expected to differ from the
+paper (our substrate is a simulator, not Magellan — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import EmulationConfig, SimulationConfig, Strategy
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Figure 3/4 series (paper order).
+EMULATION_STRATEGIES = (
+    Strategy("existing", 1),
+    Strategy("adapt", 1),
+    Strategy("existing", 2),
+    Strategy("adapt", 2),
+)
+
+#: Figure 5 series (paper order).
+SIMULATION_STRATEGIES = (
+    Strategy("existing", 1),
+    Strategy("existing", 2),
+    Strategy("existing", 3),
+    Strategy("naive", 1),
+    Strategy("adapt", 1),
+    Strategy("adapt", 2),
+)
+
+
+def emulation_base(seed: int = 0) -> EmulationConfig:
+    """Table 3 defaults, scaled down unless REPRO_FULL=1."""
+    if FULL:
+        return EmulationConfig(seed=seed)
+    return EmulationConfig(node_count=32, blocks_per_node=10, seed=seed)
+
+
+def emulation_repetitions() -> int:
+    """Averaging like the paper's 10-run means; fewer at full scale."""
+    return 3 if FULL else 5
+
+
+def emulation_node_values():
+    return (32, 64, 128, 256) if FULL else (16, 32, 64)
+
+
+def emulation_bandwidth_values():
+    return (4.0, 8.0, 16.0, 32.0) if FULL else (4.0, 8.0, 32.0)
+
+
+def simulation_base(seed: int = 0) -> SimulationConfig:
+    """Table 4 defaults, scaled down unless REPRO_FULL=1."""
+    if FULL:
+        return SimulationConfig(seed=seed)
+    return SimulationConfig(node_count=192, tasks_per_node=15, seed=seed)
+
+
+def simulation_node_values():
+    return (1024, 2048, 4096, 8192, 16384) if FULL else (96, 192, 384)
+
+
+def simulation_bandwidth_values():
+    return (4.0, 8.0, 16.0, 32.0) if FULL else (4.0, 8.0, 32.0)
+
+
+def simulation_block_values():
+    from repro.util.units import MB
+
+    return (
+        (16 * MB, 32 * MB, 64 * MB, 128 * MB, 256 * MB)
+        if FULL
+        else (16 * MB, 64 * MB, 256 * MB)
+    )
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(autouse=True)
+def _print_scale_banner(request):
+    scale = "FULL (paper scale)" if FULL else "reduced (set REPRO_FULL=1 for paper scale)"
+    print(f"\n[{request.node.name}] scale: {scale}")
+    yield

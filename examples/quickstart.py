@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: the ADAPT model, placement, and one simulated map phase.
+
+Walks the three layers of the library in ~a minute of runtime:
+
+1. the stochastic model of Section III.B (formula 5);
+2. Algorithm 1's placement weights on the Table 2 host mix;
+3. an end-to-end emulated map phase comparing stock HDFS placement with
+   ADAPT on a small non-dedicated cluster.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import ClusterConfig, build_group_hosts, expected_task_time, run_map_phase
+from repro.availability.estimators import AvailabilityEstimate
+from repro.core.placement import AdaptPlacement, NodeView
+from repro.util.rng import RandomSource
+from repro.util.tables import format_table
+
+GAMMA = 12.0  # failure-free seconds to map one 64 MB block (Table 4)
+
+
+def show_model() -> None:
+    """Formula 5 across the paper's Table 2 interruption groups."""
+    rows = []
+    for name, mtbi, mu in [
+        ("dedicated", None, 0.0),
+        ("group-1", 10.0, 4.0),
+        ("group-2", 10.0, 8.0),
+        ("group-3", 20.0, 4.0),
+        ("group-4", 20.0, 8.0),
+    ]:
+        lam = 0.0 if mtbi is None else 1.0 / mtbi
+        t = expected_task_time(GAMMA, lam, mu)
+        rows.append([name, f"{t:.1f}", f"{t / GAMMA:.2f}x"])
+    print(format_table(["host", "E[T] (s)", "slowdown"], rows,
+                       title="Expected 12s-task time under interruptions (formula 5)"))
+
+
+def show_placement() -> None:
+    """How ADAPT splits 200 blocks across a mixed population."""
+    views = [
+        NodeView("dedicated-0", AvailabilityEstimate(0.0, 0.0, 1)),
+        NodeView("dedicated-1", AvailabilityEstimate(0.0, 0.0, 1)),
+        NodeView("group2-0", AvailabilityEstimate(0.1, 8.0, 1)),
+        NodeView("group3-0", AvailabilityEstimate(0.05, 4.0, 1)),
+    ]
+    plan = AdaptPlacement().build_plan(views, num_blocks=200, replication=1, gamma=GAMMA)
+    rng = RandomSource(0)
+    for _ in range(200):
+        plan.choose_replicas(rng)
+    rows = [[n, c] for n, c in sorted(plan.allocations().items())]
+    print()
+    print(format_table(["node", "blocks"], rows,
+                       title="ADAPT allocation of 200 blocks (Algorithm 1)"))
+
+
+def show_end_to_end() -> None:
+    """Stock HDFS vs ADAPT on a 32-node emulated non-dedicated cluster."""
+    hosts = build_group_hosts(node_count=32, interrupted_ratio=0.5)
+    config = ClusterConfig(bandwidth_mbps=8.0, seed=7)
+    rows = []
+    for policy in ("existing", "adapt"):
+        result = run_map_phase(hosts, config, policy, replication=1, blocks_per_node=10)
+        rows.append([
+            policy,
+            f"{result.elapsed:.1f}",
+            f"{result.data_locality:.3f}",
+            f"{result.overhead_ratios['migration']:.3f}",
+        ])
+    print()
+    print(format_table(
+        ["placement", "map elapsed (s)", "locality", "migration overhead"],
+        rows,
+        title="32-node emulation, half the nodes interrupted (Table 2 groups)",
+    ))
+    print("\nADAPT finishes the map phase faster with higher data locality —")
+    print("the Section V.B result at small scale.")
+
+
+if __name__ == "__main__":
+    show_model()
+    show_placement()
+    show_end_to_end()

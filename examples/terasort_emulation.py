@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Terasort on an emulated non-dedicated cluster (the paper's Section V.B).
+
+Reproduces the headline experiment at a configurable scale: terasort's map
+phase under the Table 2 interruption mix, comparing the existing random
+placement against ADAPT at 1 and 2 replicas, and reporting elapsed time and
+data locality (Figures 3(a)/4(a)'s default point).
+
+Run:  python examples/terasort_emulation.py            # 32 nodes, quick
+      python examples/terasort_emulation.py --full     # 128 nodes (Table 3)
+"""
+
+import argparse
+
+from repro.experiments.config import EMULATION_STRATEGIES, EmulationConfig
+from repro.experiments.emulation import run_emulation_point
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run at the paper's 128-node scale")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    if args.full:
+        config = EmulationConfig(seed=args.seed)  # Table 3 defaults
+    else:
+        config = EmulationConfig(node_count=32, blocks_per_node=10, seed=args.seed)
+
+    print(f"Cluster: {config.node_count} nodes, {config.interrupted_ratio:.0%} interrupted "
+          f"(Table 2 groups), {config.bandwidth_mbps:g} Mb/s, "
+          f"{config.blocks_per_node:g} blocks/node of 64 MB terasort input\n")
+
+    rows = []
+    baseline = None
+    for strategy in EMULATION_STRATEGIES:
+        result = run_emulation_point(config, strategy)
+        if strategy.key == "existingx1":
+            baseline = result.elapsed
+        improvement = "" if baseline is None else f"{(1 - result.elapsed / baseline) * 100:+.0f}%"
+        rows.append([
+            strategy.label,
+            f"{result.elapsed:.1f}",
+            improvement,
+            f"{result.data_locality:.3f}",
+        ])
+    print(format_table(
+        ["strategy", "map elapsed (s)", "vs existing x1", "locality"],
+        rows,
+        title="Terasort map phase under interruptions",
+    ))
+    print("\nPaper's Section V.B.1 headline: ADAPT (1 replica) improves the")
+    print("existing approach by ~40% at the default point, approaching the")
+    print("existing approach with 2 replicas at half the storage cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,288 @@
+"""Synthetic SETI@home-style availability traces.
+
+The paper's large-scale simulation (Section V.C) replays failure traces of
+226,208 SETI@home hosts from the Failure Trace Archive [9]. That archive is
+not redistributable here, so — per the reproduction's substitution rule — we
+generate synthetic traces from a hierarchical heavy-tailed model *calibrated
+to the paper's own Table 1*:
+
+=========================  ========  ========  ======
+quantity                   mean      std dev   CoV
+=========================  ========  ========  ======
+MTBI (seconds)             160290    701419    4.376
+interruption duration (s)  109380    807983    7.3869
+=========================  ========  ========  ======
+
+Model
+-----
+* Host heterogeneity: host *i* draws a mean-time-between-interruptions
+  ``MTBI_i`` from a lognormal population distribution, and a mean
+  interruption duration ``D_i`` from an independent lognormal population.
+* Within a host: interruption inter-arrivals are exponential with mean
+  ``MTBI_i`` (the paper's modelling assumption), and durations are lognormal
+  with mean ``D_i`` and a configurable within-host CoV.
+
+Calibration
+-----------
+Table 1 statistics are *pooled over events*, which length-biases hosts with
+short MTBI (they contribute more events per unit time). For exponential
+gaps mixed over a lognormal population with underlying sigma, with event
+weights proportional to 1/MTBI_i, the pooled moments are closed-form:
+
+* pooled mean gap   = pop_mean * exp(-sigma^2)
+* pooled CoV^2      = 2 * exp(sigma^2) - 1
+
+so from a target pooled (mean, CoV) we solve ``sigma^2 = ln((CoV^2+1)/2)``
+and ``pop_mean = mean * exp(sigma^2)``. Durations are sampled independently
+of the arrival rate, so pooling does not bias them; the between-host CoV is
+solved from ``(1+cov_within^2)(1+cov_between^2) = 1 + CoV_target^2``.
+
+These closed forms are verified empirically by ``benchmarks/
+bench_table1_traces.py`` and ``tests/availability/test_seti.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.availability.distributions import Exponential, Lognormal
+from repro.availability.generator import HostAvailability
+from repro.availability.traces import AvailabilityTrace
+from repro.util.rng import RandomSource
+from repro.util.validation import check_positive
+
+#: Pooled event statistics reported in the paper's Table 1.
+TABLE1_MTBI_MEAN = 160290.0
+TABLE1_MTBI_COV = 4.376
+TABLE1_DURATION_MEAN = 109380.0
+TABLE1_DURATION_COV = 7.3869
+
+
+@dataclass(frozen=True)
+class SetiModelParams:
+    """Parameters of the hierarchical trace model.
+
+    ``mtbi_population_mean`` / ``mtbi_population_sigma`` describe the
+    lognormal population of per-host MTBIs (sigma is the underlying normal
+    std). ``duration_mean`` / ``duration_between_cov`` describe the
+    population of per-host mean durations, and ``duration_within_cov`` the
+    lognormal spread of durations within one host.
+    """
+
+    mtbi_population_mean: float
+    mtbi_population_sigma: float
+    duration_mean: float
+    duration_between_cov: float
+    duration_within_cov: float
+
+    def __post_init__(self) -> None:
+        check_positive("mtbi_population_mean", self.mtbi_population_mean)
+        check_positive("mtbi_population_sigma", self.mtbi_population_sigma)
+        check_positive("duration_mean", self.duration_mean)
+        check_positive("duration_between_cov", self.duration_between_cov)
+        check_positive("duration_within_cov", self.duration_within_cov)
+
+    @classmethod
+    def calibrated_to_table1(
+        cls,
+        mtbi_mean: float = TABLE1_MTBI_MEAN,
+        mtbi_cov: float = TABLE1_MTBI_COV,
+        duration_mean: float = TABLE1_DURATION_MEAN,
+        duration_cov: float = TABLE1_DURATION_COV,
+        duration_within_cov: float = 2.0,
+    ) -> "SetiModelParams":
+        """Solve population parameters so pooled event stats match Table 1."""
+        check_positive("mtbi_mean", mtbi_mean)
+        check_positive("mtbi_cov", mtbi_cov)
+        check_positive("duration_mean", duration_mean)
+        check_positive("duration_cov", duration_cov)
+        check_positive("duration_within_cov", duration_within_cov)
+        pooled_cov_sq = mtbi_cov * mtbi_cov
+        if pooled_cov_sq <= 1.0:
+            raise ValueError(
+                "pooled MTBI CoV must exceed 1 (exponential gaps alone give CoV=1); "
+                f"got {mtbi_cov}"
+            )
+        sigma_sq = math.log((pooled_cov_sq + 1.0) / 2.0)
+        population_mean = mtbi_mean * math.exp(sigma_sq)
+
+        total = 1.0 + duration_cov * duration_cov
+        within = 1.0 + duration_within_cov * duration_within_cov
+        if total <= within:
+            raise ValueError(
+                f"duration_within_cov={duration_within_cov} already exceeds the "
+                f"target pooled duration CoV {duration_cov}; lower it"
+            )
+        between_cov = math.sqrt(total / within - 1.0)
+        return cls(
+            mtbi_population_mean=population_mean,
+            mtbi_population_sigma=math.sqrt(sigma_sq),
+            duration_mean=duration_mean,
+            duration_between_cov=between_cov,
+            duration_within_cov=duration_within_cov,
+        )
+
+    def expected_pooled_mtbi_mean(self) -> float:
+        """Closed-form pooled mean inter-arrival (see module docstring)."""
+        return self.mtbi_population_mean * math.exp(-self.mtbi_population_sigma**2)
+
+    def expected_pooled_mtbi_cov(self) -> float:
+        """Closed-form pooled inter-arrival CoV."""
+        return math.sqrt(2.0 * math.exp(self.mtbi_population_sigma**2) - 1.0)
+
+    def expected_pooled_duration_cov(self) -> float:
+        """Closed-form pooled duration CoV."""
+        within = 1.0 + self.duration_within_cov**2
+        between = 1.0 + self.duration_between_cov**2
+        return math.sqrt(within * between - 1.0)
+
+
+#: Output of :func:`calibrate_empirically` (node_count=1600, iterations=10,
+#: seed=7, horizon=1.5 years), pinned so ordinary runs skip calibration.
+#: Verified pooled statistics on held-out seeds: MTBI mean ~130-135k s
+#: (target 160290), MTBI CoV ~3.5-4.1 (target 4.376), duration mean
+#: ~124-134k s (target 109380), duration CoV ~16 (target 7.4; censored
+#: giant windows make this estimate the noisiest — see EXPERIMENTS.md).
+CALIBRATED_TABLE1_PARAMS = SetiModelParams(
+    mtbi_population_mean=1079894.2729469605,
+    mtbi_population_sigma=2.567483159346802,
+    duration_mean=33298.65783500762,
+    duration_between_cov=1.0515689380836355,
+    duration_within_cov=2.0,
+)
+
+
+def calibrate_empirically(
+    mtbi_mean: float = TABLE1_MTBI_MEAN,
+    mtbi_cov: float = TABLE1_MTBI_COV,
+    duration_mean: float = TABLE1_DURATION_MEAN,
+    duration_cov: float = TABLE1_DURATION_COV,
+    duration_within_cov: float = 2.0,
+    horizon: float = 1.5 * 365 * 86400.0,
+    node_count: int = 800,
+    seed: int = 0,
+    iterations: int = 8,
+) -> SetiModelParams:
+    """Fit the hierarchical model so *measured* trace statistics match Table 1.
+
+    The closed-form calibration is exact only for event-weighted pooling
+    over an infinite horizon of raw arrivals; real traces are finite
+    (censoring the long gaps), and Table-1-style statistics are computed on
+    *merged downtime windows*. This routine closes the gap numerically:
+    starting from the closed form, it repeatedly generates a trace
+    population over ``horizon`` (the paper's 1.5-year collection window),
+    measures the pooled statistics exactly as :func:`pooled_summary` does,
+    and rescales the population parameters multiplicatively until the
+    measured mean/CoV match the targets.
+
+    The library default (:data:`CALIBRATED_TABLE1_PARAMS`) was produced by
+    this function and is pinned, so ordinary runs pay no calibration cost.
+    """
+    from repro.availability.traces import pooled_summary  # local: avoid cycle
+
+    params = SetiModelParams.calibrated_to_table1(
+        mtbi_mean, mtbi_cov, duration_mean, duration_cov, duration_within_cov
+    )
+    mean_pop = params.mtbi_population_mean
+    sigma = params.mtbi_population_sigma
+    dur_mean = params.duration_mean
+    dur_between = params.duration_between_cov
+    for iteration in range(iterations):
+        candidate = SetiModelParams(
+            mtbi_population_mean=mean_pop,
+            mtbi_population_sigma=sigma,
+            duration_mean=dur_mean,
+            duration_between_cov=dur_between,
+            duration_within_cov=duration_within_cov,
+        )
+        generator = SetiTraceGenerator(
+            candidate, RandomSource(seed).substream("calibration", iteration)
+        )
+        stats = pooled_summary(generator.sample_traces(node_count, horizon))
+        measured_mtbi = stats["mtbi"]
+        measured_dur = stats["duration"]
+        # Multiplicative updates: each target responds monotonically to its
+        # parameter (mean to the population mean, CoV to the log-space
+        # spread), so damped ratio steps converge quickly.
+        mean_pop *= _damped_ratio(mtbi_mean / measured_mtbi.mean)
+        sigma *= _damped_ratio(
+            math.sqrt(
+                math.log(1.0 + mtbi_cov**2) / math.log(1.0 + max(measured_mtbi.cov, 0.05) ** 2)
+            )
+        )
+        dur_mean *= _damped_ratio(duration_mean / measured_dur.mean)
+        dur_between *= _damped_ratio(
+            math.sqrt(
+                math.log(1.0 + duration_cov**2)
+                / math.log(1.0 + max(measured_dur.cov, 0.05) ** 2)
+            )
+        )
+    return SetiModelParams(
+        mtbi_population_mean=mean_pop,
+        mtbi_population_sigma=sigma,
+        duration_mean=dur_mean,
+        duration_between_cov=dur_between,
+        duration_within_cov=duration_within_cov,
+    )
+
+
+def _damped_ratio(ratio: float, damping: float = 0.7, clamp: float = 4.0) -> float:
+    """A damped, clamped multiplicative step for the calibration loop."""
+    ratio = min(max(ratio, 1.0 / clamp), clamp)
+    return ratio**damping
+
+
+class SetiTraceGenerator:
+    """Samples hosts and availability traces from a :class:`SetiModelParams`.
+
+    Every host's draw is keyed by its index, so host *k* is identical across
+    runs with the same seed regardless of how many hosts are sampled —
+    essential for comparing placement strategies on the *same* population.
+    """
+
+    def __init__(self, params: SetiModelParams, rng: RandomSource) -> None:
+        self._params = params
+        self._rng = rng
+        sigma = params.mtbi_population_sigma
+        self._mtbi_population = Lognormal.from_underlying(
+            mu=math.log(params.mtbi_population_mean) - sigma * sigma / 2.0,
+            sigma=sigma,
+        )
+        self._duration_population = Lognormal(
+            mean=params.duration_mean, cov=params.duration_between_cov
+        )
+
+    @property
+    def params(self) -> SetiModelParams:
+        return self._params
+
+    def sample_host(self, index: int) -> HostAvailability:
+        """Draw host ``index``'s availability description."""
+        host_rng = self._rng.substream("host", index)
+        mtbi = self._mtbi_population.sample(host_rng.substream("mtbi"))
+        duration_mean = self._duration_population.sample(host_rng.substream("duration"))
+        return HostAvailability(
+            host_id=f"seti-{index:06d}",
+            arrival=Exponential(mean=mtbi),
+            service=Lognormal(mean=duration_mean, cov=self._params.duration_within_cov),
+            group="seti",
+        )
+
+    def sample_hosts(self, count: int) -> List[HostAvailability]:
+        """Draw ``count`` hosts (indices 0..count-1)."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        return [self.sample_host(i) for i in range(count)]
+
+    def sample_trace(self, index: int, horizon: float) -> AvailabilityTrace:
+        """Draw host ``index`` and materialise its trace over the horizon."""
+        host = self.sample_host(index)
+        process = host.process(self._rng.substream("events", index))
+        assert process is not None  # every SETI host is interruptible
+        return AvailabilityTrace.from_process(host.host_id, horizon, process)
+
+    def sample_traces(self, count: int, horizon: float) -> List[AvailabilityTrace]:
+        """Draw ``count`` traces over the horizon."""
+        return [self.sample_trace(i, horizon) for i in range(count)]

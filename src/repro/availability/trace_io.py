@@ -1,0 +1,126 @@
+"""Reading and writing availability traces as flat files.
+
+The paper replays Failure Trace Archive data [9]; that archive is not
+bundled here, but anyone holding real traces (FTA tab-delimited event
+lists, or any per-host unavailability interval log) can feed them to the
+simulator through this module and run every experiment against real data
+instead of the synthetic SETI model.
+
+Format: one event per line, tab-separated::
+
+    <host_id> \t <down_start_seconds> \t <down_end_seconds>
+
+Lines starting with ``#`` are comments. Events may appear in any order;
+per-host overlapping/abutting windows are merged (trace archives often
+record overlapping unavailability intervals from multiple monitors).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, TextIO, Tuple, Union
+
+from repro.availability.traces import AvailabilityTrace
+from repro.util.validation import check_positive
+
+PathLike = Union[str, Path]
+
+
+def write_traces(traces: Sequence[AvailabilityTrace], path: PathLike) -> int:
+    """Write traces to ``path``; returns the number of events written.
+
+    The horizon is recorded in a header comment so :func:`read_traces`
+    can restore it without clipping.
+    """
+    if not traces:
+        raise ValueError("no traces to write")
+    horizon = traces[0].horizon
+    for trace in traces:
+        if trace.horizon != horizon:
+            raise ValueError(
+                f"traces disagree on horizon: {trace.horizon} vs {horizon}"
+            )
+    events = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# horizon\t{horizon!r}\n")
+        fh.write("# host_id\tdown_start\tdown_end\n")
+        for trace in traces:
+            for start, end in trace.down_windows:
+                fh.write(f"{trace.host_id}\t{start!r}\t{end!r}\n")
+                events += 1
+    return events
+
+
+def read_traces(
+    path: PathLike,
+    horizon: float = 0.0,
+    host_ids: Iterable[str] = (),
+) -> List[AvailabilityTrace]:
+    """Load traces from ``path``.
+
+    ``horizon`` overrides the file's recorded horizon when positive (events
+    beyond it are clipped). ``host_ids``, when given, adds hosts that have
+    *no* recorded events (always-up hosts are absent from event logs) and
+    restricts the result to exactly those ids, in that order.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_traces(fh, horizon=horizon, host_ids=host_ids)
+
+
+def parse_traces(
+    lines: Union[TextIO, Iterable[str]],
+    horizon: float = 0.0,
+    host_ids: Iterable[str] = (),
+) -> List[AvailabilityTrace]:
+    """Parse the event format from an iterable of lines (see module doc)."""
+    recorded_horizon = 0.0
+    windows: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split("\t")
+            if len(parts) == 2 and parts[0].strip() == "horizon":
+                recorded_horizon = float(parts[1])
+            continue
+        parts = line.split("\t")
+        if len(parts) != 3:
+            raise ValueError(
+                f"line {lineno}: expected 'host\\tstart\\tend', got {line!r}"
+            )
+        host, start_s, end_s = parts
+        start, end = float(start_s), float(end_s)
+        if end <= start:
+            raise ValueError(f"line {lineno}: empty/inverted window [{start}, {end})")
+        if start < 0:
+            raise ValueError(f"line {lineno}: negative start {start}")
+        windows[host].append((start, end))
+
+    effective_horizon = horizon if horizon > 0 else recorded_horizon
+    if effective_horizon <= 0:
+        # Fall back to covering every event.
+        latest = max((end for ws in windows.values() for _s, end in ws), default=0.0)
+        if latest <= 0:
+            raise ValueError("no events and no horizon; nothing to build")
+        effective_horizon = latest
+    check_positive("horizon", effective_horizon)
+
+    wanted = list(host_ids) if host_ids else sorted(windows)
+    traces = []
+    for host in wanted:
+        merged = _merge(sorted(windows.get(host, [])))
+        traces.append(AvailabilityTrace(host, effective_horizon, merged))
+    return traces
+
+
+def _merge(ordered: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Merge overlapping or touching sorted windows."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in ordered:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged

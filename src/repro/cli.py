@@ -1,0 +1,215 @@
+"""Command-line interface: HDFS-shell-style commands plus experiment runs.
+
+Examples
+--------
+Model a task's expected time under interruptions (formula 5)::
+
+    repro model --gamma 12 --mtbi 20 --recovery 8
+
+Show how each policy spreads 2560 blocks over the Table 2 population::
+
+    repro placement --nodes 128 --ratio 0.5 --blocks-per-node 20
+
+Run one emulation point (Figure 3/4 cell)::
+
+    repro emulate --policy adapt --replicas 1 --nodes 128 --ratio 0.5
+
+Run a scaled-down Figure 5 cell::
+
+    repro simulate --policy existing --replicas 1 --nodes 512 --tasks-per-node 20
+
+Regenerate Table 1 statistics from the synthetic SETI model::
+
+    repro table1 --nodes 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.availability.generator import build_group_hosts, table2_groups
+from repro.availability.seti import SetiTraceGenerator
+from repro.core.model import expected_attempts, expected_downtime, expected_rework, expected_task_time
+from repro.core.placement import NodeView, make_policy
+from repro.experiments.config import EmulationConfig, SimulationConfig, Strategy
+from repro.experiments.emulation import run_emulation_point
+from repro.experiments.largescale import run_simulation_point, table1_statistics
+from repro.util.rng import RandomSource
+from repro.util.tables import format_table
+from repro.util.units import MB
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    handler = {
+        "model": _cmd_model,
+        "placement": _cmd_placement,
+        "emulate": _cmd_emulate,
+        "simulate": _cmd_simulate,
+        "table1": _cmd_table1,
+        "groups": _cmd_groups,
+    }[args.command]
+    return handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ADAPT (ICDCS 2012) reproduction toolbox",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    model = sub.add_parser("model", help="evaluate the task-time model (formula 5)")
+    model.add_argument("--gamma", type=float, required=True, help="failure-free task length (s)")
+    model.add_argument("--mtbi", type=float, required=True, help="mean time between interruptions (s)")
+    model.add_argument("--recovery", type=float, required=True, help="mean recovery time (s)")
+
+    placement = sub.add_parser("placement", help="show per-policy block distributions")
+    placement.add_argument("--nodes", type=int, default=128)
+    placement.add_argument("--ratio", type=float, default=0.5)
+    placement.add_argument("--blocks-per-node", type=float, default=20.0)
+    placement.add_argument("--replicas", type=int, default=1)
+    placement.add_argument("--gamma", type=float, default=12.0)
+    placement.add_argument("--seed", type=int, default=0)
+
+    emulate = sub.add_parser("emulate", help="run one emulation point (Fig 3/4 cell)")
+    emulate.add_argument("--policy", default="adapt", choices=["existing", "naive", "adapt"])
+    emulate.add_argument("--replicas", type=int, default=1)
+    emulate.add_argument("--nodes", type=int, default=128)
+    emulate.add_argument("--ratio", type=float, default=0.5)
+    emulate.add_argument("--bandwidth", type=float, default=8.0)
+    emulate.add_argument("--blocks-per-node", type=float, default=20.0)
+    emulate.add_argument("--seed", type=int, default=0)
+
+    simulate = sub.add_parser("simulate", help="run one large-scale point (Fig 5 cell)")
+    simulate.add_argument("--policy", default="adapt", choices=["existing", "naive", "adapt"])
+    simulate.add_argument("--replicas", type=int, default=1)
+    simulate.add_argument("--nodes", type=int, default=1024)
+    simulate.add_argument("--bandwidth", type=float, default=8.0)
+    simulate.add_argument("--block-size-mb", type=float, default=64.0)
+    simulate.add_argument("--tasks-per-node", type=float, default=100.0)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1 from synthetic traces")
+    table1.add_argument("--nodes", type=int, default=2000)
+    table1.add_argument("--horizon-days", type=float, default=180.0)
+    table1.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("groups", help="print the Table 2 interruption groups")
+    return parser
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    lam = 1.0 / args.mtbi
+    rows = [
+        ["E[X] rework per failure (s)", f"{expected_rework(args.gamma, lam):.3f}"],
+        ["E[Y] downtime per failure (s)", f"{expected_downtime(lam, args.recovery):.3f}"],
+        ["E[S] failed attempts", f"{expected_attempts(args.gamma, lam):.3f}"],
+        ["E[T] expected task time (s)", f"{expected_task_time(args.gamma, lam, args.recovery):.3f}"],
+        ["slowdown E[T]/gamma", f"{expected_task_time(args.gamma, lam, args.recovery) / args.gamma:.3f}"],
+    ]
+    print(format_table(["quantity", "value"], rows, title="Stochastic model (Section III.B)"))
+    return 0
+
+
+def _cmd_placement(args: argparse.Namespace) -> int:
+    hosts = build_group_hosts(args.nodes, args.ratio)
+    num_blocks = max(int(round(args.blocks_per_node * args.nodes)), 1)
+    rng = RandomSource(args.seed)
+    from repro.availability.estimators import AvailabilityEstimate
+
+    views = [
+        NodeView(
+            node_id=h.host_id,
+            estimate=AvailabilityEstimate(
+                arrival_rate=h.arrival_rate, recovery_mean=h.service_mean, observations=1
+            ),
+        )
+        for h in hosts
+    ]
+    rows: List[List[object]] = []
+    group_of = {h.host_id: h.group for h in hosts}
+    for name in ("existing", "naive", "adapt"):
+        policy = make_policy(name)
+        plan = policy.build_plan(views, num_blocks, args.replicas, args.gamma)
+        stream = rng.substream("placement", name)
+        for _ in range(num_blocks):
+            plan.choose_replicas(stream)
+        per_group: Dict[str, List[int]] = {}
+        for node_id, count in plan.allocations().items():
+            per_group.setdefault(group_of[node_id], []).append(count)
+        for group in sorted(per_group):
+            counts = per_group[group]
+            rows.append(
+                [name, group, len(counts), f"{sum(counts) / len(counts):.1f}", max(counts)]
+            )
+    print(
+        format_table(
+            ["policy", "group", "nodes", "mean blocks/node", "max"],
+            rows,
+            title=f"Block distribution: {num_blocks} blocks x{args.replicas} over {args.nodes} nodes",
+        )
+    )
+    return 0
+
+
+def _cmd_emulate(args: argparse.Namespace) -> int:
+    config = EmulationConfig(
+        node_count=args.nodes,
+        interrupted_ratio=args.ratio,
+        bandwidth_mbps=args.bandwidth,
+        blocks_per_node=args.blocks_per_node,
+        seed=args.seed,
+    )
+    result = run_emulation_point(config, Strategy(args.policy, args.replicas))
+    _print_result(result)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        node_count=args.nodes,
+        bandwidth_mbps=args.bandwidth,
+        block_size_bytes=int(args.block_size_mb * MB),
+        tasks_per_node=args.tasks_per_node,
+        seed=args.seed,
+    )
+    result = run_simulation_point(config, Strategy(args.policy, args.replicas))
+    _print_result(result)
+    return 0
+
+
+def _print_result(result) -> None:
+    rows = [[k, v] for k, v in result.summary_row().items()]
+    print(format_table(["metric", "value"], rows, title="Map phase result"))
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    stats = table1_statistics(
+        node_count=args.nodes, horizon=args.horizon_days * 86400.0, seed=args.seed
+    )
+    rows = [
+        ["MTBI (seconds)"] + stats["mtbi"].as_row(),
+        ["Interruption Duration (seconds)"] + stats["duration"].as_row(),
+    ]
+    print(format_table(["", "Mean", "Std Dev", "CoV"], rows, title="Table 1 (synthetic)"))
+    print("\nPaper's values: MTBI 160290 / 701419 / 4.376;")
+    print("duration 109380 / 807983 / 7.3869")
+    return 0
+
+
+def _cmd_groups(args: argparse.Namespace) -> int:
+    rows = [[g.name, f"{g.mtbi:.0f}", f"{g.service_mean:.0f}"] for g in table2_groups()]
+    print(format_table(["group", "MTBI (s)", "service time (s)"], rows, title="Table 2"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,346 @@
+"""Data placement policies: stock random, naive availability, and ADAPT.
+
+A policy turns a snapshot of the cluster (per-node availability estimates)
+plus the ingest parameters (number of blocks ``m``, replication ``k``,
+failure-free task length ``gamma``) into a :class:`PlacementPlan`. The
+NameNode then asks the plan for ``k`` distinct replica holders per block.
+
+* :class:`RandomPlacement` — the existing HDFS strategy: every block picks
+  uniformly random nodes (Section III.C: "the NameNode generates a random
+  integer r and selects the corresponding data node").
+* :class:`NaivePlacement` — the strawman of Section V.C: weights
+  proportional to the node availability ``(MTBI - mu) / MTBI``.
+* :class:`AdaptPlacement` — Algorithm 1: weights proportional to
+  ``1/E[T_i]`` from the stochastic model, realised through the weighted
+  hash table, with the Section IV.C threshold cap ``m(k+1)/n``.
+
+All plans consume a dedicated :class:`~repro.util.rng.RandomSource`, so a
+placement decision stream is reproducible and independent of everything
+else in a simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.availability.estimators import AvailabilityEstimate
+from repro.core.hashtable import WeightedHashTable
+from repro.core.model import UnstableHostError, expected_task_time
+from repro.util.rng import RandomSource
+from repro.util.validation import check_positive
+
+#: Retry budget for rejection sampling before falling back deterministically.
+_MAX_DRAWS = 64
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """The placement-relevant snapshot of one node.
+
+    ``estimate`` carries the (lambda, mu) the Performance Predictor
+    currently believes; ``is_up`` excludes currently-down nodes from
+    receiving new blocks (they cannot accept a transfer).
+    """
+
+    node_id: str
+    estimate: AvailabilityEstimate
+    is_up: bool = True
+
+
+class PlacementPlan(ABC):
+    """A per-ingest placement decision maker.
+
+    The plan owns the hash table (ADAPT builds it "every time when the
+    MapReduce application initializes its input", Section III.C) and the
+    per-node allocation counters used by the threshold cap.
+    """
+
+    def __init__(self, nodes: Sequence[NodeView], num_blocks: int, replication: int) -> None:
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        check_positive("num_blocks", num_blocks)
+        self._nodes = [n for n in nodes if n.is_up]
+        if len(self._nodes) < replication:
+            raise ValueError(
+                f"need at least {replication} up nodes for replication, "
+                f"got {len(self._nodes)}"
+            )
+        self._num_blocks = int(num_blocks)
+        self._replication = replication
+        self._allocated: Dict[str, int] = {n.node_id: 0 for n in self._nodes}
+
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    @property
+    def replication(self) -> int:
+        return self._replication
+
+    @property
+    def eligible_nodes(self) -> List[str]:
+        """Nodes the plan may still place blocks on."""
+        return [n.node_id for n in self._nodes if not self._at_capacity(n.node_id)]
+
+    def allocation(self, node_id: str) -> int:
+        """Blocks (replica-inclusive) placed on the node by this plan."""
+        return self._allocated.get(node_id, 0)
+
+    def allocations(self) -> Dict[str, int]:
+        """Copy of all allocation counters."""
+        return dict(self._allocated)
+
+    def _at_capacity(self, node_id: str) -> bool:
+        cap = self._capacity(node_id)
+        return cap is not None and self._allocated[node_id] >= cap
+
+    def _capacity(self, node_id: str) -> Optional[int]:
+        """Per-node block cap, or None for uncapped plans."""
+        return None
+
+    @abstractmethod
+    def _draw(self, rng: RandomSource) -> str:
+        """Draw one candidate node (may be repeated/capped; caller filters)."""
+
+    def choose_replicas(self, rng: RandomSource, count: Optional[int] = None) -> List[str]:
+        """Choose ``count`` distinct nodes for one block and record them.
+
+        Rejection-samples the policy's distribution, skipping duplicates
+        and capped nodes; if the retry budget runs out (e.g. nearly every
+        node is capped) it falls back to the least-allocated eligible
+        nodes, so ingest always completes.
+        """
+        k = self._replication if count is None else count
+        chosen: List[str] = []
+        draws = 0
+        while len(chosen) < k and draws < _MAX_DRAWS:
+            draws += 1
+            candidate = self._draw(rng)
+            if candidate in chosen or self._at_capacity(candidate):
+                continue
+            chosen.append(candidate)
+        if len(chosen) < k:
+            fallback = sorted(
+                (n for n in self.eligible_nodes if n not in chosen),
+                key=lambda node_id: (self._allocated[node_id], node_id),
+            )
+            needed = k - len(chosen)
+            if len(fallback) < needed:
+                # Every node is capped: ignore caps rather than fail ingest.
+                fallback = sorted(
+                    (n.node_id for n in self._nodes if n.node_id not in chosen),
+                    key=lambda node_id: (self._allocated[node_id], node_id),
+                )
+            chosen.extend(fallback[:needed])
+        if len(chosen) < k:
+            raise RuntimeError(f"could not find {k} distinct nodes")
+        for node_id in chosen:
+            self._allocated[node_id] += 1
+        return chosen
+
+
+class _UniformPlan(PlacementPlan):
+    """Uniform random placement over up nodes (stock HDFS)."""
+
+    def _draw(self, rng: RandomSource) -> str:
+        return self._nodes[rng.randrange(len(self._nodes))].node_id
+
+
+class _WeightedPlan(PlacementPlan):
+    """Weighted placement through Algorithm 1's hash table.
+
+    Used by both ADAPT (rates = 1/E[T]) and the naive baseline (rates =
+    availability); the rate function is injected. When the threshold cap
+    removes a node, the table is rebuilt over the remaining nodes — "the
+    node that reaches the threshold will not be considered for future data
+    block placement" (Section IV.C).
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeView],
+        num_blocks: int,
+        replication: int,
+        rate_of: Callable[[NodeView], float],
+        capped: bool,
+        chain_weighting: str = "rate",
+    ) -> None:
+        super().__init__(nodes, num_blocks, replication)
+        self._rate_of = rate_of
+        self._capped = capped
+        self._chain_weighting = chain_weighting
+        self._table: Optional[WeightedHashTable] = None
+        self._table_nodes: List[NodeView] = []
+        self._rebuild_table()
+
+    def _capacity(self, node_id: str) -> Optional[int]:
+        if not self._capped:
+            return None
+        # Threshold m(k+1)/n over the *original* population size n.
+        n = len(self._allocated)
+        cap = self._num_blocks * (self._replication + 1) / n
+        return max(int(math.ceil(cap)), 1)
+
+    def _rebuild_table(self) -> None:
+        members = [n for n in self._nodes if not self._at_capacity(n.node_id)]
+        if not members:
+            self._table = None
+            self._table_nodes = []
+            return
+        rates = [max(self._rate_of(n), 0.0) for n in members]
+        if sum(rates) <= 0.0:
+            # Degenerate estimates (all nodes unusable): fall back to uniform.
+            rates = [1.0] * len(members)
+        self._table = WeightedHashTable(
+            [n.node_id for n in members],
+            rates,
+            num_slots=max(self._num_blocks, len(members)),
+            chain_weighting=self._chain_weighting,
+        )
+        self._table_nodes = members
+
+    def expected_share(self, node_id: str) -> float:
+        """Current expected fraction of placements going to ``node_id``."""
+        if self._table is None or node_id not in [n.node_id for n in self._table_nodes]:
+            return 0.0
+        return self._table.rate(node_id)
+
+    def _draw(self, rng: RandomSource) -> str:
+        if self._table is None:
+            # All nodes capped; base-class fallback will resolve.
+            return self._nodes[rng.randrange(len(self._nodes))].node_id
+        return self._table.place(rng)
+
+    def choose_replicas(self, rng: RandomSource, count: Optional[int] = None) -> List[str]:
+        chosen = super().choose_replicas(rng, count)
+        if self._capped and any(self._at_capacity(n.node_id) for n in self._table_nodes):
+            self._rebuild_table()
+        return chosen
+
+
+class PlacementPolicy(ABC):
+    """Factory for per-ingest placement plans."""
+
+    #: Short machine-readable policy name (used in reports and configs).
+    name: str = "abstract"
+
+    @abstractmethod
+    def build_plan(
+        self,
+        nodes: Sequence[NodeView],
+        num_blocks: int,
+        replication: int,
+        gamma: float,
+    ) -> PlacementPlan:
+        """Build the plan for ingesting ``num_blocks`` blocks."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RandomPlacement(PlacementPolicy):
+    """The existing HDFS strategy: uniform random nodes per block."""
+
+    name = "existing"
+
+    def build_plan(
+        self,
+        nodes: Sequence[NodeView],
+        num_blocks: int,
+        replication: int,
+        gamma: float,
+    ) -> PlacementPlan:
+        return _UniformPlan(nodes, num_blocks, replication)
+
+
+class NaivePlacement(PlacementPolicy):
+    """Naive availability-proportional placement (Section V.C strawman).
+
+    Weight of node i = (MTBI_i - mu_i) / MTBI_i, i.e. the fraction of time
+    the node is expected to be usable, ignoring how interruptions interact
+    with task length. Dedicated nodes get weight 1.
+    """
+
+    name = "naive"
+
+    def __init__(self, capped: bool = False) -> None:
+        self._capped = capped
+
+    def build_plan(
+        self,
+        nodes: Sequence[NodeView],
+        num_blocks: int,
+        replication: int,
+        gamma: float,
+    ) -> PlacementPlan:
+        return _WeightedPlan(
+            nodes,
+            num_blocks,
+            replication,
+            rate_of=lambda n: n.estimate.naive_availability,
+            capped=self._capped,
+        )
+
+
+class AdaptPlacement(PlacementPolicy):
+    """ADAPT: availability-aware placement via the stochastic model.
+
+    Rates are ``1/E[T_i]`` with E[T] from formula (5) evaluated at the
+    ingest's failure-free task length gamma. ``capped=True`` (default)
+    applies the Section IV.C threshold ``m(k+1)/n``.
+    """
+
+    name = "adapt"
+
+    def __init__(self, capped: bool = True, chain_weighting: str = "rate") -> None:
+        self._capped = capped
+        self._chain_weighting = chain_weighting
+
+    def build_plan(
+        self,
+        nodes: Sequence[NodeView],
+        num_blocks: int,
+        replication: int,
+        gamma: float,
+    ) -> PlacementPlan:
+        check_positive("gamma", gamma)
+
+        def rate(view: NodeView) -> float:
+            est = view.estimate
+            try:
+                t = expected_task_time(gamma, est.arrival_rate, est.recovery_mean)
+            except UnstableHostError:
+                # lambda*mu >= 1: the node is down in the long run; give it
+                # no placement mass rather than crash the ingest.
+                return 0.0
+            return 1.0 / t
+
+        return _WeightedPlan(
+            nodes,
+            num_blocks,
+            replication,
+            rate_of=rate,
+            capped=self._capped,
+            chain_weighting=self._chain_weighting,
+        )
+
+
+_POLICIES: Dict[str, Callable[[], PlacementPolicy]] = {
+    "existing": RandomPlacement,
+    "random": RandomPlacement,
+    "naive": NaivePlacement,
+    "adapt": AdaptPlacement,
+}
+
+
+def make_policy(name: str, **kwargs: object) -> PlacementPolicy:
+    """Build a policy by name: ``existing``/``random``, ``naive``, ``adapt``."""
+    try:
+        factory = _POLICIES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise ValueError(f"unknown placement policy {name!r}; known: {known}")
+    return factory(**kwargs)  # type: ignore[call-arg]

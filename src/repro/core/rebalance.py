@@ -1,0 +1,142 @@
+"""Planning for the ``adapt`` shell command (Section IV.A/IV.B.2).
+
+``hadoop adapt <file>`` "takes a file name as input, and redistributes the
+data blocks of the file to become availability aware", analogously to the
+native rebalancer. This module computes the move plan: given the current
+replica map of a file and a placement policy, it derives per-node target
+counts and emits the minimal greedy set of (block, source, destination)
+moves that converts the current layout into one consistent with the
+policy's weights.
+
+The planner is pure (no I/O): the HDFS client executes the moves through
+the NameNode, paying the transfer costs on the simulated network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Set
+
+from repro.core.placement import NodeView, PlacementPolicy
+from repro.util.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class RebalanceMove:
+    """Relocate one replica of ``block_id`` from ``source`` to ``destination``."""
+
+    block_id: str
+    source: str
+    destination: str
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("move source and destination must differ")
+
+
+def target_counts(
+    policy: PlacementPolicy,
+    nodes: Sequence[NodeView],
+    num_blocks: int,
+    replication: int,
+    gamma: float,
+) -> Dict[str, int]:
+    """Integer per-node replica targets implied by a policy's weights.
+
+    Builds a fresh plan and reads its expected shares (for weighted plans)
+    or uniform shares (for random), then rounds with the largest-remainder
+    method so the targets sum exactly to ``num_blocks * replication``.
+    """
+    plan = policy.build_plan(nodes, num_blocks, replication, gamma)
+    up_nodes = [n for n in nodes if n.is_up]
+    total = num_blocks * replication
+    shares: Dict[str, float] = {}
+    for view in up_nodes:
+        expected = getattr(plan, "expected_share", None)
+        if expected is None:
+            shares[view.node_id] = 1.0 / len(up_nodes)
+        else:
+            shares[view.node_id] = expected(view.node_id)
+    norm = sum(shares.values())
+    if norm <= 0:
+        raise ValueError("policy produced no positive placement shares")
+    raw = {node_id: total * share / norm for node_id, share in shares.items()}
+    floors = {node_id: int(math.floor(v)) for node_id, v in raw.items()}
+    remainder = total - sum(floors.values())
+    by_fraction = sorted(
+        raw, key=lambda node_id: (raw[node_id] - floors[node_id], node_id), reverse=True
+    )
+    for node_id in by_fraction[:remainder]:
+        floors[node_id] += 1
+    return floors
+
+
+def plan_rebalance(
+    replica_map: Mapping[str, Sequence[str]],
+    policy: PlacementPolicy,
+    nodes: Sequence[NodeView],
+    gamma: float,
+    rng: RandomSource,
+) -> List[RebalanceMove]:
+    """Compute moves that make ``replica_map`` consistent with ``policy``.
+
+    ``replica_map`` maps block id -> current replica holders. Replication is
+    inferred from the map (all blocks must agree). Moves are greedy: blocks
+    are drained from the most over-target nodes into the most under-target
+    nodes, never co-locating two replicas of the same block.
+    """
+    if not replica_map:
+        return []
+    replications = {len(holders) for holders in replica_map.values()}
+    if len(replications) != 1:
+        raise ValueError(f"blocks disagree on replication: {sorted(replications)}")
+    replication = replications.pop()
+    if replication < 1:
+        raise ValueError("blocks must have at least one replica")
+
+    targets = target_counts(policy, nodes, len(replica_map), replication, gamma)
+    current: Dict[str, int] = {node_id: 0 for node_id in targets}
+    holders_of: Dict[str, Set[str]] = {}
+    blocks_on: Dict[str, List[str]] = {node_id: [] for node_id in targets}
+    for block_id, holders in replica_map.items():
+        if len(set(holders)) != len(holders):
+            raise ValueError(f"block {block_id!r} has co-located replicas")
+        holders_of[block_id] = set(holders)
+        for node_id in holders:
+            current.setdefault(node_id, 0)
+            current[node_id] += 1
+            blocks_on.setdefault(node_id, []).append(block_id)
+
+    surplus = {n: current.get(n, 0) - targets.get(n, 0) for n in set(current) | set(targets)}
+    donors = sorted((n for n, s in surplus.items() if s > 0), key=lambda n: (-surplus[n], n))
+    moves: List[RebalanceMove] = []
+
+    for donor in donors:
+        movable = list(blocks_on.get(donor, []))
+        rng.shuffle(movable)
+        while surplus[donor] > 0 and movable:
+            block_id = movable.pop()
+            receiver = _pick_receiver(surplus, holders_of[block_id], rng)
+            if receiver is None:
+                continue
+            moves.append(RebalanceMove(block_id=block_id, source=donor, destination=receiver))
+            holders_of[block_id].discard(donor)
+            holders_of[block_id].add(receiver)
+            surplus[donor] -= 1
+            surplus[receiver] = surplus.get(receiver, 0) + 1
+    return moves
+
+
+def _pick_receiver(
+    surplus: Dict[str, int],
+    exclude: Set[str],
+    rng: RandomSource,
+) -> "str | None":
+    """Most-under-target node that doesn't already hold the block."""
+    candidates = [n for n, s in surplus.items() if s < 0 and n not in exclude]
+    if not candidates:
+        return None
+    deficit = min(surplus[n] for n in candidates)
+    worst = sorted(n for n in candidates if surplus[n] == deficit)
+    return worst[rng.randrange(len(worst))]

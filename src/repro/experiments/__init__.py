@@ -1,0 +1,53 @@
+"""Paper experiment drivers: one entry point per table/figure.
+
+* Table 1 — :func:`repro.experiments.largescale.table1_statistics`
+* Figures 3 & 4 (emulation) — :mod:`repro.experiments.emulation`
+* Figure 5 (large-scale simulation) — :mod:`repro.experiments.largescale`
+
+Each driver returns structured rows *and* can render the ASCII table with
+the same axes/series the paper plots, so every benchmark prints a
+recognisable reproduction of its figure.
+"""
+
+from repro.experiments.config import (
+    EMULATION_STRATEGIES,
+    SIMULATION_STRATEGIES,
+    EmulationConfig,
+    SimulationConfig,
+    Strategy,
+)
+from repro.experiments.emulation import (
+    run_emulation_point,
+    sweep_bandwidth,
+    sweep_interrupted_ratio,
+    sweep_node_count,
+)
+from repro.experiments.largescale import (
+    run_simulation_point,
+    sweep_sim_bandwidth,
+    sweep_sim_block_size,
+    sweep_sim_node_count,
+    table1_statistics,
+)
+from repro.experiments.results import ExperimentRow, SweepResult
+from repro.experiments.reporting import render_sweep
+
+__all__ = [
+    "Strategy",
+    "EmulationConfig",
+    "SimulationConfig",
+    "EMULATION_STRATEGIES",
+    "SIMULATION_STRATEGIES",
+    "run_emulation_point",
+    "sweep_interrupted_ratio",
+    "sweep_bandwidth",
+    "sweep_node_count",
+    "run_simulation_point",
+    "sweep_sim_bandwidth",
+    "sweep_sim_block_size",
+    "sweep_sim_node_count",
+    "table1_statistics",
+    "ExperimentRow",
+    "SweepResult",
+    "render_sweep",
+]

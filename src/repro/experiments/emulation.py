@@ -1,0 +1,128 @@
+"""Figures 3 & 4: the emulated non-dedicated environment (Section V.B).
+
+Three sweeps, each producing both the elapsed-time panel (Figure 3) and
+the locality panel (Figure 4) from the same runs:
+
+* ``sweep_interrupted_ratio`` — 1/4, 1/2, 3/4 of the nodes interrupted
+  (Figures 3a / 4a);
+* ``sweep_bandwidth`` — 4 to 32 Mb/s (Figures 3b / 4b);
+* ``sweep_node_count`` — 32 to 256 nodes (Figures 3c / 4c).
+
+Every scenario is repeated ``repetitions`` times with derived seeds and
+averaged, mirroring the paper's 10-run means. Within one repetition the
+same seed drives every strategy, so strategies face identical interruption
+realisations (the random streams are keyed per node, not shared).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.config import EMULATION_STRATEGIES, EmulationConfig, Strategy
+from repro.experiments.results import ExperimentRow, SweepResult
+from repro.runtime.runner import MapPhaseResult, run_map_phase
+from repro.util.rng import derive_seed
+
+#: Paper sweep values.
+RATIO_VALUES = (0.25, 0.5, 0.75)
+BANDWIDTH_VALUES = (4.0, 8.0, 16.0, 32.0)
+NODE_COUNT_VALUES = (32, 64, 128, 256)
+
+
+def run_emulation_point(
+    config: EmulationConfig,
+    strategy: Strategy,
+    seed: Optional[int] = None,
+) -> MapPhaseResult:
+    """Run one (configuration, strategy) cell once."""
+    run_seed = config.seed if seed is None else seed
+    hosts = config.hosts()
+    return run_map_phase(
+        hosts=hosts,
+        config=config.cluster_config(seed=run_seed),
+        policy=strategy.policy,
+        replication=strategy.replication,
+        blocks_per_node=config.blocks_per_node,
+    )
+
+
+def _sweep(
+    name: str,
+    x_label: str,
+    base: EmulationConfig,
+    field: str,
+    values: Sequence[float],
+    strategies: Sequence[Strategy],
+    repetitions: int,
+) -> SweepResult:
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    sweep = SweepResult(name=name, x_label=x_label)
+    for value in values:
+        config = base.with_(**{field: value})
+        for strategy in strategies:
+            row = ExperimentRow(
+                x=float(value),
+                strategy_key=strategy.key,
+                policy=strategy.policy,
+                replication=strategy.replication,
+            )
+            for rep in range(repetitions):
+                seed = derive_seed(base.seed, name, value, rep)
+                row.add(run_emulation_point(config, strategy, seed=seed))
+            sweep.rows.append(row)
+    return sweep
+
+
+def sweep_interrupted_ratio(
+    base: Optional[EmulationConfig] = None,
+    values: Sequence[float] = RATIO_VALUES,
+    strategies: Sequence[Strategy] = tuple(EMULATION_STRATEGIES),
+    repetitions: int = 1,
+) -> SweepResult:
+    """Figures 3(a) / 4(a): vary the ratio of interrupted nodes."""
+    return _sweep(
+        "fig3a/4a",
+        "interrupted_ratio",
+        base if base is not None else EmulationConfig(),
+        "interrupted_ratio",
+        values,
+        strategies,
+        repetitions,
+    )
+
+
+def sweep_bandwidth(
+    base: Optional[EmulationConfig] = None,
+    values: Sequence[float] = BANDWIDTH_VALUES,
+    strategies: Sequence[Strategy] = tuple(EMULATION_STRATEGIES),
+    repetitions: int = 1,
+) -> SweepResult:
+    """Figures 3(b) / 4(b): vary the network bandwidth."""
+    return _sweep(
+        "fig3b/4b",
+        "bandwidth_mbps",
+        base if base is not None else EmulationConfig(),
+        "bandwidth_mbps",
+        values,
+        strategies,
+        repetitions,
+    )
+
+
+def sweep_node_count(
+    base: Optional[EmulationConfig] = None,
+    values: Sequence[int] = NODE_COUNT_VALUES,
+    strategies: Sequence[Strategy] = tuple(EMULATION_STRATEGIES),
+    repetitions: int = 1,
+) -> SweepResult:
+    """Figures 3(c) / 4(c): vary the cluster size."""
+    return _sweep(
+        "fig3c/4c",
+        "node_count",
+        base if base is not None else EmulationConfig(),
+        "node_count",
+        values,
+        strategies,
+        repetitions,
+    )

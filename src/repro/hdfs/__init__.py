@@ -1,0 +1,16 @@
+"""HDFS substrate: blocks, DataNodes, the NameNode, heartbeats, client shell.
+
+A faithful (in-memory, event-driven) model of the HDFS pieces ADAPT touches
+(paper Sections II.B and IV): files split into equal-sized blocks, replica
+placement decided centrally by the NameNode, DataNode liveness tracked via
+heartbeats, and the three client interfaces ``copyFromLocal``, ``cp`` and
+``adapt``.
+"""
+
+from repro.hdfs.blocks import Block, DfsFile
+from repro.hdfs.client import DfsClient
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.heartbeat import HeartbeatService
+from repro.hdfs.namenode import NameNode
+
+__all__ = ["Block", "DfsFile", "DataNode", "NameNode", "HeartbeatService", "DfsClient"]

@@ -1,0 +1,80 @@
+"""DataNode: per-host block storage with up/down state.
+
+Blocks live on persistent storage, so an interruption takes the DataNode
+offline but does *not* lose data — "data blocks are stored on persistent
+storage and could be reused after the node is back" (Section II.B). The
+failure injector toggles ``is_up``; stored blocks survive the transition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.hdfs.blocks import Block
+
+
+class DataNode:
+    """Storage state of one host."""
+
+    def __init__(self, node_id: str, capacity_bytes: Optional[int] = None) -> None:
+        self._node_id = node_id
+        self._capacity = capacity_bytes
+        self._blocks: Dict[str, Block] = {}
+        self._is_up = True
+
+    @property
+    def node_id(self) -> str:
+        return self._node_id
+
+    @property
+    def is_up(self) -> bool:
+        """Physical state (the NameNode's *belief* may lag; see NameNode)."""
+        return self._is_up
+
+    def set_up(self, up: bool) -> None:
+        """Toggle physical availability (called by the failure injector)."""
+        self._is_up = up
+
+    @property
+    def capacity_bytes(self) -> Optional[int]:
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(block.size_bytes for block in self._blocks.values())
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    def block_ids(self) -> Set[str]:
+        """Ids of all stored blocks."""
+        return set(self._blocks)
+
+    def blocks(self) -> List[Block]:
+        return list(self._blocks.values())
+
+    def has_block(self, block_id: str) -> bool:
+        return block_id in self._blocks
+
+    def store(self, block: Block) -> None:
+        """Store a replica; rejects duplicates and capacity overflows."""
+        if block.block_id in self._blocks:
+            raise ValueError(f"{self._node_id} already stores {block.block_id}")
+        if self._capacity is not None and self.used_bytes + block.size_bytes > self._capacity:
+            raise ValueError(
+                f"{self._node_id} is full: {self.used_bytes}+{block.size_bytes} "
+                f"> {self._capacity} bytes"
+            )
+        self._blocks[block.block_id] = block
+
+    def remove(self, block_id: str) -> Block:
+        """Drop a replica; returns the removed block."""
+        try:
+            return self._blocks.pop(block_id)
+        except KeyError:
+            raise KeyError(f"{self._node_id} does not store {block_id}")
+
+    def __repr__(self) -> str:
+        state = "up" if self._is_up else "down"
+        return f"DataNode({self._node_id!r}, blocks={len(self._blocks)}, {state})"

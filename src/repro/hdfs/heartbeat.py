@@ -1,0 +1,144 @@
+"""Heartbeat collection: liveness detection and predictor feeding.
+
+DataNodes/TaskTrackers heartbeat the masters every few seconds; the
+NameNode declares a node dead after a configurable number of consecutive
+misses, and ADAPT's Performance Predictor derives interruption statistics
+"from the heart beat collector" (Section IV.A). This service reproduces
+both: per-beat uptime observations, downtime observations measured from
+the beat gap when a node returns, and (delayed) death/return marking.
+
+The service subscribes to the failure injector for the *physical* state;
+the NameNode's *belief* only changes on beat arrival/miss, so detection lag
+is modelled faithfully. An "oracle" cluster skips this service and wires
+the injector straight to the NameNode.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.predictor import PerformancePredictor
+from repro.hdfs.namenode import NameNode
+from repro.simulator.engine import EventHandle, Simulator
+from repro.util.validation import check_positive
+
+
+class HeartbeatService:
+    """Schedules beats for every node and turns misses into death marks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        namenode: NameNode,
+        interval: float = 3.0,
+        miss_threshold: int = 3,
+    ) -> None:
+        self._sim = sim
+        self._namenode = namenode
+        self._interval = check_positive("interval", interval)
+        if miss_threshold < 1:
+            raise ValueError(f"miss_threshold must be >= 1, got {miss_threshold}")
+        self._miss_threshold = miss_threshold
+        self._last_beat: Dict[str, float] = {}
+        self._beat_events: Dict[str, Optional[EventHandle]] = {}
+        self._watchdogs: Dict[str, Optional[EventHandle]] = {}
+        self._down_since: Dict[str, Optional[float]] = {}
+        self._is_up: Dict[str, bool] = {}
+        self._on_dead: List[Callable[[str, float], None]] = []
+        self._on_returned: List[Callable[[str, float], None]] = []
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    @property
+    def timeout(self) -> float:
+        """Silence length after which a node is declared dead."""
+        return self._interval * self._miss_threshold
+
+    def subscribe(
+        self,
+        on_dead: Optional[Callable[[str, float], None]] = None,
+        on_returned: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
+        """Register callbacks fired when the *belief* changes."""
+        if on_dead is not None:
+            self._on_dead.append(on_dead)
+        if on_returned is not None:
+            self._on_returned.append(on_returned)
+
+    # -- wiring -----------------------------------------------------------------
+
+    def track(self, node_id: str) -> None:
+        """Start heartbeating for a node (assumed up now)."""
+        if node_id in self._is_up:
+            raise ValueError(f"node {node_id!r} already tracked")
+        self._is_up[node_id] = True
+        self._down_since[node_id] = None
+        self._last_beat[node_id] = self._sim.now
+        self._beat_events[node_id] = None
+        self._watchdogs[node_id] = None
+        self._schedule_beat(node_id)
+        self._arm_watchdog(node_id)
+
+    def node_down(self, node_id: str, time: float) -> None:
+        """Physical interruption: beats stop (injector callback)."""
+        self._is_up[node_id] = False
+        self._down_since[node_id] = time
+        event = self._beat_events.get(node_id)
+        if event is not None:
+            event.cancel()
+            self._beat_events[node_id] = None
+
+    def node_up(self, node_id: str, time: float) -> None:
+        """Physical return: beat immediately, then resume the cadence."""
+        self._is_up[node_id] = True
+        self._beat(node_id, returning=True)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _schedule_beat(self, node_id: str) -> None:
+        self._beat_events[node_id] = self._sim.schedule(
+            self._interval, lambda: self._beat(node_id), label=f"beat:{node_id}"
+        )
+
+    def _beat(self, node_id: str, returning: bool = False) -> None:
+        if not self._is_up[node_id]:
+            return
+        now = self._sim.now
+        predictor = self._namenode.predictor
+        down_since = self._down_since[node_id]
+        if returning and down_since is not None:
+            # The collector can only see the beat gap; report the physical
+            # downtime it implies (gap minus the silent uptime before the
+            # crash, bounded by one interval of quantisation error).
+            predictor.observe_downtime(node_id, now - down_since)
+            self._down_since[node_id] = None
+        else:
+            predictor.observe_uptime(node_id, now - self._last_beat[node_id])
+        self._last_beat[node_id] = now
+        if not self._namenode.is_live(node_id):
+            self._namenode.mark_alive(node_id)
+            for callback in self._on_returned:
+                callback(node_id, now)
+        self._schedule_beat(node_id)
+        self._arm_watchdog(node_id)
+
+    def _arm_watchdog(self, node_id: str) -> None:
+        old = self._watchdogs.get(node_id)
+        if old is not None:
+            old.cancel()
+        deadline = self._last_beat[node_id] + self.timeout
+        self._watchdogs[node_id] = self._sim.schedule_at(
+            deadline, lambda: self._check_timeout(node_id), label=f"watchdog:{node_id}"
+        )
+
+    def _check_timeout(self, node_id: str) -> None:
+        self._watchdogs[node_id] = None
+        now = self._sim.now
+        if now - self._last_beat[node_id] < self.timeout:
+            return
+        if self._namenode.is_live(node_id):
+            self._namenode.mark_dead(node_id)
+            for callback in self._on_dead:
+                callback(node_id, now)

@@ -1,0 +1,252 @@
+"""The NameNode: centralised metadata management plus ADAPT's extensions.
+
+Responsibilities mirror Section II.B / IV: file-to-block mapping, block
+location tracking, DataNode liveness (as *believed*, fed by heartbeats or
+by an oracle), and — with ADAPT enabled — delegating placement decisions to
+an availability-aware policy driven by the Performance Predictor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.placement import NodeView, PlacementPolicy
+from repro.core.predictor import PerformancePredictor
+from repro.core.rebalance import RebalanceMove, plan_rebalance
+from repro.hdfs.blocks import Block, DfsFile
+from repro.hdfs.datanode import DataNode
+from repro.util.rng import RandomSource
+
+
+class NameNode:
+    """Metadata server: files, block locations, liveness, placement."""
+
+    def __init__(
+        self,
+        predictor: Optional[PerformancePredictor] = None,
+        placement_liveness_filter: bool = True,
+    ) -> None:
+        """``placement_liveness_filter`` controls whether ingest placement
+        is restricted to currently-live nodes. Disabling it models data
+        that was loaded at an earlier time: by the time a job runs, host
+        availability has re-randomised, so conditioning placement on
+        *momentary* liveness is impossible and only long-run availability
+        (what ADAPT's model predicts) matters. The large-scale trace-driven
+        experiments disable it; the emulated testbed keeps it on.
+        """
+        self._predictor = predictor if predictor is not None else PerformancePredictor()
+        self._placement_liveness_filter = placement_liveness_filter
+        self._datanodes: Dict[str, DataNode] = {}
+        self._files: Dict[str, DfsFile] = {}
+        self._blocks: Dict[str, Block] = {}
+        self._locations: Dict[str, Set[str]] = {}
+        self._live: Dict[str, bool] = {}
+
+    # -- membership -------------------------------------------------------------
+
+    @property
+    def predictor(self) -> PerformancePredictor:
+        """The ADAPT Performance Predictor attached to this NameNode."""
+        return self._predictor
+
+    def register_datanode(self, datanode: DataNode) -> None:
+        """Admit a DataNode to the cluster."""
+        node_id = datanode.node_id
+        if node_id in self._datanodes:
+            raise ValueError(f"datanode {node_id!r} already registered")
+        self._datanodes[node_id] = datanode
+        self._live[node_id] = True
+        self._predictor.register_node(node_id)
+
+    @property
+    def datanode_ids(self) -> List[str]:
+        return sorted(self._datanodes)
+
+    def datanode(self, node_id: str) -> DataNode:
+        return self._datanodes[node_id]
+
+    # -- liveness (the NameNode's belief) ------------------------------------------
+
+    def mark_dead(self, node_id: str) -> None:
+        """Believe the node is gone (heartbeat timeout or oracle event)."""
+        self._require_node(node_id)
+        self._live[node_id] = False
+
+    def mark_alive(self, node_id: str) -> None:
+        """Believe the node returned."""
+        self._require_node(node_id)
+        self._live[node_id] = True
+
+    def is_live(self, node_id: str) -> bool:
+        return self._live[node_id]
+
+    def live_nodes(self) -> List[str]:
+        return sorted(n for n, live in self._live.items() if live)
+
+    def _require_node(self, node_id: str) -> None:
+        if node_id not in self._datanodes:
+            raise KeyError(f"unknown datanode {node_id!r}")
+
+    # -- file namespace -------------------------------------------------------------
+
+    @property
+    def file_names(self) -> List[str]:
+        return sorted(self._files)
+
+    def file(self, name: str) -> DfsFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise KeyError(f"no such file {name!r}")
+
+    def block(self, block_id: str) -> Block:
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise KeyError(f"no such block {block_id!r}")
+
+    def create_file(
+        self,
+        name: str,
+        num_blocks: int,
+        block_size: int,
+        replication: int,
+        policy: PlacementPolicy,
+        gamma: float,
+        rng: RandomSource,
+    ) -> DfsFile:
+        """Create a file and place every block through ``policy``.
+
+        This is the write path behind ``copyFromLocal``: a placement plan is
+        built once per ingest (the lifetime of ADAPT's hash table,
+        Section IV.B.1) and consulted for each block's replica set.
+        """
+        if name in self._files:
+            raise ValueError(f"file {name!r} already exists")
+        dfs_file = DfsFile.build(name, num_blocks, block_size, replication)
+        plan = policy.build_plan(self.placement_views(), num_blocks, replication, gamma)
+        placement_rng = rng.substream("placement", name)
+        for block in dfs_file.blocks:
+            holders = plan.choose_replicas(placement_rng)
+            self._blocks[block.block_id] = block
+            self._locations[block.block_id] = set()
+            for node_id in holders:
+                self._store_replica(block, node_id)
+        self._files[name] = dfs_file
+        return dfs_file
+
+    def delete_file(self, name: str) -> None:
+        """Remove a file and all its replicas."""
+        dfs_file = self.file(name)
+        for block in dfs_file.blocks:
+            for node_id in list(self._locations.get(block.block_id, ())):
+                self._remove_replica(block.block_id, node_id)
+            self._locations.pop(block.block_id, None)
+            self._blocks.pop(block.block_id, None)
+        del self._files[name]
+
+    # -- block locations ---------------------------------------------------------------
+
+    def replica_holders(self, block_id: str) -> Set[str]:
+        """All nodes holding a replica (regardless of liveness)."""
+        if block_id not in self._locations:
+            raise KeyError(f"no such block {block_id!r}")
+        return set(self._locations[block_id])
+
+    def up_holders(self, block_id: str) -> List[str]:
+        """Replica holders currently believed live, in sorted order."""
+        return sorted(n for n in self.replica_holders(block_id) if self._live[n])
+
+    def blocks_on(self, node_id: str) -> Set[str]:
+        """Block ids stored on one node."""
+        self._require_node(node_id)
+        return self._datanodes[node_id].block_ids()
+
+    def block_distribution(self, name: str) -> Dict[str, int]:
+        """Replica count per node for one file (the ``df``-style view)."""
+        dfs_file = self.file(name)
+        counts: Dict[str, int] = {node_id: 0 for node_id in self._datanodes}
+        for block in dfs_file.blocks:
+            for node_id in self._locations[block.block_id]:
+                counts[node_id] += 1
+        return counts
+
+    def replica_map(self, name: str) -> Dict[str, List[str]]:
+        """block id -> sorted holders for one file."""
+        dfs_file = self.file(name)
+        return {
+            block.block_id: sorted(self._locations[block.block_id])
+            for block in dfs_file.blocks
+        }
+
+    def _store_replica(self, block: Block, node_id: str) -> None:
+        self._require_node(node_id)
+        self._datanodes[node_id].store(block)
+        self._locations[block.block_id].add(node_id)
+
+    def _remove_replica(self, block_id: str, node_id: str) -> None:
+        self._datanodes[node_id].remove(block_id)
+        self._locations[block_id].discard(node_id)
+
+    # -- placement views & rebalancing ------------------------------------------------
+
+    def node_views(self, live_only: bool = True) -> List[NodeView]:
+        """Placement-ready per-node views from the predictor's estimates.
+
+        A node is placeable only when it is both *believed* live and
+        *physically* up: a write to a crashed-but-undetected DataNode
+        fails its pipeline and HDFS re-places the block elsewhere, which
+        filtering here models directly.
+        """
+        views = []
+        for node_id in self.datanode_ids:
+            live = self._live[node_id] and self._datanodes[node_id].is_up
+            if live_only and not live:
+                continue
+            views.append(
+                NodeView(
+                    node_id=node_id,
+                    estimate=self._predictor.estimate(node_id),
+                    is_up=live,
+                )
+            )
+        return views
+
+    def placement_views(self) -> List[NodeView]:
+        """The views ingest placement sees.
+
+        With the liveness filter on, only live+up nodes are placeable;
+        with it off, every registered node is eligible (see __init__).
+        """
+        if self._placement_liveness_filter:
+            return self.node_views(live_only=True)
+        return [
+            NodeView(node_id=node_id, estimate=self._predictor.estimate(node_id), is_up=True)
+            for node_id in self.datanode_ids
+        ]
+
+    def plan_adapt(
+        self,
+        name: str,
+        policy: PlacementPolicy,
+        gamma: float,
+        rng: RandomSource,
+    ) -> List[RebalanceMove]:
+        """Plan the ``adapt <file>`` redistribution (Section IV.A)."""
+        return plan_rebalance(
+            replica_map=self.replica_map(name),
+            policy=policy,
+            nodes=self.placement_views(),
+            gamma=gamma,
+            rng=rng.substream("rebalance", name),
+        )
+
+    def apply_move(self, move: RebalanceMove) -> None:
+        """Execute one replica move at the metadata level."""
+        block = self.block(move.block_id)
+        if move.source not in self._locations[move.block_id]:
+            raise ValueError(f"{move.source} does not hold {move.block_id}")
+        if move.destination in self._locations[move.block_id]:
+            raise ValueError(f"{move.destination} already holds {move.block_id}")
+        self._store_replica(block, move.destination)
+        self._remove_replica(move.block_id, move.source)

@@ -1,0 +1,235 @@
+"""Job, task, and attempt state machines.
+
+One map task per input block (Section II.B). A task may be executed by
+several *attempts* over its lifetime: re-executions after interruptions and
+speculative duplicates; the first attempt to succeed completes the task.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hdfs.blocks import Block, DfsFile
+from repro.util.validation import check_non_negative, check_positive
+
+
+class TaskState(enum.Enum):
+    """Task life cycle."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+
+class AttemptState(enum.Enum):
+    """Attempt life cycle."""
+
+    FETCHING = "fetching"  # remote attempt streaming its input block
+    RUNNING = "running"    # executing the map function
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"      # the node was interrupted (or the fetch aborted)
+    KILLED = "killed"      # lost a speculation race / job torn down
+
+
+#: Attempt states that still occupy a slot.
+LIVE_ATTEMPT_STATES = frozenset({AttemptState.FETCHING, AttemptState.RUNNING})
+
+
+@dataclass(frozen=True)
+class JobConf:
+    """Tunables of the MapReduce runtime.
+
+    ``speculative_slowdown`` is the factor over the expected attempt
+    duration after which a running attempt counts as a straggler;
+    ``scheduler`` selects the task-assignment policy (``"locality"`` is
+    Hadoop's; ``"availability"`` is this repo's future-work extension).
+    """
+
+    name: str = "job"
+    speculative: bool = True
+    speculative_slowdown: float = 2.0
+    max_speculative_per_task: int = 1
+    scheduler: str = "locality"
+
+    def __post_init__(self) -> None:
+        if self.speculative_slowdown <= 1.0:
+            raise ValueError(
+                f"speculative_slowdown must exceed 1, got {self.speculative_slowdown}"
+            )
+        if self.max_speculative_per_task < 0:
+            raise ValueError("max_speculative_per_task must be >= 0")
+
+
+@dataclass(eq=False)
+class TaskAttempt:
+    """One execution attempt of a map task on a specific node.
+
+    Identity semantics (``eq=False``): two attempts are the same object or
+    different attempts, and both task and attempt are usable as dict keys.
+    """
+
+    attempt_id: str
+    task: "MapTask"
+    node_id: str
+    local: bool
+    speculative: bool
+    created_at: float
+    state: AttemptState = AttemptState.FETCHING
+    source_node: Optional[str] = None
+    fetch_started: Optional[float] = None
+    exec_started: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def is_live(self) -> bool:
+        return self.state is AttemptState.FETCHING or self.state is AttemptState.RUNNING
+
+    def retire(self, state: AttemptState, now: float) -> None:
+        """Move to a terminal state and drop out of the task's live set."""
+        if state in LIVE_ATTEMPT_STATES:
+            raise ValueError(f"{state} is not a terminal attempt state")
+        self.state = state
+        self.finished_at = now
+        self.task.drop_live(self)
+
+    def elapsed(self, now: float) -> float:
+        """Wall time since the attempt was created."""
+        return now - self.created_at
+
+    def __repr__(self) -> str:
+        kind = "local" if self.local else f"remote<-{self.source_node}"
+        return f"TaskAttempt({self.attempt_id}, {kind}, {self.state.value})"
+
+
+@dataclass(eq=False)
+class MapTask:
+    """One map task: processes one input block for ``gamma`` seconds.
+
+    Identity semantics (``eq=False``) so tasks can key dicts/sets.
+    """
+
+    task_id: str
+    block: Block
+    gamma: float
+    state: TaskState = TaskState.PENDING
+    attempts: List[TaskAttempt] = field(default_factory=list)
+    completed_by: Optional[TaskAttempt] = None
+    _attempt_counter: int = 0
+    _live: List[TaskAttempt] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_positive("gamma", self.gamma)
+
+    @property
+    def is_completed(self) -> bool:
+        return self.state is TaskState.COMPLETED
+
+    def live_attempts(self) -> List[TaskAttempt]:
+        return list(self._live)
+
+    def has_live_attempt(self) -> bool:
+        return bool(self._live)
+
+    def drop_live(self, attempt: TaskAttempt) -> None:
+        """Remove a retired attempt from the live set (idempotent)."""
+        try:
+            self._live.remove(attempt)
+        except ValueError:
+            pass
+
+    def speculative_count(self) -> int:
+        """Live speculative attempts currently racing."""
+        return sum(1 for a in self._live if a.speculative)
+
+    def new_attempt(
+        self,
+        node_id: str,
+        local: bool,
+        speculative: bool,
+        now: float,
+        source_node: Optional[str] = None,
+    ) -> TaskAttempt:
+        """Create (and register) the next attempt of this task."""
+        self._attempt_counter += 1
+        attempt = TaskAttempt(
+            attempt_id=f"{self.task_id}_a{self._attempt_counter}",
+            task=self,
+            node_id=node_id,
+            local=local,
+            speculative=speculative,
+            created_at=now,
+            source_node=source_node,
+        )
+        self.attempts.append(attempt)
+        self._live.append(attempt)
+        return attempt
+
+    def __repr__(self) -> str:
+        return f"MapTask({self.task_id}, {self.state.value}, attempts={len(self.attempts)})"
+
+
+class MapJob:
+    """A submitted job: one map task per block of the input file."""
+
+    def __init__(self, conf: JobConf, input_file: DfsFile, gammas: List[float]) -> None:
+        if len(gammas) != input_file.num_blocks:
+            raise ValueError(
+                f"need one gamma per block: {len(gammas)} gammas for "
+                f"{input_file.num_blocks} blocks"
+            )
+        self._conf = conf
+        self._file = input_file
+        self._tasks = [
+            MapTask(task_id=f"{conf.name}_m{block.index:06d}", block=block, gamma=gamma)
+            for block, gamma in zip(input_file.blocks, gammas)
+        ]
+        self._by_id: Dict[str, MapTask] = {t.task_id: t for t in self._tasks}
+        self.submitted_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def conf(self) -> JobConf:
+        return self._conf
+
+    @property
+    def input_file(self) -> DfsFile:
+        return self._file
+
+    @property
+    def tasks(self) -> List[MapTask]:
+        return list(self._tasks)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._tasks)
+
+    def task(self, task_id: str) -> MapTask:
+        return self._by_id[task_id]
+
+    @property
+    def total_base_work(self) -> float:
+        """Aggregate failure-free execution time (the Figure 5 baseline)."""
+        return sum(t.gamma for t in self._tasks)
+
+    @property
+    def is_complete(self) -> bool:
+        return all(t.is_completed for t in self._tasks)
+
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for t in self._tasks if t.is_completed)
+
+    @property
+    def makespan(self) -> float:
+        """Map-phase elapsed time (defined once the job finished)."""
+        if self.submitted_at is None or self.finished_at is None:
+            raise ValueError("job has not finished")
+        return self.finished_at - self.submitted_at
+
+    @staticmethod
+    def uniform(conf: JobConf, input_file: DfsFile, gamma: float) -> "MapJob":
+        """Job whose tasks all share one failure-free length."""
+        check_positive("gamma", gamma)
+        return MapJob(conf, input_file, [gamma] * input_file.num_blocks)

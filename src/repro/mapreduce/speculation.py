@@ -1,0 +1,79 @@
+"""Straggler detection and speculative re-execution.
+
+"A task is referred to as straggler if its progress is significantly slower
+than other tasks ... JobTracker will allocate stragglers to the idle node"
+(Section II.B). Our model has two straggler causes: attempts on a node that
+was interrupted (stalled until the JobTracker notices), and attempts whose
+fetch or execution is simply taking much longer than expected (network
+contention, repeated failures).
+
+:class:`SpeculationPolicy` encapsulates eligibility; the JobTracker asks it
+whether a running task deserves a duplicate attempt. The losing duplicate's
+execution time is the "duplicated straggler execution" charged to the
+paper's *misc* overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapreduce.job import MapTask
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class SpeculationPolicy:
+    """Eligibility rules for speculative execution.
+
+    ``slowdown`` — an attempt is a straggler once its elapsed time exceeds
+    ``slowdown`` times its expected duration (gamma, plus the nominal fetch
+    time for remote attempts). ``max_per_task`` bounds concurrent
+    duplicates. ``enabled=False`` disables speculation entirely (ablation
+    A5).
+    """
+
+    enabled: bool = True
+    slowdown: float = 2.0
+    max_per_task: int = 1
+    nominal_fetch_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slowdown <= 1.0:
+            raise ValueError(f"slowdown must exceed 1, got {self.slowdown}")
+        if self.max_per_task < 0:
+            raise ValueError("max_per_task must be >= 0")
+        check_non_negative("nominal_fetch_seconds", self.nominal_fetch_seconds)
+
+    def expected_duration(self, task: MapTask, remote: bool) -> float:
+        """Nominal attempt duration used for the straggler threshold."""
+        return task.gamma + (self.nominal_fetch_seconds if remote else 0.0)
+
+    def is_straggling(self, task: MapTask, now: float) -> bool:
+        """Whether the task's live attempts justify a duplicate.
+
+        A task with *no* live attempt (its only attempt died with its node
+        and the JobTracker has not been told yet) is always a straggler; a
+        task whose live attempts all exceed the slowdown threshold is too.
+        """
+        if not self.enabled or task.is_completed:
+            return False
+        live = task.live_attempts()
+        if not live:
+            return True
+        threshold_ok = True
+        for attempt in live:
+            expected = self.expected_duration(task, remote=attempt.source_node is not None)
+            if attempt.elapsed(now) <= self.slowdown * expected:
+                threshold_ok = False
+                break
+        return threshold_ok
+
+    def may_speculate(self, task: MapTask, node_id: str, now: float) -> bool:
+        """Full eligibility: straggling, capacity left, node not already on it."""
+        if not self.is_straggling(task, now):
+            return False
+        if task.speculative_count() >= self.max_per_task:
+            return False
+        if any(a.node_id == node_id for a in task.live_attempts()):
+            return False
+        return True

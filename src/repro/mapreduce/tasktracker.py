@@ -1,0 +1,201 @@
+"""TaskTracker: per-node task execution under interruptions.
+
+Executes attempts the JobTracker assigns: a local attempt runs for the
+task's failure-free length gamma; a remote attempt first streams its block
+from the source node over the shared network ("migration"), then runs.
+
+Interruption semantics follow Section II.B: when the node goes down, every
+live attempt dies instantly — its partial execution is *rework*, its
+partial fetch wasted *migration* — and the blocks it stores persist. The
+TaskTracker does all physical accounting at the instant of failure; the
+JobTracker decides *when* to reschedule (it may not learn of the failure
+until a heartbeat timeout or the node's return).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.mapreduce.job import AttemptState, TaskAttempt
+from repro.simulator.engine import EventHandle, Simulator
+from repro.simulator.metrics import MapPhaseMetrics
+from repro.simulator.network import Network, Transfer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mapreduce.jobtracker import JobTracker
+
+
+class TaskTracker:
+    """Execution agent for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: str,
+        network: Network,
+        metrics: MapPhaseMetrics,
+        slots: int = 1,
+    ) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self._sim = sim
+        self._node_id = node_id
+        self._network = network
+        self._metrics = metrics
+        self._slots = slots
+        self._is_up = True
+        self._jobtracker: Optional["JobTracker"] = None
+        self._live: Dict[str, TaskAttempt] = {}
+        self._exec_events: Dict[str, EventHandle] = {}
+        self._transfers: Dict[str, Transfer] = {}
+        self._busy_seconds = 0.0
+
+    def bind(self, jobtracker: "JobTracker") -> None:
+        """Attach the JobTracker (after construction, to break the cycle)."""
+        self._jobtracker = jobtracker
+
+    # -- state -------------------------------------------------------------------
+
+    @property
+    def node_id(self) -> str:
+        return self._node_id
+
+    @property
+    def is_up(self) -> bool:
+        return self._is_up
+
+    @property
+    def slots(self) -> int:
+        return self._slots
+
+    @property
+    def free_slots(self) -> int:
+        return self._slots - len(self._live)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Cumulative slot-occupied time of terminal attempts (for idle
+        accounting); live attempts are folded in when they end."""
+        return self._busy_seconds
+
+    @property
+    def running_attempts(self) -> int:
+        return len(self._live)
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(self, attempt: TaskAttempt) -> None:
+        """Run an attempt (fetch first if it is remote)."""
+        if not self._is_up:
+            raise RuntimeError(f"{self._node_id} is down; cannot execute {attempt}")
+        if self.free_slots <= 0:
+            raise RuntimeError(f"{self._node_id} has no free slot for {attempt}")
+        if attempt.node_id != self._node_id:
+            raise ValueError(f"{attempt} belongs to {attempt.node_id}, not {self._node_id}")
+        self._live[attempt.attempt_id] = attempt
+        if attempt.source_node is None:
+            self._start_exec(attempt)
+        else:
+            attempt.state = AttemptState.FETCHING
+            attempt.fetch_started = self._sim.now
+            transfer = self._network.start_transfer(
+                source=attempt.source_node,
+                destination=self._node_id,
+                size_bytes=attempt.task.block.size_bytes,
+                on_complete=lambda t, a=attempt: self._on_fetch_done(a, t),
+                on_cancel=lambda t, a=attempt: self._on_fetch_cancelled(a, t),
+                label=f"fetch:{attempt.attempt_id}",
+            )
+            self._transfers[attempt.attempt_id] = transfer
+
+    def _start_exec(self, attempt: TaskAttempt) -> None:
+        attempt.state = AttemptState.RUNNING
+        attempt.exec_started = self._sim.now
+        self._exec_events[attempt.attempt_id] = self._sim.schedule(
+            attempt.task.gamma,
+            lambda: self._on_exec_done(attempt),
+            label=f"exec:{attempt.attempt_id}",
+        )
+
+    def _on_exec_done(self, attempt: TaskAttempt) -> None:
+        self._exec_events.pop(attempt.attempt_id, None)
+        self._retire(attempt, AttemptState.SUCCEEDED)
+        self._metrics.add_useful(attempt.task.gamma)
+        assert self._jobtracker is not None
+        self._jobtracker.on_attempt_succeeded(attempt)
+
+    def _on_fetch_done(self, attempt: TaskAttempt, transfer: Transfer) -> None:
+        if attempt.state is not AttemptState.FETCHING:
+            return  # already failed/killed; late completion is moot
+        self._transfers.pop(attempt.attempt_id, None)
+        self._metrics.add_migration(transfer.duration)
+        self._start_exec(attempt)
+
+    def _on_fetch_cancelled(self, attempt: TaskAttempt, transfer: Transfer) -> None:
+        """The network tore the fetch down (source side went unreadable)."""
+        if attempt.state is not AttemptState.FETCHING:
+            return  # we initiated the cancel ourselves; already accounted
+        self._transfers.pop(attempt.attempt_id, None)
+        assert attempt.fetch_started is not None
+        self._metrics.add_migration(self._sim.now - attempt.fetch_started)
+        self._retire(attempt, AttemptState.FAILED)
+        assert self._jobtracker is not None
+        self._jobtracker.on_attempt_failed(attempt)
+
+    # -- interruption handling ---------------------------------------------------------
+
+    def on_node_down(self, time: float) -> None:
+        """The host was interrupted: every live attempt dies right now."""
+        self._is_up = False
+        for attempt in list(self._live.values()):
+            if attempt.state is AttemptState.RUNNING:
+                assert attempt.exec_started is not None
+                self._metrics.add_rework(self._sim.now - attempt.exec_started)
+                event = self._exec_events.pop(attempt.attempt_id, None)
+                if event is not None:
+                    event.cancel()
+            elif attempt.state is AttemptState.FETCHING:
+                assert attempt.fetch_started is not None
+                self._metrics.add_migration(self._sim.now - attempt.fetch_started)
+            self._retire(attempt, AttemptState.FAILED)
+            transfer = self._transfers.pop(attempt.attempt_id, None)
+            if transfer is not None:
+                self._network.cancel(transfer)  # guarded: state is FAILED now
+            assert self._jobtracker is not None
+            self._jobtracker.on_attempt_failed(attempt)
+
+    def on_node_up(self, time: float) -> None:
+        """The host returned; ask for work."""
+        self._is_up = True
+        assert self._jobtracker is not None
+        self._jobtracker.on_node_available(self._node_id)
+
+    def kill(self, attempt: TaskAttempt) -> None:
+        """Abort an attempt that lost a speculation race (or job teardown)."""
+        if not attempt.is_live:
+            return
+        if attempt.state is AttemptState.RUNNING:
+            assert attempt.exec_started is not None
+            self._metrics.add_duplicate(self._sim.now - attempt.exec_started)
+            event = self._exec_events.pop(attempt.attempt_id, None)
+            if event is not None:
+                event.cancel()
+        elif attempt.state is AttemptState.FETCHING:
+            assert attempt.fetch_started is not None
+            self._metrics.add_migration(self._sim.now - attempt.fetch_started)
+        self._retire(attempt, AttemptState.KILLED)
+        transfer = self._transfers.pop(attempt.attempt_id, None)
+        if transfer is not None:
+            self._network.cancel(transfer)
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _retire(self, attempt: TaskAttempt, state: AttemptState) -> None:
+        attempt.retire(state, self._sim.now)
+        self._live.pop(attempt.attempt_id, None)
+        assert attempt.finished_at is not None
+        self._busy_seconds += attempt.finished_at - attempt.created_at
+
+    def __repr__(self) -> str:
+        state = "up" if self._is_up else "down"
+        return f"TaskTracker({self._node_id!r}, {state}, live={len(self._live)})"

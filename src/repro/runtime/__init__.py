@@ -1,0 +1,20 @@
+"""Runtime wiring: assemble a full simulated cluster and run jobs on it.
+
+:mod:`repro.runtime.cluster` builds the whole stack — engine, network,
+failure injection, HDFS, MapReduce — from a list of host availability
+descriptions plus a :class:`ClusterConfig`. :mod:`repro.runtime.runner`
+runs a complete map phase end-to-end and returns the measurements the
+paper's evaluation reports (elapsed time, data locality, overhead
+breakdown).
+"""
+
+from repro.runtime.cluster import Cluster, ClusterConfig, build_cluster
+from repro.runtime.runner import MapPhaseResult, run_map_phase
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "build_cluster",
+    "MapPhaseResult",
+    "run_map_phase",
+]

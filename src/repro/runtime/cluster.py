@@ -1,0 +1,321 @@
+"""Cluster assembly: wire every subsystem into one simulated deployment.
+
+The wiring mirrors the paper's deployment (Figure 2): every host runs a
+DataNode and a TaskTracker; a dedicated master hosts the NameNode (with
+ADAPT's Performance Predictor and Data Block Distributor) and the
+JobTracker. The failure injector plays the role of the non-dedicated
+environment: it interrupts hosts according to their availability
+descriptions, and everything else reacts.
+
+Callback order on a transition is load-bearing and fixed here:
+
+down: accounting -> DataNode off -> TaskTracker kills attempts ->
+      (hard mode only) in-flight reads from the node torn down ->
+      detection (heartbeat stops / oracle marks dead & requeues)
+up:   accounting -> DataNode on -> detection (beat / oracle mark alive)
+      -> TaskTracker asks for work
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.availability.estimators import AvailabilityEstimate
+from repro.availability.generator import HostAvailability
+from repro.availability.traces import AvailabilityTrace
+from repro.core.predictor import PerformancePredictor
+from repro.hdfs.client import DfsClient
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.heartbeat import HeartbeatService
+from repro.hdfs.namenode import NameNode
+from repro.mapreduce.jobtracker import JobTracker
+from repro.mapreduce.speculation import SpeculationPolicy
+from repro.mapreduce.tasktracker import TaskTracker
+from repro.simulator.engine import Simulator
+from repro.simulator.failures import FailureInjector
+from repro.simulator.metrics import MapPhaseMetrics
+from repro.simulator.network import Network
+from repro.util.rng import RandomSource
+from repro.util.units import MB, mbit_per_s
+from repro.util.validation import check_positive
+
+_DETECTIONS = ("heartbeat", "oracle")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Deployment knobs (defaults follow the paper's Tables 3 and 4)."""
+
+    #: Per-node network bandwidth in Mb/s (paper sweeps 4-32; default 8).
+    bandwidth_mbps: float = 8.0
+    #: Downlink override in Mb/s; None means symmetric links.
+    downlink_mbps: Optional[float] = None
+    #: HDFS block size in bytes (default 64 MB).
+    block_size_bytes: int = 64 * MB
+    #: Map slots per node (the paper's VMs have one core).
+    slots_per_node: int = 1
+    #: Failure detection: "heartbeat" (realistic lag) or "oracle" (instant).
+    detection: str = "heartbeat"
+    heartbeat_interval: float = 3.0
+    heartbeat_miss_threshold: int = 3
+    #: Whether a down host's stored blocks stay streamable (see JobTracker).
+    access_during_downtime: bool = True
+    #: Flow-level max-min fair sharing (True) or uncontended links (False).
+    fair_sharing: bool = True
+    #: Pin the predictor to each host's true (lambda, mu) instead of
+    #: estimating from heartbeats (Algorithm 1's stated inputs).
+    oracle_estimates: bool = True
+    #: Speculation tunables.
+    speculation_enabled: bool = True
+    speculation_slowdown: float = 2.0
+    max_speculative_per_task: int = 1
+    #: JobTracker idle-node re-poll period.
+    sweep_interval: float = 3.0
+    #: Shift every interruption process this far into its past, so the run
+    #: starts in (approximately) stationary state — some hosts already down
+    #: at t=0, as when replaying a random window of a long trace. 0 starts
+    #: every host up (the emulated-testbed behaviour).
+    stationary_burn_in: float = 0.0
+    #: Restrict ingest placement to currently-live nodes (True, testbed
+    #: behaviour) or place over the whole membership (False — data loaded
+    #: at an earlier time; only long-run availability is predictive).
+    placement_liveness_filter: bool = True
+    #: Estimator prior when oracle_estimates is False. The prior is worth
+    #: prior_weight pseudo-episodes over prior_weight*prior_mtbi pseudo-
+    #: uptime; the small default weight lets real heartbeat data dominate
+    #: after a short warmup.
+    prior_mtbi: float = 1e6
+    prior_recovery: float = 0.0
+    prior_weight: float = 1e-4
+    #: Root seed; every random stream in the cluster derives from it.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_mbps", self.bandwidth_mbps)
+        check_positive("block_size_bytes", self.block_size_bytes)
+        if self.slots_per_node < 1:
+            raise ValueError("slots_per_node must be >= 1")
+        if self.detection not in _DETECTIONS:
+            raise ValueError(f"detection must be one of {_DETECTIONS}, got {self.detection!r}")
+
+    @property
+    def uplink_bps(self) -> float:
+        return mbit_per_s(self.bandwidth_mbps)
+
+    @property
+    def downlink_bps(self) -> float:
+        return mbit_per_s(
+            self.downlink_mbps if self.downlink_mbps is not None else self.bandwidth_mbps
+        )
+
+    def nominal_fetch_seconds(self) -> float:
+        """Uncontended time to stream one block (speculation threshold)."""
+        return self.block_size_bytes / min(self.uplink_bps, self.downlink_bps)
+
+
+class Cluster:
+    """A fully wired simulated deployment."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        hosts: Sequence[HostAvailability],
+        sim: Simulator,
+        rng: RandomSource,
+        network: Network,
+        injector: FailureInjector,
+        namenode: NameNode,
+        trackers: Dict[str, TaskTracker],
+        metrics: MapPhaseMetrics,
+        jobtracker: JobTracker,
+        heartbeats: Optional[HeartbeatService],
+        client: DfsClient,
+    ) -> None:
+        self.config = config
+        self.hosts = list(hosts)
+        self.sim = sim
+        self.rng = rng
+        self.network = network
+        self.injector = injector
+        self.namenode = namenode
+        self.trackers = trackers
+        self.metrics = metrics
+        self.jobtracker = jobtracker
+        self.heartbeats = heartbeats
+        self.client = client
+
+    @property
+    def node_ids(self) -> List[str]:
+        return sorted(self.trackers)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.trackers)
+
+    @property
+    def total_slots(self) -> int:
+        return sum(t.slots for t in self.trackers.values())
+
+    def run_until_job_done(self, max_events: int = 500_000_000) -> None:
+        """Advance the simulation until the submitted job finishes.
+
+        The failure injector's event stream is endless, so "run until the
+        heap drains" never terminates; this helper steps until the
+        JobTracker reports completion (or the safety budget trips).
+        """
+        executed = 0
+        while not self.jobtracker.is_done:
+            if not self.sim.step():
+                raise RuntimeError("event heap drained before the job finished")
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError(
+                    f"job did not finish within {max_events} events; "
+                    "likely a livelock (check replica reachability settings)"
+                )
+
+
+def build_cluster(
+    hosts: Sequence[HostAvailability],
+    config: ClusterConfig,
+    traces: Optional[Sequence[AvailabilityTrace]] = None,
+    default_gamma: float = 12.0,
+) -> Cluster:
+    """Assemble a cluster for the given host population.
+
+    ``traces``, when given, must parallel ``hosts`` (same ids) and the
+    failure injector replays them instead of sampling each host's
+    interruption process live. Replay gives byte-identical failure
+    realisations across arbitrary configuration changes; live sampling is
+    already identical across *placement-policy* changes because each
+    node's stream is keyed by (seed, node id) alone.
+    """
+    if not hosts:
+        raise ValueError("need at least one host")
+    ids = [h.host_id for h in hosts]
+    if len(set(ids)) != len(ids):
+        raise ValueError("host ids must be unique")
+
+    sim = Simulator()
+    rng = RandomSource(config.seed)
+    network = Network(
+        sim,
+        uplink_bps=config.uplink_bps,
+        downlink_bps=config.downlink_bps,
+        fair_sharing=config.fair_sharing,
+    )
+    predictor = PerformancePredictor(
+        prior_mtbi=config.prior_mtbi,
+        prior_recovery=config.prior_recovery,
+        prior_weight=config.prior_weight,
+    )
+    namenode = NameNode(
+        predictor, placement_liveness_filter=config.placement_liveness_filter
+    )
+    metrics = MapPhaseMetrics()
+    injector = FailureInjector(sim, rng)
+
+    datanodes: Dict[str, DataNode] = {}
+    trackers: Dict[str, TaskTracker] = {}
+    for host in hosts:
+        datanode = DataNode(host.host_id)
+        namenode.register_datanode(datanode)
+        datanodes[host.host_id] = datanode
+        trackers[host.host_id] = TaskTracker(
+            sim, host.host_id, network, metrics, slots=config.slots_per_node
+        )
+        if config.oracle_estimates:
+            predictor.pin_oracle(
+                host.host_id,
+                AvailabilityEstimate(
+                    arrival_rate=host.arrival_rate,
+                    recovery_mean=host.service_mean,
+                    observations=1,
+                ),
+            )
+
+    speculation = SpeculationPolicy(
+        enabled=config.speculation_enabled,
+        slowdown=config.speculation_slowdown,
+        max_per_task=config.max_speculative_per_task,
+        nominal_fetch_seconds=config.nominal_fetch_seconds(),
+    )
+    jobtracker = JobTracker(
+        sim,
+        namenode,
+        network,
+        trackers,
+        metrics,
+        access_during_downtime=config.access_during_downtime,
+        speculation=speculation,
+        sweep_interval=config.sweep_interval,
+    )
+    for tracker in trackers.values():
+        tracker.bind(jobtracker)
+
+    heartbeats: Optional[HeartbeatService] = None
+    if config.detection == "heartbeat":
+        heartbeats = HeartbeatService(
+            sim,
+            namenode,
+            interval=config.heartbeat_interval,
+            miss_threshold=config.heartbeat_miss_threshold,
+        )
+        heartbeats.subscribe(on_dead=jobtracker.on_node_dead)
+        for host in hosts:
+            heartbeats.track(host.host_id)
+
+    # -- transition wiring (order matters; see module docstring) -----------------
+    injector.subscribe(on_down=jobtracker.on_node_down_physical)
+    injector.subscribe(on_down=lambda node_id, t: datanodes[node_id].set_up(False))
+    injector.subscribe(on_down=lambda node_id, t: trackers[node_id].on_node_down(t))
+    if not config.access_during_downtime:
+        injector.subscribe(on_down=lambda node_id, t: network.cancel_involving(node_id))
+    if heartbeats is not None:
+        injector.subscribe(on_down=heartbeats.node_down)
+    else:
+        def oracle_down(node_id: str, t: float) -> None:
+            namenode.mark_dead(node_id)
+            jobtracker.on_node_dead(node_id, t)
+
+        injector.subscribe(on_down=oracle_down)
+
+    injector.subscribe(on_up=jobtracker.on_node_up_physical)
+    injector.subscribe(on_up=lambda node_id, t: datanodes[node_id].set_up(True))
+    if heartbeats is not None:
+        injector.subscribe(on_up=heartbeats.node_up)
+    else:
+        injector.subscribe(on_up=lambda node_id, t: namenode.mark_alive(node_id))
+    injector.subscribe(on_up=lambda node_id, t: trackers[node_id].on_node_up(t))
+
+    if traces is not None:
+        trace_ids = [trace.host_id for trace in traces]
+        if trace_ids != ids:
+            raise ValueError("traces must parallel hosts (same ids, same order)")
+        for trace in traces:
+            injector.attach_trace(trace)
+    else:
+        for host in hosts:
+            injector.attach_host(host, burn_in=config.stationary_burn_in)
+
+    client = DfsClient(
+        namenode,
+        rng.substream("client"),
+        default_block_size=config.block_size_bytes,
+        default_gamma=default_gamma,
+    )
+    return Cluster(
+        config=config,
+        hosts=hosts,
+        sim=sim,
+        rng=rng,
+        network=network,
+        injector=injector,
+        namenode=namenode,
+        trackers=trackers,
+        metrics=metrics,
+        jobtracker=jobtracker,
+        heartbeats=heartbeats,
+        client=client,
+    )

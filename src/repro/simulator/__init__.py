@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates ADAPT twice: on an emulated non-dedicated environment
+(Magellan VMs with injected interruptions and traffic-shaped NICs) and with
+"a discrete event simulator ... with mechanism analogous to that of Hadoop"
+(Section V.C). This package is that simulator's foundation:
+
+* :mod:`repro.simulator.engine` — the event loop (deterministic heap).
+* :mod:`repro.simulator.network` — flow-level transfers with per-node
+  uplink/downlink capacities and max-min fair sharing.
+* :mod:`repro.simulator.failures` — node up/down driven by interruption
+  processes or replayed traces.
+* :mod:`repro.simulator.metrics` — the rework/recovery/migration/misc
+  overhead decomposition of Figure 5.
+"""
+
+from repro.simulator.engine import EventHandle, Simulator
+from repro.simulator.failures import FailureInjector
+from repro.simulator.metrics import MapPhaseMetrics, OverheadBreakdown
+from repro.simulator.network import Network, Transfer, TransferState
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Network",
+    "Transfer",
+    "TransferState",
+    "FailureInjector",
+    "MapPhaseMetrics",
+    "OverheadBreakdown",
+]

@@ -1,0 +1,152 @@
+"""The discrete-event engine.
+
+A minimal, fast event loop: events are ``(time, sequence, action)`` triples
+in a binary heap. The sequence number breaks time ties in scheduling order,
+which makes every simulation a deterministic function of its root seed —
+a property the reproducibility tests assert end-to-end.
+
+Cancellation is lazy (a cancelled handle stays in the heap and is skipped
+when popped), which keeps both ``schedule`` and ``cancel`` O(log n) / O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, List, Optional, Tuple
+
+
+class EventHandle:
+    """A scheduled event; call :meth:`cancel` to revoke it."""
+
+    __slots__ = ("time", "action", "label", "_cancelled")
+
+    def __init__(self, time: float, action: Callable[[], None], label: str) -> None:
+        self.time = time
+        self.action: Optional[Callable[[], None]] = action
+        self.label = label
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Revoke the event; a no-op if it already fired."""
+        self._cancelled = True
+        self.action = None  # release the closure promptly
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "pending"
+        return f"EventHandle(t={self.time:g}, label={self.label!r}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self._events_fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Events still in the heap (including lazily-cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, action, label)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``action`` at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} before now ({self._now})")
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time}")
+        handle = EventHandle(time, action, label)
+        heapq.heappush(self._heap, (time, next(self._sequence), handle))
+        return handle
+
+    def step(self) -> bool:
+        """Execute the next event. Returns False when the heap is empty."""
+        while self._heap:
+            time, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            action = handle.action
+            handle.cancel()  # mark consumed; also drops the closure ref
+            self._events_fired += 1
+            assert action is not None
+            action()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events until the heap drains, ``until`` passes, or the budget ends.
+
+        Returns the number of events executed by this call. Events scheduled
+        exactly at ``until`` still run; the clock never advances past the
+        last executed event.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running (re-entrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if self.step():
+                    executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def _peek_time(self) -> Optional[float]:
+        """Time of the next live event, discarding cancelled heads."""
+        while self._heap:
+            time, _seq, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self._now:g}, pending={len(self._heap)})"

@@ -1,0 +1,165 @@
+"""Failure injection: drives per-node up/down state during a simulation.
+
+Each attached node is either driven by a lazy
+:class:`~repro.availability.process.InterruptionProcess` (the emulation
+mode — interruptions drawn live from the Table 2 distributions) or by a
+pre-materialised :class:`~repro.availability.traces.AvailabilityTrace`
+(the large-scale mode — replaying SETI@home-style traces).
+
+Subscribers (cluster nodes, the heartbeat service, the network) receive
+``on_down(node_id, time)`` / ``on_up(node_id, time)`` callbacks in
+subscription order, at the exact simulated instant of the transition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.availability.generator import HostAvailability
+from repro.availability.process import DowntimeEpisode, InterruptionProcess
+from repro.availability.traces import AvailabilityTrace
+from repro.simulator.engine import Simulator
+from repro.util.rng import RandomSource
+
+DownListener = Callable[[str, float], None]
+UpListener = Callable[[str, float], None]
+
+
+class FailureInjector:
+    """Schedules downtime episodes and notifies subscribers."""
+
+    def __init__(self, sim: Simulator, rng: RandomSource) -> None:
+        self._sim = sim
+        self._rng = rng
+        self._down_listeners: List[DownListener] = []
+        self._up_listeners: List[UpListener] = []
+        self._episode_streams: Dict[str, Iterator[DowntimeEpisode]] = {}
+        self._is_down: Dict[str, bool] = {}
+        self._episode_counts: Dict[str, int] = {}
+        self._downtime_totals: Dict[str, float] = {}
+
+    # -- subscriptions -----------------------------------------------------------
+
+    def subscribe(
+        self,
+        on_down: Optional[DownListener] = None,
+        on_up: Optional[UpListener] = None,
+    ) -> None:
+        """Register transition callbacks."""
+        if on_down is not None:
+            self._down_listeners.append(on_down)
+        if on_up is not None:
+            self._up_listeners.append(on_up)
+
+    # -- attachment ---------------------------------------------------------------
+
+    def attach_host(self, host: HostAvailability, burn_in: float = 0.0) -> None:
+        """Drive a node from its availability description.
+
+        Dedicated hosts are registered but never interrupted.
+
+        ``burn_in`` shifts the interruption process ``burn_in`` seconds into
+        its own past, so the simulation window starts in (approximately)
+        stationary state — like cutting a random window out of a long trace:
+        a host may already be down at t=0, with the correct residual
+        downtime. A burn-in of several population MTBIs is enough; 0 keeps
+        the legacy fresh start.
+        """
+        node_id = host.host_id
+        if node_id in self._is_down:
+            raise ValueError(f"node {node_id!r} already attached")
+        if burn_in < 0:
+            raise ValueError(f"burn_in must be non-negative, got {burn_in}")
+        self._is_down[node_id] = False
+        self._episode_counts[node_id] = 0
+        self._downtime_totals[node_id] = 0.0
+        process = host.process(self._rng.substream("failures", node_id))
+        if process is None:
+            return
+        raw = process.episodes(float("inf"))
+        if burn_in > 0.0:
+            stream: Iterator[DowntimeEpisode] = self._shift_stream(raw, burn_in)
+        else:
+            stream = raw
+        self._episode_streams[node_id] = stream
+        self._schedule_next(node_id)
+
+    @staticmethod
+    def _shift_stream(
+        episodes: Iterator[DowntimeEpisode], burn_in: float
+    ) -> Iterator[DowntimeEpisode]:
+        """Shift episodes ``burn_in`` seconds earlier, clipping at t=0."""
+        for episode in episodes:
+            end = episode.end - burn_in
+            if end <= 0.0:
+                continue
+            start = max(episode.start - burn_in, 0.0)
+            yield DowntimeEpisode(
+                start=start, end=end, interruption_count=episode.interruption_count
+            )
+
+    def attach_trace(self, trace: AvailabilityTrace) -> None:
+        """Drive a node by replaying a materialised trace."""
+        node_id = trace.host_id
+        if node_id in self._is_down:
+            raise ValueError(f"node {node_id!r} already attached")
+        self._is_down[node_id] = False
+        self._episode_counts[node_id] = 0
+        self._downtime_totals[node_id] = 0.0
+        episodes = (
+            DowntimeEpisode(start=start, end=end, interruption_count=1)
+            for start, end in trace.down_windows
+        )
+        self._episode_streams[node_id] = episodes
+        self._schedule_next(node_id)
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def node_ids(self) -> List[str]:
+        return sorted(self._is_down)
+
+    def is_down(self, node_id: str) -> bool:
+        """Current state of a node."""
+        return self._is_down[node_id]
+
+    def episode_count(self, node_id: str) -> int:
+        """Downtime episodes this node has *started* so far."""
+        return self._episode_counts[node_id]
+
+    def downtime_total(self, node_id: str) -> float:
+        """Seconds of completed downtime so far."""
+        return self._downtime_totals[node_id]
+
+    # -- internals --------------------------------------------------------------------
+
+    def _schedule_next(self, node_id: str) -> None:
+        stream = self._episode_streams.get(node_id)
+        if stream is None:
+            return
+        episode = next(stream, None)
+        if episode is None:
+            return
+        start = max(episode.start, self._sim.now)
+        self._sim.schedule_at(
+            start, lambda: self._begin_episode(node_id, episode), label=f"down:{node_id}"
+        )
+
+    def _begin_episode(self, node_id: str, episode: DowntimeEpisode) -> None:
+        self._is_down[node_id] = True
+        self._episode_counts[node_id] += 1
+        now = self._sim.now
+        for listener in self._down_listeners:
+            listener(node_id, now)
+        end = max(episode.end, now)
+        self._sim.schedule_at(
+            end, lambda: self._end_episode(node_id, episode), label=f"up:{node_id}"
+        )
+
+    def _end_episode(self, node_id: str, episode: DowntimeEpisode) -> None:
+        self._is_down[node_id] = False
+        self._downtime_totals[node_id] += episode.duration
+        now = self._sim.now
+        for listener in self._up_listeners:
+            listener(node_id, now)
+        self._schedule_next(node_id)

@@ -1,0 +1,178 @@
+"""Overhead accounting for the map phase (Figure 5's decomposition).
+
+The paper measures, besides elapsed time and data locality, the overhead of
+each cost component relative to the application's aggregate failure-free
+execution time (Section V.C):
+
+* **rework** — partial task executions lost to interruptions;
+* **recovery** — slot time lost while an interrupted node is down during
+  the map phase;
+* **migration** — network time spent streaming blocks to remote tasks;
+* **misc** — everything else: scheduling delay, duplicated straggler
+  (speculative) executions, and idle slot time at the end of the phase.
+
+:class:`MapPhaseMetrics` collects raw quantities during a run;
+:meth:`MapPhaseMetrics.breakdown` converts them into the paper's overhead
+ratios. The slot-time conservation law
+
+    slots * makespan = base + rework + recovery + migration
+                       + duplicate + idle (+ rounding)
+
+is exposed via :meth:`OverheadBreakdown.conservation_residual` and
+property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.util.validation import check_non_negative
+
+
+@dataclass
+class MapPhaseMetrics:
+    """Mutable accumulator used by the JobTracker / TaskTrackers."""
+
+    #: Aggregate failure-free execution time of all distinct tasks (m * gamma).
+    base_work: float = 0.0
+    #: Partial execution time lost in failed attempts.
+    rework_time: float = 0.0
+    #: Node downtime overlapping the map phase (slot unavailable).
+    recovery_time: float = 0.0
+    #: Transfer wall-time for remote reads (including cancelled partials).
+    migration_time: float = 0.0
+    #: Execution time burnt by speculative attempts that lost the race.
+    duplicate_time: float = 0.0
+    #: Up-slot time with no attempt assigned.
+    idle_time: float = 0.0
+    #: Useful (winning) execution time actually spent; equals base_work
+    #: unless task lengths vary between attempts.
+    useful_time: float = 0.0
+
+    local_tasks: int = 0
+    remote_tasks: int = 0
+    failed_attempts: int = 0
+    speculative_attempts: int = 0
+    migrations: int = 0
+
+    def add_base(self, gamma: float) -> None:
+        self.base_work += check_non_negative("gamma", gamma)
+
+    def add_rework(self, seconds: float) -> None:
+        self.rework_time += check_non_negative("seconds", seconds)
+        self.failed_attempts += 1
+
+    def add_recovery(self, seconds: float) -> None:
+        self.recovery_time += check_non_negative("seconds", seconds)
+
+    def add_migration(self, seconds: float) -> None:
+        self.migration_time += check_non_negative("seconds", seconds)
+        self.migrations += 1
+
+    def add_duplicate(self, seconds: float) -> None:
+        self.duplicate_time += check_non_negative("seconds", seconds)
+
+    def add_idle(self, seconds: float) -> None:
+        self.idle_time += check_non_negative("seconds", seconds)
+
+    def add_useful(self, seconds: float) -> None:
+        self.useful_time += check_non_negative("seconds", seconds)
+
+    def record_completion(self, local: bool) -> None:
+        if local:
+            self.local_tasks += 1
+        else:
+            self.remote_tasks += 1
+
+    @property
+    def total_tasks(self) -> int:
+        return self.local_tasks + self.remote_tasks
+
+    @property
+    def data_locality(self) -> float:
+        """Ratio of local tasks to all tasks (the paper's locality metric)."""
+        total = self.total_tasks
+        if total == 0:
+            raise ValueError("no tasks completed; locality undefined")
+        return self.local_tasks / total
+
+    def breakdown(self, makespan: float, slots: int) -> "OverheadBreakdown":
+        """Convert raw sums into the Figure 5 overhead ratios."""
+        check_non_negative("makespan", makespan)
+        if slots <= 0:
+            raise ValueError(f"slots must be positive, got {slots}")
+        if self.base_work <= 0:
+            raise ValueError("base work is zero; did any task run?")
+        return OverheadBreakdown(
+            base_work=self.base_work,
+            makespan=makespan,
+            slot_time=makespan * slots,
+            rework=self.rework_time,
+            recovery=self.recovery_time,
+            migration=self.migration_time,
+            duplicate=self.duplicate_time,
+            idle=self.idle_time,
+            useful=self.useful_time,
+            data_locality=self.data_locality,
+        )
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Immutable overhead report for one finished map phase."""
+
+    base_work: float
+    makespan: float
+    slot_time: float
+    rework: float
+    recovery: float
+    migration: float
+    duplicate: float
+    idle: float
+    useful: float
+    data_locality: float
+
+    @property
+    def misc(self) -> float:
+        """Misc overhead: duplicate speculation + idle + scheduling slack.
+
+        Derived as the slot-time remainder so the conservation law holds by
+        construction; clamped at zero against float residue.
+        """
+        remainder = (
+            self.slot_time - self.useful - self.rework - self.recovery - self.migration
+        )
+        return max(remainder, 0.0)
+
+    @property
+    def total_overhead(self) -> float:
+        """Everything that was not useful failure-free work."""
+        return self.rework + self.recovery + self.migration + self.misc
+
+    def ratios(self) -> Dict[str, float]:
+        """Per-component overhead ratios relative to base work (Figure 5)."""
+        base = self.base_work
+        return {
+            "rework": self.rework / base,
+            "recovery": self.recovery / base,
+            "migration": self.migration / base,
+            "misc": self.misc / base,
+            "total": self.total_overhead / base,
+        }
+
+    def conservation_residual(self) -> float:
+        """slot_time - (useful + rework + recovery + migration + duplicate + idle).
+
+        Any residual beyond float noise is time the accounting failed to
+        attribute (it still lands in ``misc``, as scheduling slack).
+        """
+        accounted = (
+            self.useful
+            + self.rework
+            + self.recovery
+            + self.migration
+            + self.duplicate
+            + self.idle
+        )
+        return self.slot_time - accounted

@@ -1,0 +1,331 @@
+"""Flow-level network model with per-node uplink/downlink capacities.
+
+Non-dedicated environments have asymmetric broadband links (Section I: the
+uplink of a typical Internet host is far slower than its downlink), and the
+paper's emulation caps per-VM bandwidth between 4 and 32 Mb/s. We model a
+transfer as a fluid flow from a source node to a destination node; a flow's
+instantaneous rate is limited by the source's uplink and the destination's
+downlink, with concurrent flows sharing links **max-min fairly**
+(progressive filling). Rates are recomputed at every flow arrival,
+completion or cancellation — the standard flow-level approximation of TCP
+fair sharing.
+
+``fair_sharing=False`` selects a cheaper model where each transfer runs at
+``min(uplink, downlink)`` with no contention; the large-scale simulations
+(Section V.C, up to 16384 nodes) use it for speed, matching the paper's own
+simulator granularity.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.simulator.engine import EventHandle, Simulator
+from repro.util.validation import check_positive
+
+#: Remaining-bytes tolerance under which a transfer counts as finished.
+_DONE_EPSILON = 0.5
+
+
+class TransferState(enum.Enum):
+    """Life cycle of a transfer."""
+
+    ACTIVE = "active"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+
+
+class Transfer:
+    """One data movement between two nodes."""
+
+    __slots__ = (
+        "transfer_id",
+        "source",
+        "destination",
+        "size",
+        "remaining",
+        "rate",
+        "started_at",
+        "finished_at",
+        "state",
+        "label",
+        "on_complete",
+        "on_cancel",
+        "_event",
+    )
+
+    def __init__(
+        self,
+        transfer_id: int,
+        source: str,
+        destination: str,
+        size: float,
+        started_at: float,
+        label: str,
+        on_complete: Callable[["Transfer"], None],
+        on_cancel: Optional[Callable[["Transfer"], None]],
+    ) -> None:
+        self.transfer_id = transfer_id
+        self.source = source
+        self.destination = destination
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.started_at = started_at
+        self.finished_at: Optional[float] = None
+        self.state = TransferState.ACTIVE
+        self.label = label
+        self.on_complete = on_complete
+        self.on_cancel = on_cancel
+        self._event: Optional[EventHandle] = None
+
+    @property
+    def transferred(self) -> float:
+        """Bytes moved so far."""
+        return self.size - self.remaining
+
+    @property
+    def duration(self) -> float:
+        """Wall time the transfer occupied the network (terminal states only)."""
+        if self.finished_at is None:
+            raise ValueError("transfer has not finished yet")
+        return self.finished_at - self.started_at
+
+    def __repr__(self) -> str:
+        return (
+            f"Transfer(#{self.transfer_id} {self.source}->{self.destination} "
+            f"{self.size:.0f}B, {self.state.value})"
+        )
+
+
+class Network:
+    """Shared network connecting every node in the cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        uplink_bps: float,
+        downlink_bps: Optional[float] = None,
+        fair_sharing: bool = True,
+    ) -> None:
+        self._sim = sim
+        self._default_up = check_positive("uplink_bps", uplink_bps)
+        self._default_down = (
+            check_positive("downlink_bps", downlink_bps)
+            if downlink_bps is not None
+            else self._default_up
+        )
+        self._fair = fair_sharing
+        self._uplinks: Dict[str, float] = {}
+        self._downlinks: Dict[str, float] = {}
+        self._active: Set[Transfer] = set()
+        self._outgoing: Dict[str, int] = defaultdict(int)
+        self._ids = itertools.count()
+        self._last_update = sim.now
+        self._sweep: Optional[EventHandle] = None
+
+    # -- configuration ----------------------------------------------------------
+
+    def set_link(
+        self,
+        node_id: str,
+        uplink_bps: Optional[float] = None,
+        downlink_bps: Optional[float] = None,
+    ) -> None:
+        """Override one node's link capacities."""
+        if uplink_bps is not None:
+            self._uplinks[node_id] = check_positive("uplink_bps", uplink_bps)
+        if downlink_bps is not None:
+            self._downlinks[node_id] = check_positive("downlink_bps", downlink_bps)
+
+    def uplink(self, node_id: str) -> float:
+        """The node's uplink capacity in bytes/second."""
+        return self._uplinks.get(node_id, self._default_up)
+
+    def downlink(self, node_id: str) -> float:
+        """The node's downlink capacity in bytes/second."""
+        return self._downlinks.get(node_id, self._default_down)
+
+    @property
+    def active_transfers(self) -> List[Transfer]:
+        return list(self._active)
+
+    def outgoing_count(self, node_id: str) -> int:
+        """Active transfers currently streaming *from* this node."""
+        return self._outgoing.get(node_id, 0)
+
+    # -- transfer control ---------------------------------------------------------
+
+    def start_transfer(
+        self,
+        source: str,
+        destination: str,
+        size_bytes: float,
+        on_complete: Callable[[Transfer], None],
+        on_cancel: Optional[Callable[[Transfer], None]] = None,
+        label: str = "",
+    ) -> Transfer:
+        """Begin moving ``size_bytes`` from ``source`` to ``destination``.
+
+        ``on_complete(transfer)`` fires at completion time; ``on_cancel``
+        fires if the transfer is torn down (e.g. an endpoint was
+        interrupted). Zero-sized transfers complete via an immediate event.
+        """
+        if source == destination:
+            raise ValueError("source and destination must differ (local reads are free)")
+        if size_bytes < 0:
+            raise ValueError(f"size must be non-negative, got {size_bytes}")
+        transfer = Transfer(
+            transfer_id=next(self._ids),
+            source=source,
+            destination=destination,
+            size=size_bytes,
+            started_at=self._sim.now,
+            label=label,
+            on_complete=on_complete,
+            on_cancel=on_cancel,
+        )
+        self._outgoing[source] += 1
+        if self._fair:
+            self._advance()
+            self._active.add(transfer)
+            self._reallocate_and_reschedule()
+        else:
+            self._active.add(transfer)
+            transfer.rate = min(self.uplink(source), self.downlink(destination))
+            eta = transfer.remaining / transfer.rate if transfer.remaining > 0 else 0.0
+            transfer._event = self._sim.schedule(
+                eta, lambda: self._complete_simple(transfer), label=f"xfer-{transfer.transfer_id}"
+            )
+        return transfer
+
+    def cancel(self, transfer: Transfer) -> None:
+        """Tear down an active transfer (idempotent for terminal ones)."""
+        if transfer.state is not TransferState.ACTIVE:
+            return
+        if self._fair:
+            self._advance()
+            self._active.discard(transfer)
+            self._finalize(transfer, TransferState.CANCELLED)
+            self._reallocate_and_reschedule()
+        else:
+            if transfer._event is not None:
+                transfer._event.cancel()
+            # Record partial progress for accounting.
+            elapsed = self._sim.now - transfer.started_at
+            transfer.remaining = max(transfer.remaining - transfer.rate * elapsed, 0.0)
+            self._active.discard(transfer)
+            self._finalize(transfer, TransferState.CANCELLED)
+
+    def cancel_involving(self, node_id: str) -> List[Transfer]:
+        """Cancel every active transfer touching ``node_id`` (node went down)."""
+        doomed = [
+            t for t in self._active if t.source == node_id or t.destination == node_id
+        ]
+        for transfer in doomed:
+            self.cancel(transfer)
+        return doomed
+
+    # -- internals: simple mode ----------------------------------------------------
+
+    def _complete_simple(self, transfer: Transfer) -> None:
+        if transfer.state is not TransferState.ACTIVE:
+            return
+        transfer.remaining = 0.0
+        self._active.discard(transfer)
+        self._finalize(transfer, TransferState.COMPLETED)
+
+    # -- internals: fair-sharing mode ------------------------------------------------
+
+    def _advance(self) -> None:
+        """Drain bytes for the time elapsed since the last rate change."""
+        now = self._sim.now
+        dt = now - self._last_update
+        if dt > 0:
+            for transfer in self._active:
+                transfer.remaining = max(transfer.remaining - transfer.rate * dt, 0.0)
+        self._last_update = now
+
+    def _reallocate_and_reschedule(self) -> None:
+        self._allocate_rates()
+        if self._sweep is not None:
+            self._sweep.cancel()
+            self._sweep = None
+        # Complete anything already drained before looking for the next ETA.
+        finished = [t for t in self._active if t.remaining <= _DONE_EPSILON]
+        for transfer in finished:
+            self._active.discard(transfer)
+            transfer.remaining = 0.0
+            self._finalize(transfer, TransferState.COMPLETED)
+        if finished:
+            self._allocate_rates()
+        eta = None
+        for transfer in self._active:
+            if transfer.rate > 0:
+                candidate = transfer.remaining / transfer.rate
+                if eta is None or candidate < eta:
+                    eta = candidate
+        if eta is not None:
+            self._sweep = self._sim.schedule(eta, self._on_sweep, label="net-sweep")
+
+    def _on_sweep(self) -> None:
+        self._sweep = None
+        self._advance()
+        self._reallocate_and_reschedule()
+
+    def _allocate_rates(self) -> None:
+        """Max-min fair (progressive-filling) rate allocation."""
+        if not self._active:
+            return
+        capacity: Dict[Tuple[str, str], float] = {}
+        members: Dict[Tuple[str, str], Set[Transfer]] = defaultdict(set)
+        for transfer in self._active:
+            up = ("up", transfer.source)
+            down = ("down", transfer.destination)
+            capacity.setdefault(up, self.uplink(transfer.source))
+            capacity.setdefault(down, self.downlink(transfer.destination))
+            members[up].add(transfer)
+            members[down].add(transfer)
+
+        unfixed: Set[Transfer] = set(self._active)
+        rates: Dict[Transfer, float] = {}
+        while unfixed:
+            # The bottleneck link is the one with the smallest fair share.
+            bottleneck = None
+            bottleneck_share = None
+            for link, users in members.items():
+                live = users & unfixed
+                if not live:
+                    continue
+                share = max(capacity[link], 0.0) / len(live)
+                if bottleneck_share is None or share < bottleneck_share:
+                    bottleneck_share = share
+                    bottleneck = link
+            if bottleneck is None:
+                break
+            assert bottleneck_share is not None
+            for transfer in list(members[bottleneck] & unfixed):
+                rates[transfer] = bottleneck_share
+                unfixed.discard(transfer)
+                # Consume this flow's share on its *other* link.
+                up = ("up", transfer.source)
+                down = ("down", transfer.destination)
+                for link in (up, down):
+                    if link != bottleneck:
+                        capacity[link] -= bottleneck_share
+            capacity[bottleneck] = 0.0
+        for transfer in self._active:
+            transfer.rate = max(rates.get(transfer, 0.0), 0.0)
+
+    def _finalize(self, transfer: Transfer, state: TransferState) -> None:
+        transfer.state = state
+        transfer.finished_at = self._sim.now
+        transfer.rate = 0.0
+        self._outgoing[transfer.source] -= 1
+        if state is TransferState.COMPLETED:
+            transfer.on_complete(transfer)
+        elif transfer.on_cancel is not None:
+            transfer.on_cancel(transfer)

@@ -1,0 +1,39 @@
+"""Workload models: per-block failure-free map-task lengths.
+
+The paper benchmarks Terasort (Section V.A) with 64 MB blocks and a
+failure-free task execution time of 12 s per block (Table 4). A workload
+maps a block size to gamma — the failure-free map length — plus metadata
+the shuffle extension uses. Additional workloads (wordcount, grep,
+synthetic) exercise the same machinery at different compute densities.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.grepwl import GrepWorkload
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.terasort import TerasortWorkload
+from repro.workloads.wordcount import WordCountWorkload
+
+__all__ = [
+    "Workload",
+    "TerasortWorkload",
+    "WordCountWorkload",
+    "GrepWorkload",
+    "SyntheticWorkload",
+    "make_workload",
+]
+
+
+def make_workload(name: str, **kwargs: object) -> Workload:
+    """Build a workload by name: terasort, wordcount, grep, synthetic."""
+    registry = {
+        "terasort": TerasortWorkload,
+        "wordcount": WordCountWorkload,
+        "grep": GrepWorkload,
+        "synthetic": SyntheticWorkload,
+    }
+    try:
+        factory = registry[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise ValueError(f"unknown workload {name!r}; known: {known}")
+    return factory(**kwargs)  # type: ignore[arg-type]

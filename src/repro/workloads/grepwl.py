@@ -1,0 +1,23 @@
+"""Distributed grep: a scan-light workload with negligible shuffle.
+
+The classic MapReduce example (Dean & Ghemawat): scan fast, emit almost
+nothing. Short gammas make interruption *detection* and scheduling overhead
+relatively more important — a useful contrast to terasort.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RateBasedWorkload
+
+#: 6.4 s per 64 MB block: I/O-bound scanning.
+GREP_SECONDS_PER_MB = 0.1
+
+
+class GrepWorkload(RateBasedWorkload):
+    """Distributed-grep workload model."""
+
+    name = "grep"
+    map_output_ratio = 0.001
+
+    def __init__(self, seconds_per_mb: float = GREP_SECONDS_PER_MB) -> None:
+        super().__init__(seconds_per_mb)

@@ -1,0 +1,45 @@
+"""Synthetic workload with configurable density and per-task variability.
+
+Real map tasks are not perfectly uniform; this workload draws each task's
+gamma from a lognormal around the rate-based mean, which exercises the
+straggler/speculation machinery even without interruptions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.availability.distributions import Lognormal
+from repro.hdfs.blocks import DfsFile
+from repro.util.rng import RandomSource
+from repro.util.validation import check_non_negative
+from repro.workloads.base import RateBasedWorkload
+
+
+class SyntheticWorkload(RateBasedWorkload):
+    """Rate-based workload with optional lognormal task-length jitter."""
+
+    name = "synthetic"
+    map_output_ratio = 0.5
+
+    def __init__(
+        self,
+        seconds_per_mb: float = 0.1875,
+        gamma_cov: float = 0.0,
+    ) -> None:
+        super().__init__(seconds_per_mb)
+        self._gamma_cov = check_non_negative("gamma_cov", gamma_cov)
+
+    @property
+    def gamma_cov(self) -> float:
+        return self._gamma_cov
+
+    def gammas(self, dfs_file: DfsFile, rng: Optional[RandomSource] = None) -> List[float]:
+        base = [self.gamma_seconds(block.size_bytes) for block in dfs_file.blocks]
+        if self._gamma_cov == 0.0:
+            return base
+        if rng is None:
+            raise ValueError("gamma_cov > 0 requires an rng to draw task jitter")
+        jitter = Lognormal(mean=1.0, cov=self._gamma_cov)
+        stream = rng.substream("gamma-jitter", dfs_file.name)
+        return [g * jitter.sample(stream) for g in base]

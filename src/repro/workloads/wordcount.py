@@ -1,0 +1,23 @@
+"""Wordcount: a compute-denser workload with tiny intermediate output.
+
+Used by the examples to show ADAPT on a second realistic job shape: more
+CPU per byte than terasort, and a shuffle that is a small fraction of the
+input (word histograms compress well).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RateBasedWorkload
+
+#: Roughly 1.6x denser than terasort: 19.2 s per 64 MB block.
+WORDCOUNT_SECONDS_PER_MB = 0.3
+
+
+class WordCountWorkload(RateBasedWorkload):
+    """Wordcount workload model."""
+
+    name = "wordcount"
+    map_output_ratio = 0.05
+
+    def __init__(self, seconds_per_mb: float = WORDCOUNT_SECONDS_PER_MB) -> None:
+        super().__init__(seconds_per_mb)

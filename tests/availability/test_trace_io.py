@@ -1,0 +1,112 @@
+"""Tests for trace file I/O (FTA-style event logs)."""
+
+import io
+
+import pytest
+
+from repro.availability.trace_io import parse_traces, read_traces, write_traces
+from repro.availability.traces import AvailabilityTrace
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        traces = [
+            AvailabilityTrace("h0", 100.0, [(10.0, 20.0), (50.0, 55.0)]),
+            AvailabilityTrace("h1", 100.0, [(3.5, 4.25)]),
+            AvailabilityTrace("h2", 100.0, []),
+        ]
+        path = tmp_path / "traces.tsv"
+        events = write_traces(traces, path)
+        assert events == 3
+        loaded = read_traces(path, host_ids=["h0", "h1", "h2"])
+        assert [t.host_id for t in loaded] == ["h0", "h1", "h2"]
+        for original, restored in zip(traces, loaded):
+            assert restored.horizon == original.horizon
+            assert restored.down_windows == original.down_windows
+
+    def test_write_requires_consistent_horizon(self, tmp_path):
+        traces = [
+            AvailabilityTrace("a", 100.0, ()),
+            AvailabilityTrace("b", 50.0, ()),
+        ]
+        with pytest.raises(ValueError, match="horizon"):
+            write_traces(traces, tmp_path / "x.tsv")
+
+    def test_write_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_traces([], tmp_path / "x.tsv")
+
+
+class TestParsing:
+    def test_basic(self):
+        text = "# host_id\tstart\tend\nh0\t5.0\t8.0\nh0\t20.0\t21.0\n"
+        traces = parse_traces(io.StringIO(text), horizon=100.0)
+        assert len(traces) == 1
+        assert traces[0].down_windows == [(5.0, 8.0), (20.0, 21.0)]
+
+    def test_unordered_and_overlapping_events_merged(self):
+        # Trace archives often hold overlapping intervals from multiple
+        # monitors; they must merge into clean windows.
+        text = "h\t30.0\t40.0\nh\t5.0\t10.0\nh\t35.0\t50.0\nh\t10.0\t12.0\n"
+        traces = parse_traces(io.StringIO(text), horizon=100.0)
+        assert traces[0].down_windows == [(5.0, 12.0), (30.0, 50.0)]
+
+    def test_horizon_from_header(self):
+        text = "# horizon\t500.0\nh\t5.0\t8.0\n"
+        traces = parse_traces(io.StringIO(text))
+        assert traces[0].horizon == 500.0
+
+    def test_horizon_fallback_covers_events(self):
+        text = "h\t5.0\t80.0\n"
+        traces = parse_traces(io.StringIO(text))
+        assert traces[0].horizon == 80.0
+
+    def test_explicit_horizon_clips(self):
+        text = "h\t5.0\t80.0\n"
+        traces = parse_traces(io.StringIO(text), horizon=50.0)
+        assert traces[0].down_windows == [(5.0, 50.0)]
+
+    def test_host_ids_adds_silent_hosts(self):
+        text = "# horizon\t100.0\nh0\t5.0\t8.0\n"
+        traces = parse_traces(io.StringIO(text), host_ids=["h0", "quiet"])
+        assert [t.host_id for t in traces] == ["h0", "quiet"]
+        assert traces[1].interruption_count() == 0
+
+    def test_bad_lines_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            parse_traces(io.StringIO("h\t1.0\n"), horizon=10.0)
+        with pytest.raises(ValueError, match="inverted"):
+            parse_traces(io.StringIO("h\t5.0\t5.0\n"), horizon=10.0)
+        with pytest.raises(ValueError, match="negative"):
+            parse_traces(io.StringIO("h\t-1.0\t5.0\n"), horizon=10.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="nothing to build"):
+            parse_traces(io.StringIO(""))
+
+
+class TestSimulatorIntegration:
+    def test_loaded_traces_drive_a_cluster(self, tmp_path):
+        from repro.availability.generator import HostAvailability
+        from repro.core.placement import RandomPlacement
+        from repro.mapreduce.job import JobConf, MapJob
+        from repro.runtime.cluster import ClusterConfig, build_cluster
+
+        path = tmp_path / "t.tsv"
+        write_traces(
+            [
+                AvailabilityTrace("n0", 1e6, [(15.0, 30.0)]),
+                AvailabilityTrace("n1", 1e6, []),
+            ],
+            path,
+        )
+        traces = read_traces(path, host_ids=["n0", "n1"])
+        hosts = [HostAvailability(host_id=t.host_id) for t in traces]
+        cluster = build_cluster(hosts, ClusterConfig(seed=1), traces=traces)
+        f = cluster.client.copy_from_local(
+            "in", num_blocks=4, policy=RandomPlacement(), gamma=10.0
+        )
+        job = MapJob.uniform(JobConf(), f, 10.0)
+        cluster.jobtracker.submit(job)
+        cluster.run_until_job_done()
+        assert job.is_complete

@@ -1,0 +1,147 @@
+"""Tests for Algorithm 1's weighted hash table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashtable import WeightedHashTable
+from repro.util.rng import RandomSource
+
+
+def table(rates, slots=100, weighting="rate"):
+    ids = [f"n{i}" for i in range(len(rates))]
+    return WeightedHashTable(ids, rates, slots, chain_weighting=weighting)
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = table([1.0, 1.0], slots=10)
+        assert t.num_slots == 10
+        assert t.rate("n0") == pytest.approx(0.5)
+        assert t.expected_blocks("n0") == pytest.approx(5.0)
+
+    def test_rates_normalised(self):
+        t = table([2.0, 6.0])
+        assert t.rate("n0") == pytest.approx(0.25)
+        assert t.rate("n1") == pytest.approx(0.75)
+
+    def test_every_slot_covered(self):
+        t = table([1.0, 2.0, 3.0, 0.5], slots=37)
+        for slot in range(37):
+            assert len(t.chain(slot)) >= 1
+
+    def test_zero_rate_node_gets_no_slots(self):
+        t = table([1.0, 0.0, 1.0], slots=20)
+        probs = t.selection_probabilities()
+        assert probs["n1"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            table([])
+        with pytest.raises(ValueError):
+            WeightedHashTable(["a"], [1.0, 2.0], 10)
+        with pytest.raises(ValueError):
+            table([1.0], slots=0)
+        with pytest.raises(ValueError):
+            table([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            table([0.0, 0.0])
+        with pytest.raises(ValueError):
+            table([1.0], weighting="magic")
+
+    def test_from_expected_times(self):
+        # Rates must be proportional to 1/E[T].
+        t = WeightedHashTable.from_expected_times(["a", "b"], [10.0, 40.0], 100)
+        assert t.rate("a") == pytest.approx(0.8)
+        assert t.rate("b") == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            WeightedHashTable.from_expected_times(["a"], [0.0], 10)
+
+    def test_chain_structure(self):
+        # With 2 equal nodes over 10 slots, only the boundary slot at 5 can
+        # hold both.
+        t = table([1.0, 1.0], slots=10)
+        assert t.max_chain_length() <= 2
+        assert t.chain(0) == ["n0"]
+        assert t.chain(9) == ["n1"]
+
+
+class TestSelectionProbabilities:
+    def test_overlap_weighting_exact(self):
+        t = table([3.0, 1.0, 2.0], slots=50, weighting="overlap")
+        probs = t.selection_probabilities()
+        assert probs["n0"] == pytest.approx(0.5, abs=1e-9)
+        assert probs["n1"] == pytest.approx(1.0 / 6.0, abs=1e-9)
+        assert probs["n2"] == pytest.approx(1.0 / 3.0, abs=1e-9)
+
+    def test_rate_weighting_close(self):
+        # The paper-literal chain weighting is approximately proportional.
+        t = table([3.0, 1.0, 2.0], slots=60, weighting="rate")
+        probs = t.selection_probabilities()
+        assert probs["n0"] == pytest.approx(0.5, abs=0.02)
+
+    def test_probabilities_sum_to_one(self):
+        t = table([5.0, 1.0, 0.1, 2.2], slots=97)
+        assert sum(t.selection_probabilities().values()) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=100)
+    def test_overlap_probabilities_proportional(self, rates, slots):
+        t = table(rates, slots=slots, weighting="overlap")
+        probs = t.selection_probabilities()
+        total = sum(rates)
+        for i, rate in enumerate(rates):
+            assert probs[f"n{i}"] == pytest.approx(rate / total, abs=1e-6)
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=100)
+    def test_rate_probabilities_sum_to_one(self, rates, slots):
+        t = table(rates, slots=slots, weighting="rate")
+        assert sum(t.selection_probabilities().values()) == pytest.approx(1.0)
+
+
+class TestPlacement:
+    def test_place_returns_known_nodes(self):
+        t = table([1.0, 2.0, 3.0])
+        rng = RandomSource(5)
+        for _ in range(50):
+            assert t.place(rng) in {"n0", "n1", "n2"}
+
+    def test_empirical_distribution_matches(self):
+        t = table([1.0, 3.0], slots=200)
+        rng = RandomSource(11)
+        picks = t.place_many(rng, 8000)
+        share = picks.count("n1") / len(picks)
+        assert share == pytest.approx(0.75, abs=0.03)
+
+    def test_deterministic_with_seed(self):
+        t = table([1.0, 2.0, 5.0])
+        a = t.place_many(RandomSource(3), 100)
+        b = t.place_many(RandomSource(3), 100)
+        assert a == b
+
+    def test_uniform_rates_match_existing_hdfs(self):
+        # "logically equivalent to the existing data placement algorithm if
+        # all the nodes share the same availability pattern" (Sec III.C).
+        t = table([1.0] * 8, slots=80)
+        probs = t.selection_probabilities()
+        for node_id, p in probs.items():
+            assert p == pytest.approx(1.0 / 8.0, abs=1e-9)
+
+    def test_single_node(self):
+        t = table([7.0], slots=5)
+        rng = RandomSource(1)
+        assert t.place(rng) == "n0"
+
+    def test_more_nodes_than_slots(self):
+        # Degenerate: every slot has a long collision chain.
+        t = table([1.0] * 20, slots=3)
+        rng = RandomSource(2)
+        picks = set(t.place_many(rng, 500))
+        assert len(picks) > 10  # most nodes reachable through the chains

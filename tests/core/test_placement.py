@@ -1,0 +1,183 @@
+"""Tests for the placement policies (existing / naive / ADAPT)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability.estimators import AvailabilityEstimate
+from repro.core.model import expected_task_time
+from repro.core.placement import (
+    AdaptPlacement,
+    NaivePlacement,
+    NodeView,
+    RandomPlacement,
+    make_policy,
+)
+from repro.util.rng import RandomSource
+
+GAMMA = 12.0
+
+
+def view(node_id, mtbi=None, mu=0.0, up=True):
+    rate = 0.0 if mtbi is None else 1.0 / mtbi
+    return NodeView(
+        node_id=node_id,
+        estimate=AvailabilityEstimate(arrival_rate=rate, recovery_mean=mu, observations=1),
+        is_up=up,
+    )
+
+
+def table2_views():
+    """4 dedicated + one node from each Table 2 group."""
+    nodes = [view(f"d{i}") for i in range(4)]
+    nodes.append(view("g1", mtbi=10.0, mu=4.0))
+    nodes.append(view("g2", mtbi=10.0, mu=8.0))
+    nodes.append(view("g3", mtbi=20.0, mu=4.0))
+    nodes.append(view("g4", mtbi=20.0, mu=8.0))
+    return nodes
+
+
+def run_plan(policy, nodes, num_blocks, replication=1, seed=0):
+    plan = policy.build_plan(nodes, num_blocks, replication, GAMMA)
+    rng = RandomSource(seed)
+    for _ in range(num_blocks):
+        plan.choose_replicas(rng)
+    return plan
+
+
+class TestRandomPlacement:
+    def test_uniform_distribution(self):
+        nodes = [view(f"n{i}") for i in range(8)]
+        plan = run_plan(RandomPlacement(), nodes, 4000)
+        counts = plan.allocations()
+        for node_id, count in counts.items():
+            assert count == pytest.approx(500, abs=100)
+
+    def test_replicas_distinct(self):
+        nodes = [view(f"n{i}") for i in range(5)]
+        plan = RandomPlacement().build_plan(nodes, 10, 3, GAMMA)
+        rng = RandomSource(1)
+        for _ in range(10):
+            holders = plan.choose_replicas(rng)
+            assert len(set(holders)) == 3
+
+    def test_excludes_down_nodes(self):
+        nodes = [view("up0"), view("up1"), view("down", up=False)]
+        plan = run_plan(RandomPlacement(), nodes, 100)
+        assert plan.allocation("down") == 0
+
+    def test_needs_enough_up_nodes(self):
+        nodes = [view("a"), view("b", up=False)]
+        with pytest.raises(ValueError, match="up nodes"):
+            RandomPlacement().build_plan(nodes, 5, 2, GAMMA)
+
+
+class TestAdaptPlacement:
+    def test_weights_proportional_to_inverse_expected_time(self):
+        nodes = table2_views()
+        plan = run_plan(AdaptPlacement(capped=False), nodes, 12000)
+        counts = plan.allocations()
+        # The ratio dedicated : group2 should approximate E[T]_g2 / gamma.
+        t_g2 = expected_task_time(GAMMA, 0.1, 8.0)
+        expected_ratio = t_g2 / GAMMA
+        measured_ratio = counts["d0"] / max(counts["g2"], 1)
+        assert measured_ratio == pytest.approx(expected_ratio, rel=0.35)
+
+    def test_dedicated_get_most_blocks(self):
+        plan = run_plan(AdaptPlacement(), table2_views(), 4000)
+        counts = plan.allocations()
+        worst_group = max(counts["g1"], counts["g2"])
+        assert counts["d0"] > worst_group
+
+    def test_homogeneous_equals_uniform(self):
+        # The superset claim: identical availability -> uniform placement.
+        nodes = [view(f"n{i}", mtbi=10.0, mu=4.0) for i in range(6)]
+        plan = run_plan(AdaptPlacement(), nodes, 6000)
+        for count in plan.allocations().values():
+            assert count == pytest.approx(1000, rel=0.15)
+
+    def test_threshold_cap_enforced(self):
+        # m(k+1)/n cap: with m=100, k=1, n=5 -> max 40 per node.
+        nodes = [view("fast")] + [view(f"slow{i}", mtbi=10.0, mu=8.0) for i in range(4)]
+        plan = run_plan(AdaptPlacement(capped=True), nodes, 100)
+        cap = math.ceil(100 * 2 / 5)
+        assert plan.allocation("fast") <= cap
+
+    def test_uncapped_exceeds_threshold(self):
+        nodes = [view("fast")] + [view(f"slow{i}", mtbi=10.0, mu=8.0) for i in range(4)]
+        plan = run_plan(AdaptPlacement(capped=False), nodes, 100, seed=3)
+        assert plan.allocation("fast") > math.ceil(100 * 2 / 5)
+
+    def test_unstable_node_gets_nothing(self):
+        nodes = [view("ok"), view("dead", mtbi=1.0, mu=5.0), view("ok2")]
+        plan = run_plan(AdaptPlacement(), nodes, 300)
+        assert plan.allocation("dead") == 0
+
+    def test_total_mass_conserved(self):
+        nodes = table2_views()
+        plan = run_plan(AdaptPlacement(), nodes, 500, replication=1)
+        assert sum(plan.allocations().values()) == 500
+
+    def test_total_mass_with_replication(self):
+        nodes = table2_views()
+        plan = run_plan(AdaptPlacement(), nodes, 200, replication=2)
+        assert sum(plan.allocations().values()) == 400
+
+    @given(st.integers(min_value=1, max_value=3), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_replicas_always_distinct(self, k, seed):
+        nodes = table2_views()
+        plan = AdaptPlacement().build_plan(nodes, 50, k, GAMMA)
+        rng = RandomSource(seed)
+        for _ in range(50):
+            holders = plan.choose_replicas(rng)
+            assert len(holders) == k
+            assert len(set(holders)) == k
+
+
+class TestNaivePlacement:
+    def test_weights_by_availability(self):
+        # naive weight = (MTBI - mu)/MTBI: g2 gets 0.2, dedicated 1.0.
+        nodes = [view("d0"), view("g2", mtbi=10.0, mu=8.0)]
+        plan = run_plan(NaivePlacement(), nodes, 6000)
+        ratio = plan.allocation("d0") / max(plan.allocation("g2"), 1)
+        assert ratio == pytest.approx(5.0, rel=0.25)
+
+    def test_naive_less_aggressive_than_adapt(self):
+        # ADAPT's E[T] penalises g2 (ratio ~9.7) harder than naive (5.0).
+        nodes = [view("d0"), view("g2", mtbi=10.0, mu=8.0)]
+        naive = run_plan(NaivePlacement(), nodes, 6000)
+        adapt = run_plan(AdaptPlacement(capped=False), nodes, 6000)
+        naive_ratio = naive.allocation("d0") / max(naive.allocation("g2"), 1)
+        adapt_ratio = adapt.allocation("d0") / max(adapt.allocation("g2"), 1)
+        assert adapt_ratio > naive_ratio
+
+
+class TestFactoryAndFallbacks:
+    def test_make_policy(self):
+        assert isinstance(make_policy("existing"), RandomPlacement)
+        assert isinstance(make_policy("random"), RandomPlacement)
+        assert isinstance(make_policy("naive"), NaivePlacement)
+        assert isinstance(make_policy("adapt"), AdaptPlacement)
+        with pytest.raises(ValueError, match="unknown placement policy"):
+            make_policy("magic")
+
+    def test_all_capped_falls_back(self):
+        # Tiny cluster where every node caps out: ingest must still finish.
+        nodes = [view("a"), view("b")]
+        plan = AdaptPlacement(capped=True).build_plan(nodes, 4, 2, GAMMA)
+        rng = RandomSource(1)
+        total = 0
+        for _ in range(4):
+            total += len(plan.choose_replicas(rng))
+        assert total == 8
+
+    def test_eligible_nodes_shrink_at_cap(self):
+        nodes = [view("a"), view("b"), view("c")]
+        plan = AdaptPlacement(capped=True).build_plan(nodes, 3, 1, GAMMA)
+        rng = RandomSource(1)
+        for _ in range(3):
+            plan.choose_replicas(rng)
+        assert len(plan.eligible_nodes) <= 3

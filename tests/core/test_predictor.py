@@ -1,0 +1,91 @@
+"""Tests for the NameNode-side Performance Predictor."""
+
+import pytest
+
+from repro.availability.estimators import AvailabilityEstimate
+from repro.core.model import expected_task_time
+from repro.core.predictor import PerformancePredictor
+
+GAMMA = 12.0
+
+
+class TestRegistration:
+    def test_register_and_list(self):
+        p = PerformancePredictor()
+        p.register_node("b")
+        p.register_node("a")
+        assert p.node_ids == ["a", "b"]
+
+    def test_register_idempotent(self):
+        p = PerformancePredictor()
+        p.register_node("x")
+        p.observe_downtime("x", 5.0)
+        p.register_node("x")  # must not reset the estimator
+        assert p.estimate("x").observations == 1
+
+    def test_unknown_node_raises(self):
+        p = PerformancePredictor()
+        with pytest.raises(KeyError):
+            p.observe_uptime("ghost", 1.0)
+        with pytest.raises(KeyError):
+            p.estimate("ghost")
+
+
+class TestEstimates:
+    def test_estimated_mode_learns(self):
+        p = PerformancePredictor(prior_mtbi=1e6, prior_weight=1e-4)
+        p.register_node("n")
+        for _ in range(50):
+            p.observe_uptime("n", 20.0)
+            p.observe_downtime("n", 4.0)
+        est = p.estimate("n")
+        assert est.mtbi == pytest.approx(20.0, rel=0.2)
+        assert est.recovery_mean == pytest.approx(4.0, rel=0.1)
+
+    def test_oracle_overrides(self):
+        p = PerformancePredictor()
+        p.pin_oracle("n", AvailabilityEstimate(arrival_rate=0.1, recovery_mean=8.0))
+        p.observe_uptime("n", 1e9)  # should be ignored while pinned
+        assert p.estimate("n").mtbi == pytest.approx(10.0)
+
+    def test_unpin_returns_to_estimates(self):
+        p = PerformancePredictor(prior_mtbi=500.0)
+        p.pin_oracle("n", AvailabilityEstimate(arrival_rate=0.1, recovery_mean=8.0))
+        p.unpin_oracle("n")
+        assert p.estimate("n").mtbi == pytest.approx(500.0, rel=0.1)
+
+    def test_expected_task_time(self):
+        p = PerformancePredictor()
+        p.pin_oracle("n", AvailabilityEstimate(arrival_rate=0.05, recovery_mean=4.0))
+        assert p.expected_task_time("n", GAMMA) == pytest.approx(
+            expected_task_time(GAMMA, 0.05, 4.0)
+        )
+
+    def test_unstable_node_reports_infinity(self):
+        p = PerformancePredictor()
+        p.pin_oracle("n", AvailabilityEstimate(arrival_rate=1.0, recovery_mean=5.0))
+        assert p.expected_task_time("n", GAMMA) == float("inf")
+
+    def test_snapshot(self):
+        p = PerformancePredictor()
+        p.register_node("a")
+        p.register_node("b")
+        snap = p.snapshot()
+        assert set(snap) == {"a", "b"}
+
+
+class TestNodeViews:
+    def test_default_all_up(self):
+        p = PerformancePredictor()
+        p.register_node("a")
+        p.register_node("b")
+        views = p.node_views()
+        assert all(v.is_up for v in views)
+
+    def test_up_filter(self):
+        p = PerformancePredictor()
+        p.register_node("a")
+        p.register_node("b")
+        views = p.node_views(up_nodes=["b"])
+        states = {v.node_id: v.is_up for v in views}
+        assert states == {"a": False, "b": True}

@@ -1,0 +1,103 @@
+"""Tests for the `adapt <file>` rebalance planner."""
+
+import pytest
+
+from repro.availability.estimators import AvailabilityEstimate
+from repro.core.placement import AdaptPlacement, NodeView, RandomPlacement
+from repro.core.rebalance import RebalanceMove, plan_rebalance, target_counts
+from repro.util.rng import RandomSource
+
+GAMMA = 12.0
+
+
+def view(node_id, mtbi=None, mu=0.0):
+    rate = 0.0 if mtbi is None else 1.0 / mtbi
+    return NodeView(
+        node_id=node_id,
+        estimate=AvailabilityEstimate(arrival_rate=rate, recovery_mean=mu, observations=1),
+    )
+
+
+def apply_moves(replica_map, moves):
+    state = {b: set(h) for b, h in replica_map.items()}
+    for move in moves:
+        assert move.source in state[move.block_id]
+        assert move.destination not in state[move.block_id]
+        state[move.block_id].discard(move.source)
+        state[move.block_id].add(move.destination)
+    return state
+
+
+class TestTargetCounts:
+    def test_sums_to_total(self):
+        nodes = [view("a"), view("b", mtbi=10.0, mu=4.0), view("c")]
+        targets = target_counts(AdaptPlacement(), nodes, 30, 2, GAMMA)
+        assert sum(targets.values()) == 60
+
+    def test_uniform_for_random(self):
+        nodes = [view(f"n{i}") for i in range(4)]
+        targets = target_counts(RandomPlacement(), nodes, 40, 1, GAMMA)
+        assert all(v == 10 for v in targets.values())
+
+    def test_reliable_targets_higher(self):
+        nodes = [view("good"), view("bad", mtbi=10.0, mu=8.0)]
+        targets = target_counts(AdaptPlacement(capped=False), nodes, 100, 1, GAMMA)
+        assert targets["good"] > targets["bad"]
+
+
+class TestPlanRebalance:
+    def test_empty_map(self):
+        assert plan_rebalance({}, AdaptPlacement(), [view("a")], GAMMA, RandomSource(1)) == []
+
+    def test_moves_toward_targets(self):
+        # All blocks start on the unreliable node; moves must drain it.
+        nodes = [view("good"), view("bad", mtbi=10.0, mu=8.0)]
+        replica_map = {f"b{i}": ["bad"] for i in range(10)}
+        moves = plan_rebalance(replica_map, AdaptPlacement(), nodes, GAMMA, RandomSource(1))
+        assert moves, "expected at least one move"
+        state = apply_moves(replica_map, moves)
+        on_good = sum(1 for holders in state.values() if "good" in holders)
+        assert on_good > 5
+
+    def test_no_replica_colocation(self):
+        nodes = [view("a"), view("b"), view("c", mtbi=10.0, mu=8.0)]
+        replica_map = {f"b{i}": ["a", "c"] for i in range(6)}
+        moves = plan_rebalance(replica_map, AdaptPlacement(), nodes, GAMMA, RandomSource(2))
+        state = apply_moves(replica_map, moves)
+        for holders in state.values():
+            assert len(holders) == 2  # still 2 distinct replicas
+
+    def test_already_balanced_needs_no_moves(self):
+        nodes = [view("a"), view("b")]
+        replica_map = {"b0": ["a"], "b1": ["b"]}
+        moves = plan_rebalance(replica_map, RandomPlacement(), nodes, GAMMA, RandomSource(3))
+        assert moves == []
+
+    def test_rejects_mixed_replication(self):
+        nodes = [view("a"), view("b")]
+        with pytest.raises(ValueError, match="disagree"):
+            plan_rebalance(
+                {"b0": ["a"], "b1": ["a", "b"]},
+                RandomPlacement(),
+                nodes,
+                GAMMA,
+                RandomSource(1),
+            )
+
+    def test_rejects_colocated_input(self):
+        nodes = [view("a"), view("b")]
+        with pytest.raises(ValueError, match="co-located"):
+            plan_rebalance(
+                {"b0": ["a", "a"]}, RandomPlacement(), nodes, GAMMA, RandomSource(1)
+            )
+
+    def test_move_validation(self):
+        with pytest.raises(ValueError):
+            RebalanceMove(block_id="b", source="x", destination="x")
+
+    def test_deterministic(self):
+        nodes = [view("good"), view("bad", mtbi=10.0, mu=8.0), view("ok", mtbi=20.0, mu=4.0)]
+        replica_map = {f"b{i}": ["bad"] for i in range(9)}
+        a = plan_rebalance(replica_map, AdaptPlacement(), nodes, GAMMA, RandomSource(7))
+        b = plan_rebalance(replica_map, AdaptPlacement(), nodes, GAMMA, RandomSource(7))
+        assert a == b

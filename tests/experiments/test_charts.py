@@ -1,0 +1,105 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.charts import (
+    bar_chart,
+    elapsed_chart,
+    series_sparkline,
+    stacked_overhead_chart,
+)
+from repro.experiments.results import ExperimentRow, SweepResult
+from repro.runtime.runner import MapPhaseResult
+from repro.simulator.metrics import OverheadBreakdown
+
+
+def fake_result(elapsed, rework=5.0, recovery=10.0, migration=20.0):
+    return MapPhaseResult(
+        policy="p",
+        replication=1,
+        node_count=2,
+        num_tasks=10,
+        elapsed=elapsed,
+        data_locality=0.9,
+        breakdown=OverheadBreakdown(
+            base_work=100.0,
+            makespan=elapsed,
+            slot_time=elapsed * 2,
+            rework=rework,
+            recovery=recovery,
+            migration=migration,
+            duplicate=0.0,
+            idle=0.0,
+            useful=100.0,
+            data_locality=0.9,
+        ),
+        seed=0,
+    )
+
+
+def make_sweep():
+    sweep = SweepResult(name="figX", x_label="bw")
+    for key, elapsed in (("existingx1", 200.0), ("adaptx1", 100.0)):
+        row = ExperimentRow(x=8.0, strategy_key=key, policy=key, replication=1)
+        row.add(fake_result(elapsed))
+        sweep.rows.append(row)
+    return sweep
+
+
+class TestBarChart:
+    def test_proportional_lengths(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 20
+        assert lines[1].count("█") == 10
+
+    def test_zero_values(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "█" not in out
+
+    def test_title(self):
+        out = bar_chart({"a": 1.0}, title="Chart")
+        assert out.splitlines()[0] == "Chart"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestSweepCharts:
+    def test_elapsed_chart(self):
+        out = elapsed_chart(make_sweep(), 8.0)
+        assert "existingx1" in out and "adaptx1" in out
+        lines = out.splitlines()
+        existing_bar = lines[1].count("█")
+        adapt_bar = lines[2].count("█")
+        assert existing_bar > adapt_bar
+
+    def test_stacked_overhead(self):
+        out = stacked_overhead_chart(make_sweep(), 8.0, width=40)
+        # Components appear with their glyphs.
+        assert "R" in out and "M" in out
+        assert "existingx1" in out
+
+    def test_unknown_x_raises(self):
+        with pytest.raises(KeyError):
+            elapsed_chart(make_sweep(), 99.0)
+
+
+class TestSparkline:
+    def test_monotone(self):
+        spark = series_sparkline([1.0, 2.0, 3.0, 4.0])
+        assert spark[0] == "▁"
+        assert spark[-1] == "█"
+        assert len(spark) == 4
+
+    def test_flat(self):
+        assert series_sparkline([5.0, 5.0]) == "▁▁"
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            series_sparkline([])

@@ -1,0 +1,114 @@
+"""Tests for experiment configurations (Tables 2, 3, 4 defaults)."""
+
+import pytest
+
+from repro.experiments.config import (
+    EMULATION_STRATEGIES,
+    SIMULATION_STRATEGIES,
+    EmulationConfig,
+    SimulationConfig,
+    Strategy,
+)
+from repro.util.units import MB
+
+
+class TestStrategy:
+    def test_label(self):
+        assert Strategy("adapt", 1).label == "adapt (1 replica)"
+        assert Strategy("existing", 2).label == "existing (2 replicas)"
+
+    def test_key(self):
+        assert Strategy("adapt", 2).key == "adaptx2"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Strategy("adapt", 0)
+
+    def test_paper_series(self):
+        assert [s.key for s in EMULATION_STRATEGIES] == [
+            "existingx1",
+            "adaptx1",
+            "existingx2",
+            "adaptx2",
+        ]
+        assert "existingx3" in [s.key for s in SIMULATION_STRATEGIES]
+        assert "naivex1" in [s.key for s in SIMULATION_STRATEGIES]
+
+
+class TestEmulationConfig:
+    def test_table3_defaults(self):
+        config = EmulationConfig()
+        assert config.node_count == 128
+        assert config.interrupted_ratio == 0.5
+        assert config.bandwidth_mbps == 8.0
+        assert config.block_size_bytes == 64 * MB
+        assert config.blocks_per_node == 20.0
+
+    def test_hosts_table2_split(self):
+        hosts = EmulationConfig(node_count=32).hosts()
+        groups = {}
+        for host in hosts:
+            groups[host.group] = groups.get(host.group, 0) + 1
+        assert groups["dedicated"] == 16
+        assert all(groups[f"group-{i}"] == 4 for i in range(1, 5))
+
+    def test_with_override(self):
+        config = EmulationConfig().with_(bandwidth_mbps=4.0)
+        assert config.bandwidth_mbps == 4.0
+        assert config.node_count == 128  # untouched
+
+    def test_cluster_config_seed_override(self):
+        config = EmulationConfig(seed=5)
+        assert config.cluster_config().seed == 5
+        assert config.cluster_config(seed=9).seed == 9
+
+    def test_emulation_keeps_liveness_filter(self):
+        # Testbed semantics: ingest only targets live nodes.
+        assert EmulationConfig().cluster_config().placement_liveness_filter
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmulationConfig(node_count=0)
+        with pytest.raises(ValueError):
+            EmulationConfig(interrupted_ratio=2.0)
+
+
+class TestSimulationConfig:
+    def test_table4_defaults(self):
+        config = SimulationConfig()
+        assert config.node_count == 8196  # the paper's (sic) Table 4 value
+        assert config.bandwidth_mbps == 8.0
+        assert config.block_size_bytes == 64 * MB
+        assert config.tasks_per_node == 100.0
+
+    def test_hadoop_realistic_detection(self):
+        config = SimulationConfig().cluster_config()
+        assert config.detection == "heartbeat"
+        assert config.heartbeat_interval * config.heartbeat_miss_threshold == 600.0
+
+    def test_trace_window_semantics(self):
+        cc = SimulationConfig().cluster_config()
+        assert cc.stationary_burn_in > 0
+        assert not cc.placement_liveness_filter
+        assert not cc.fair_sharing  # fixed-cost migration model
+
+    def test_hosts_seed_stable(self):
+        config = SimulationConfig(node_count=16)
+        a = config.hosts(seed=3)
+        b = config.hosts(seed=3)
+        assert [h.mtbi for h in a] == [h.mtbi for h in b]
+
+    def test_hosts_differ_by_seed(self):
+        config = SimulationConfig(node_count=16)
+        assert [h.mtbi for h in config.hosts(seed=1)] != [
+            h.mtbi for h in config.hosts(seed=2)
+        ]
+
+    def test_seti_params_pinned_for_default_cov(self):
+        from repro.availability.seti import CALIBRATED_TABLE1_PARAMS
+
+        assert SimulationConfig().seti_params() is CALIBRATED_TABLE1_PARAMS
+
+    def test_seti_params_closed_form_otherwise(self):
+        params = SimulationConfig(duration_within_cov=1.0).seti_params()
+        assert params.duration_within_cov == 1.0

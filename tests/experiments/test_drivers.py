@@ -1,0 +1,111 @@
+"""Tests for the figure drivers at miniature scale.
+
+These exercise the full sweep machinery (and the paper's qualitative
+orderings) with small clusters so the suite stays fast; the benchmark
+harness runs the real scales.
+"""
+
+import pytest
+
+from repro.experiments.config import EmulationConfig, SimulationConfig, Strategy
+from repro.experiments.emulation import (
+    run_emulation_point,
+    sweep_bandwidth,
+    sweep_interrupted_ratio,
+    sweep_node_count,
+)
+from repro.experiments.largescale import (
+    run_simulation_point,
+    sweep_sim_block_size,
+    table1_statistics,
+)
+from repro.util.units import MB
+
+SMALL_EMU = EmulationConfig(node_count=16, blocks_per_node=5, seed=1)
+SMALL_SIM = SimulationConfig(node_count=48, tasks_per_node=8, seed=1)
+PAIR = (Strategy("existing", 1), Strategy("adapt", 1))
+
+
+class TestEmulationDrivers:
+    def test_point_runs(self):
+        result = run_emulation_point(SMALL_EMU, Strategy("adapt", 1))
+        assert result.policy == "adapt"
+        assert result.num_tasks == 80
+
+    def test_ratio_sweep_shape(self):
+        sweep = sweep_interrupted_ratio(SMALL_EMU, values=(0.25, 0.5), strategies=PAIR)
+        assert sweep.x_values() == [0.25, 0.5]
+        assert sweep.strategy_keys() == ["existingx1", "adaptx1"]
+        assert all(row.repetitions == 1 for row in sweep.rows)
+
+    def test_bandwidth_sweep(self):
+        sweep = sweep_bandwidth(SMALL_EMU, values=(8.0, 32.0), strategies=PAIR)
+        # Higher bandwidth cannot make things slower for the same strategy.
+        for key in sweep.strategy_keys():
+            series = sweep.series(key, "elapsed")
+            assert series[1] <= series[0] * 1.25  # allow mild noise
+
+    def test_node_sweep(self):
+        sweep = sweep_node_count(
+            SMALL_EMU, values=(8, 16), strategies=(Strategy("adapt", 1),)
+        )
+        assert len(sweep.rows) == 2
+
+    def test_repetitions_average(self):
+        sweep = sweep_interrupted_ratio(
+            SMALL_EMU, values=(0.5,), strategies=(Strategy("existing", 1),), repetitions=2
+        )
+        assert sweep.rows[0].repetitions == 2
+
+    def test_repetition_validation(self):
+        with pytest.raises(ValueError):
+            sweep_interrupted_ratio(SMALL_EMU, values=(0.5,), repetitions=0)
+
+
+class TestLargescaleDrivers:
+    def test_point_runs(self):
+        result = run_simulation_point(SMALL_SIM, Strategy("adapt", 1))
+        assert result.num_tasks == 48 * 8
+
+    def test_block_size_sweep_keeps_input_constant(self):
+        sweep = sweep_sim_block_size(
+            SMALL_SIM, values=(32 * MB, 64 * MB), strategies=(Strategy("existing", 1),)
+        )
+        rows = {row.x: row for row in sweep.rows}
+        assert set(rows) == {32.0, 64.0}
+
+    def test_table1_statistics(self):
+        stats = table1_statistics(node_count=80, horizon=0.2 * 365 * 86400.0, seed=1)
+        assert stats["mtbi"].mean > 0
+        assert stats["duration"].cov > 1.0
+
+
+class TestPaperOrderings:
+    """The qualitative claims, checked at small scale with a fixed seed."""
+
+    def test_emulation_adapt_beats_existing_one_replica(self):
+        # Section V.B.1's headline at reduced scale: ADAPT's map phase is
+        # faster than stock placement with 1 replica at the default point.
+        config = EmulationConfig(node_count=32, blocks_per_node=10, seed=2)
+        existing = run_emulation_point(config, Strategy("existing", 1))
+        adapt = run_emulation_point(config, Strategy("adapt", 1))
+        assert adapt.elapsed < existing.elapsed
+
+    def test_emulation_adapt_higher_locality(self):
+        config = EmulationConfig(node_count=32, blocks_per_node=10, seed=2)
+        existing = run_emulation_point(config, Strategy("existing", 1))
+        adapt = run_emulation_point(config, Strategy("adapt", 1))
+        assert adapt.data_locality >= existing.data_locality
+
+    def test_replication_helps_existing(self):
+        config = EmulationConfig(node_count=32, blocks_per_node=10, seed=2)
+        one = run_emulation_point(config, Strategy("existing", 1))
+        two = run_emulation_point(config, Strategy("existing", 2))
+        assert two.elapsed < one.elapsed
+
+    def test_simulation_adapt_beats_existing(self):
+        # Figure 5 ordering at reduced scale (trace-window semantics).
+        config = SimulationConfig(node_count=96, tasks_per_node=10, seed=3)
+        existing = run_simulation_point(config, Strategy("existing", 1))
+        adapt = run_simulation_point(config, Strategy("adapt", 1))
+        assert adapt.breakdown.ratios()["total"] < existing.breakdown.ratios()["total"]

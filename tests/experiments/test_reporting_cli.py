@@ -1,0 +1,57 @@
+"""Additional coverage: the reporting x-format and sweep edge cases."""
+
+import pytest
+
+from repro.experiments.reporting import _fmt_x, render_sweep
+from repro.experiments.results import ExperimentRow, SweepResult
+
+
+class TestXFormatting:
+    def test_integers_render_bare(self):
+        assert _fmt_x(128.0) == "128"
+        assert _fmt_x(4.0) == "4"
+
+    def test_fractions_render_compact(self):
+        assert _fmt_x(0.25) == "0.25"
+        assert _fmt_x(0.5) == "0.5"
+
+
+class TestSweepEdgeCases:
+    def test_empty_sweep_axes(self):
+        sweep = SweepResult(name="empty", x_label="x")
+        assert sweep.x_values() == []
+        assert sweep.strategy_keys() == []
+
+    def test_unknown_metric_raises(self):
+        sweep = SweepResult(name="s", x_label="x")
+        row = ExperimentRow(x=1.0, strategy_key="k", policy="p", replication=1)
+        from repro.runtime.runner import MapPhaseResult
+        from repro.simulator.metrics import OverheadBreakdown
+
+        row.add(
+            MapPhaseResult(
+                policy="p",
+                replication=1,
+                node_count=1,
+                num_tasks=1,
+                elapsed=1.0,
+                data_locality=1.0,
+                breakdown=OverheadBreakdown(
+                    base_work=1.0, makespan=1.0, slot_time=1.0, rework=0.0,
+                    recovery=0.0, migration=0.0, duplicate=0.0, idle=0.0,
+                    useful=1.0, data_locality=1.0,
+                ),
+                seed=0,
+            )
+        )
+        sweep.rows.append(row)
+        with pytest.raises(KeyError):
+            sweep.series("k", metric="nonsense")
+
+    def test_render_title_override(self):
+        sweep = SweepResult(name="s", x_label="x")
+        row = ExperimentRow(x=1.0, strategy_key="k", policy="p", replication=1)
+        sweep.rows.append(row)
+        # Rows with no repetitions cannot be rendered (mean undefined).
+        with pytest.raises(ValueError):
+            render_sweep(sweep, "elapsed")

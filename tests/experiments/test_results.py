@@ -1,0 +1,96 @@
+"""Tests for result aggregation and reporting."""
+
+import pytest
+
+from repro.experiments.reporting import render_overhead_breakdown, render_sweep
+from repro.experiments.results import ExperimentRow, SweepResult
+from repro.simulator.metrics import OverheadBreakdown
+from repro.runtime.runner import MapPhaseResult
+
+
+def fake_result(elapsed=100.0, locality=0.9, rework=0.1):
+    breakdown = OverheadBreakdown(
+        base_work=100.0,
+        makespan=elapsed,
+        slot_time=elapsed * 2,
+        rework=rework * 100,
+        recovery=5.0,
+        migration=10.0,
+        duplicate=0.0,
+        idle=0.0,
+        useful=100.0,
+        data_locality=locality,
+    )
+    return MapPhaseResult(
+        policy="adapt",
+        replication=1,
+        node_count=2,
+        num_tasks=10,
+        elapsed=elapsed,
+        data_locality=locality,
+        breakdown=breakdown,
+        seed=0,
+    )
+
+
+class TestExperimentRow:
+    def test_aggregates_means(self):
+        row = ExperimentRow(x=8.0, strategy_key="adaptx1", policy="adapt", replication=1)
+        row.add(fake_result(elapsed=100.0))
+        row.add(fake_result(elapsed=200.0))
+        assert row.repetitions == 2
+        assert row.elapsed == pytest.approx(150.0)
+        assert row.locality == pytest.approx(0.9)
+        assert row.overhead("rework") == pytest.approx(0.1)
+
+    def test_overheads_dict(self):
+        row = ExperimentRow(x=1.0, strategy_key="k", policy="adapt", replication=1)
+        row.add(fake_result())
+        assert set(row.overheads) == {"rework", "recovery", "migration", "misc", "total"}
+
+
+class TestSweepResult:
+    def make_sweep(self):
+        sweep = SweepResult(name="test", x_label="x")
+        for x in (1.0, 2.0):
+            for key in ("a", "b"):
+                row = ExperimentRow(x=x, strategy_key=key, policy=key, replication=1)
+                row.add(fake_result(elapsed=x * 10 + (5 if key == "b" else 0)))
+                sweep.rows.append(row)
+        return sweep
+
+    def test_axes(self):
+        sweep = self.make_sweep()
+        assert sweep.x_values() == [1.0, 2.0]
+        assert sweep.strategy_keys() == ["a", "b"]
+
+    def test_row_lookup(self):
+        sweep = self.make_sweep()
+        assert sweep.row(2.0, "b").elapsed == pytest.approx(25.0)
+        with pytest.raises(KeyError):
+            sweep.row(3.0, "a")
+
+    def test_series(self):
+        sweep = self.make_sweep()
+        assert sweep.series("a", "elapsed") == [pytest.approx(10.0), pytest.approx(20.0)]
+        assert sweep.series("a", "locality") == [pytest.approx(0.9)] * 2
+        assert len(sweep.series("b", "migration")) == 2
+
+
+class TestRendering:
+    def test_render_sweep(self):
+        sweep = TestSweepResult().make_sweep()
+        out = render_sweep(sweep, metric="elapsed")
+        assert "x" in out and "a" in out and "b" in out
+        assert "10.0" in out and "25.0" in out
+
+    def test_render_locality(self):
+        sweep = TestSweepResult().make_sweep()
+        out = render_sweep(sweep, metric="locality")
+        assert "0.900" in out
+
+    def test_render_breakdown(self):
+        sweep = TestSweepResult().make_sweep()
+        out = render_overhead_breakdown(sweep)
+        assert "rework%" in out
+        assert "strategy" in out

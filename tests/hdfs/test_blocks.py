@@ -1,0 +1,40 @@
+"""Tests for the HDFS data model."""
+
+import pytest
+
+from repro.hdfs.blocks import Block, DfsFile
+from repro.util.units import MB
+
+
+class TestBlock:
+    def test_basic(self):
+        b = Block(block_id="f#blk0", file_name="f", index=0, size_bytes=64 * MB)
+        assert b.size_bytes == 64 * MB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Block(block_id="x", file_name="f", index=-1, size_bytes=1)
+        with pytest.raises(ValueError):
+            Block(block_id="x", file_name="f", index=0, size_bytes=0)
+
+
+class TestDfsFile:
+    def test_build(self):
+        f = DfsFile.build("data", num_blocks=5, block_size=64 * MB, replication=2)
+        assert f.num_blocks == 5
+        assert f.size_bytes == 5 * 64 * MB
+        assert len({b.block_id for b in f.blocks}) == 5
+        assert [b.index for b in f.blocks] == list(range(5))
+
+    def test_block_ids_scoped_to_file(self):
+        f1 = DfsFile.build("a", 2, 1024, 1)
+        f2 = DfsFile.build("b", 2, 1024, 1)
+        assert not {b.block_id for b in f1.blocks} & {b.block_id for b in f2.blocks}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DfsFile.build("f", 0, 1024, 1)
+        with pytest.raises(ValueError):
+            DfsFile.build("f", 1, 1024, 0)
+        with pytest.raises(ValueError):
+            DfsFile(name="f", block_size=10, replication=1, blocks=[])

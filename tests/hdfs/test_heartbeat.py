@@ -1,0 +1,95 @@
+"""Tests for the heartbeat service: detection lag and predictor feeding."""
+
+import pytest
+
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.heartbeat import HeartbeatService
+from repro.hdfs.namenode import NameNode
+from repro.simulator.engine import Simulator
+
+
+def setup(interval=3.0, misses=3, nodes=1):
+    sim = Simulator()
+    nn = NameNode()
+    for i in range(nodes):
+        nn.register_datanode(DataNode(f"n{i}"))
+    hb = HeartbeatService(sim, nn, interval=interval, miss_threshold=misses)
+    for i in range(nodes):
+        hb.track(f"n{i}")
+    return sim, nn, hb
+
+
+class TestLiveness:
+    def test_live_node_stays_live(self):
+        sim, nn, hb = setup()
+        sim.run(until=100.0)
+        assert nn.is_live("n0")
+
+    def test_dead_after_timeout(self):
+        sim, nn, hb = setup()
+        deaths = []
+        hb.subscribe(on_dead=lambda n, t: deaths.append((n, t)))
+        sim.schedule(10.0, lambda: hb.node_down("n0", 10.0))
+        sim.run(until=100.0)
+        assert not nn.is_live("n0")
+        assert len(deaths) == 1
+        # Death detected within one timeout of the last beat (~9 + 9s).
+        assert deaths[0][1] <= 10.0 + 2 * hb.timeout
+
+    def test_return_detected_on_first_beat(self):
+        sim, nn, hb = setup()
+        returns = []
+        hb.subscribe(on_returned=lambda n, t: returns.append((n, t)))
+        sim.schedule(10.0, lambda: hb.node_down("n0", 10.0))
+        sim.schedule(50.0, lambda: hb.node_up("n0", 50.0))
+        sim.run(until=100.0)
+        assert nn.is_live("n0")
+        assert len(returns) == 1
+        assert returns[0][1] == pytest.approx(50.0)
+
+    def test_short_blip_not_detected(self):
+        # Down for less than the timeout: the NameNode never notices.
+        sim, nn, hb = setup(interval=3.0, misses=3)
+        deaths = []
+        hb.subscribe(on_dead=lambda n, t: deaths.append(n))
+        sim.schedule(10.0, lambda: hb.node_down("n0", 10.0))
+        sim.schedule(13.0, lambda: hb.node_up("n0", 13.0))
+        sim.run(until=100.0)
+        assert deaths == []
+        assert nn.is_live("n0")
+
+
+class TestPredictorFeeding:
+    def test_uptime_observed(self):
+        sim, nn, hb = setup()
+        sim.run(until=31.0)
+        est = nn.predictor.estimate("n0")
+        # ~30s of uptime observed through beats.
+        assert nn.predictor._estimators["n0"].observed_uptime == pytest.approx(30.0, abs=4.0)
+
+    def test_downtime_observed_on_return(self):
+        sim, nn, hb = setup()
+        sim.schedule(9.0, lambda: hb.node_down("n0", 9.0))
+        sim.schedule(29.0, lambda: hb.node_up("n0", 29.0))
+        sim.run(until=60.0)
+        estimator = nn.predictor._estimators["n0"]
+        assert estimator.observed_episodes == 1
+
+    def test_double_track_rejected(self):
+        sim, nn, hb = setup()
+        with pytest.raises(ValueError, match="already tracked"):
+            hb.track("n0")
+
+
+class TestConfigValidation:
+    def test_timeout_property(self):
+        sim, nn, hb = setup(interval=2.0, misses=5)
+        assert hb.timeout == 10.0
+
+    def test_invalid_params(self):
+        sim = Simulator()
+        nn = NameNode()
+        with pytest.raises(ValueError):
+            HeartbeatService(sim, nn, interval=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatService(sim, nn, miss_threshold=0)

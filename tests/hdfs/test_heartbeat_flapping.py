@@ -1,0 +1,73 @@
+"""Heartbeat behaviour under rapid flapping (the emulation's regime)."""
+
+import pytest
+
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.heartbeat import HeartbeatService
+from repro.hdfs.namenode import NameNode
+from repro.simulator.engine import Simulator
+
+
+def setup(interval=3.0, misses=3):
+    sim = Simulator()
+    nn = NameNode()
+    nn.register_datanode(DataNode("n0"))
+    hb = HeartbeatService(sim, nn, interval=interval, miss_threshold=misses)
+    hb.track("n0")
+    return sim, nn, hb
+
+
+class TestFlapping:
+    def test_sub_timeout_flaps_invisible(self):
+        # Table 2's MTBI 10s / recovery 4s: every outage is shorter than
+        # the 9s timeout, so the NameNode believes the node live forever —
+        # exactly what happened on the real testbed with Hadoop's long
+        # timeouts.
+        sim, nn, hb = setup()
+        t = 5.0
+        while t < 500.0:
+            down_at, up_at = t, t + 4.0
+            sim.schedule_at(down_at, lambda d=down_at: hb.node_down("n0", d))
+            sim.schedule_at(up_at, lambda u=up_at: hb.node_up("n0", u))
+            t += 10.0
+        deaths = []
+        hb.subscribe(on_dead=lambda n, tt: deaths.append(tt))
+        sim.run(until=520.0)
+        assert deaths == []
+        assert nn.is_live("n0")
+
+    def test_estimator_learns_from_flapping(self):
+        sim, nn, hb = setup()
+        t = 5.0
+        while t < 500.0:
+            sim.schedule_at(t, lambda d=t: hb.node_down("n0", d))
+            sim.schedule_at(t + 4.0, lambda u=t + 4.0: hb.node_up("n0", u))
+            t += 10.0
+        sim.run(until=520.0)
+        est = nn.predictor.estimate("n0")
+        # ~50 episodes of ~4s downtime observed (beat-gap quantised).
+        assert est.observations >= 40
+        assert est.recovery_mean == pytest.approx(4.0, abs=2.5)
+        assert est.mtbi < 60.0
+
+    def test_long_outage_death_and_resurrection_cycle(self):
+        sim, nn, hb = setup()
+        transitions = []
+        hb.subscribe(
+            on_dead=lambda n, t: transitions.append(("dead", t)),
+            on_returned=lambda n, t: transitions.append(("back", t)),
+        )
+        for start in (20.0, 100.0):
+            sim.schedule_at(start, lambda s=start: hb.node_down("n0", s))
+            sim.schedule_at(start + 40.0, lambda s=start: hb.node_up("n0", s + 40.0))
+        sim.run(until=200.0)
+        kinds = [k for k, _t in transitions]
+        assert kinds == ["dead", "back", "dead", "back"]
+
+    def test_down_at_time_zero(self):
+        sim, nn, hb = setup()
+        hb.node_down("n0", 0.0)
+        sim.run(until=30.0)
+        assert not nn.is_live("n0")
+        hb.node_up("n0", sim.now)
+        assert nn.is_live("n0")

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "ADAPT" in capsys.readouterr().out
+
+    def test_model_command(self, capsys):
+        assert main(["model", "--gamma", "12", "--mtbi", "20", "--recovery", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "E[T]" in out
+        assert "27.404" in out  # formula 5 at these parameters
+
+    def test_groups_command(self, capsys):
+        assert main(["groups"]) == 0
+        out = capsys.readouterr().out
+        assert "group-1" in out and "20" in out
+
+    def test_placement_command(self, capsys):
+        code = main(
+            ["placement", "--nodes", "16", "--ratio", "0.5", "--blocks-per-node", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adapt" in out and "existing" in out and "naive" in out
+        assert "dedicated" in out
+
+    def test_emulate_command(self, capsys):
+        code = main(
+            [
+                "emulate",
+                "--policy", "adapt",
+                "--nodes", "12",
+                "--blocks-per-node", "4",
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "elapsed_s" in out
+        assert "locality" in out
+
+    def test_simulate_command(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy", "existing",
+                "--nodes", "32",
+                "--tasks-per-node", "4",
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+        assert "elapsed_s" in capsys.readouterr().out
+
+    def test_table1_command(self, capsys):
+        code = main(["table1", "--nodes", "60", "--horizon-days", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MTBI" in out
+        assert "160290" in out  # the paper's reference values are shown

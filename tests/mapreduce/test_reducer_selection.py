@@ -1,0 +1,63 @@
+"""Tests for availability-aware reducer selection (reduce-phase extension)."""
+
+import pytest
+
+from repro.availability.estimators import AvailabilityEstimate
+from repro.core.placement import NodeView
+from repro.mapreduce.shuffle import select_reducer_nodes
+from repro.util.rng import RandomSource
+
+
+def view(node_id, availability, up=True):
+    # availability a -> pick (lambda, mu) with mtbi/(mtbi+mu) = a.
+    mtbi = 100.0
+    mu = mtbi * (1.0 - availability) / availability if availability < 1.0 else 0.0
+    rate = 1.0 / mtbi if mu > 0 else 0.0
+    return NodeView(
+        node_id=node_id,
+        estimate=AvailabilityEstimate(arrival_rate=rate, recovery_mean=mu, observations=1),
+        is_up=up,
+    )
+
+
+class TestAvailabilityAware:
+    def test_picks_most_dependable(self):
+        views = [view("bad", 0.5), view("good", 0.99), view("ok", 0.8)]
+        chosen = select_reducer_nodes(views, 2, RandomSource(1))
+        assert chosen == ["good", "ok"]
+
+    def test_deterministic_tiebreak(self):
+        views = [view(f"n{i}", 0.9) for i in range(5)]
+        a = select_reducer_nodes(views, 3, RandomSource(1))
+        b = select_reducer_nodes(views, 3, RandomSource(2))
+        assert a == b == ["n0", "n1", "n2"]
+
+    def test_down_nodes_excluded(self):
+        views = [view("up", 0.5), view("down", 0.99, up=False), view("up2", 0.7)]
+        chosen = select_reducer_nodes(views, 2, RandomSource(1))
+        assert "down" not in chosen
+
+
+class TestRandomBaseline:
+    def test_uniform_selection(self):
+        views = [view(f"n{i}", 0.9) for i in range(10)]
+        seen = set()
+        for seed in range(30):
+            seen.update(
+                select_reducer_nodes(views, 2, RandomSource(seed), availability_aware=False)
+            )
+        assert len(seen) > 6  # spreads across the population
+
+    def test_distinct(self):
+        views = [view(f"n{i}", 0.9) for i in range(4)]
+        chosen = select_reducer_nodes(views, 3, RandomSource(3), availability_aware=False)
+        assert len(set(chosen)) == 3
+
+
+class TestValidation:
+    def test_count_bounds(self):
+        views = [view("a", 0.9)]
+        with pytest.raises(ValueError):
+            select_reducer_nodes(views, 0, RandomSource(1))
+        with pytest.raises(ValueError):
+            select_reducer_nodes(views, 2, RandomSource(1))

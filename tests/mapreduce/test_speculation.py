@@ -1,0 +1,79 @@
+"""Tests for the speculation policy."""
+
+import pytest
+
+from repro.hdfs.blocks import Block
+from repro.mapreduce.job import AttemptState, MapTask
+from repro.mapreduce.speculation import SpeculationPolicy
+
+
+def make_task(gamma=10.0):
+    block = Block(block_id="b0", file_name="f", index=0, size_bytes=1024)
+    return MapTask(task_id="t0", block=block, gamma=gamma)
+
+
+class TestEligibility:
+    def test_disabled_never_straggles(self):
+        policy = SpeculationPolicy(enabled=False)
+        task = make_task()
+        assert not policy.is_straggling(task, now=1e9)
+
+    def test_stalled_task_is_straggler(self):
+        # An attempt died with its node; no live attempts -> straggler.
+        policy = SpeculationPolicy()
+        task = make_task()
+        attempt = task.new_attempt("n0", local=True, speculative=False, now=0.0)
+        attempt.retire(AttemptState.FAILED, now=3.0)
+        assert policy.is_straggling(task, now=4.0)
+
+    def test_fresh_attempt_not_straggler(self):
+        policy = SpeculationPolicy(slowdown=2.0)
+        task = make_task(gamma=10.0)
+        task.new_attempt("n0", local=True, speculative=False, now=0.0)
+        assert not policy.is_straggling(task, now=15.0)  # 15 < 2*10
+
+    def test_slow_attempt_is_straggler(self):
+        policy = SpeculationPolicy(slowdown=2.0)
+        task = make_task(gamma=10.0)
+        task.new_attempt("n0", local=True, speculative=False, now=0.0)
+        assert policy.is_straggling(task, now=21.0)
+
+    def test_remote_threshold_includes_fetch(self):
+        policy = SpeculationPolicy(slowdown=2.0, nominal_fetch_seconds=50.0)
+        task = make_task(gamma=10.0)
+        task.new_attempt("n0", local=False, speculative=False, now=0.0, source_node="s")
+        # Expected duration 60s -> threshold 120s.
+        assert not policy.is_straggling(task, now=100.0)
+        assert policy.is_straggling(task, now=121.0)
+
+    def test_completed_task_never_straggles(self):
+        policy = SpeculationPolicy()
+        task = make_task()
+        from repro.mapreduce.job import TaskState
+
+        task.state = TaskState.COMPLETED
+        assert not policy.is_straggling(task, now=1e9)
+
+
+class TestMaySpeculate:
+    def test_cap_respected(self):
+        policy = SpeculationPolicy(slowdown=2.0, max_per_task=1)
+        task = make_task(gamma=10.0)
+        task.new_attempt("n0", local=True, speculative=False, now=0.0)
+        task.new_attempt("n1", local=True, speculative=True, now=0.0)
+        assert not policy.may_speculate(task, "n2", now=50.0)
+
+    def test_same_node_rejected(self):
+        policy = SpeculationPolicy(slowdown=2.0)
+        task = make_task(gamma=10.0)
+        task.new_attempt("n0", local=True, speculative=False, now=0.0)
+        assert not policy.may_speculate(task, "n0", now=50.0)
+        assert policy.may_speculate(task, "n1", now=50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeculationPolicy(slowdown=0.5)
+        with pytest.raises(ValueError):
+            SpeculationPolicy(max_per_task=-1)
+        with pytest.raises(ValueError):
+            SpeculationPolicy(nominal_fetch_seconds=-1.0)

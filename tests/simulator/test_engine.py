@@ -1,0 +1,168 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.engine import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for name in "abcde":
+            sim.schedule(5.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.schedule(7.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5, 7.0]
+        assert sim.now == 7.0
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        hits = []
+
+        def chain(n):
+            hits.append(sim.now)
+            if n > 0:
+                sim.schedule(1.0, lambda: chain(n - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run()
+        assert hits == [0.0, 1.0, 2.0, 3.0]
+
+    def test_schedule_at(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_at(15.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [15.0]
+
+    def test_rejects_past(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_at(4.9, lambda: None)
+
+    def test_rejects_infinite_time(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_at(float("inf"), lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # must not raise
+
+    def test_cancel_inside_event(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(2.0, lambda: fired.append("later"))
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+
+class TestRunControl:
+    def test_until_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        executed = sim.run(until=3.0)
+        assert executed == 1
+        assert fired == [1]
+        # The clock stays at the last executed event.
+        assert sim.now == 1.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_until_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run(until=3.0)
+        assert fired == [3]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(RuntimeError, match="re-entrant"):
+            sim.run()
+
+    def test_event_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_fired == 5
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_replay_identical(self, delays):
+        def run():
+            sim = Simulator()
+            log = []
+            for i, delay in enumerate(delays):
+                sim.schedule(delay, lambda i=i: log.append((sim.now, i)))
+            sim.run()
+            return log
+
+        assert run() == run()
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_time_never_regresses(self, delays):
+        sim = Simulator()
+        times = []
+        for delay in delays:
+            sim.schedule(delay, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)

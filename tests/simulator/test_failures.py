@@ -1,0 +1,161 @@
+"""Tests for failure injection."""
+
+import pytest
+
+from repro.availability.distributions import Deterministic, Exponential
+from repro.availability.generator import HostAvailability
+from repro.availability.traces import AvailabilityTrace
+from repro.simulator.engine import Simulator
+from repro.simulator.failures import FailureInjector
+from repro.util.rng import RandomSource
+
+
+def make_injector(seed=1):
+    sim = Simulator()
+    return sim, FailureInjector(sim, RandomSource(seed))
+
+
+def interrupted_host(host_id="h0", mtbi=10.0, mu=2.0):
+    return HostAvailability(
+        host_id=host_id,
+        arrival=Exponential(mean=mtbi),
+        service=Exponential(mean=mu),
+        group="test",
+    )
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def down(self, node_id, t):
+        self.events.append(("down", node_id, t))
+
+    def up(self, node_id, t):
+        self.events.append(("up", node_id, t))
+
+
+class TestAttachment:
+    def test_dedicated_never_fails(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        injector.attach_host(HostAvailability(host_id="d"))
+        sim.run(until=10000.0)
+        assert rec.events == []
+        assert not injector.is_down("d")
+
+    def test_interrupted_host_cycles(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        injector.attach_host(interrupted_host())
+        sim.run(until=500.0)
+        downs = [e for e in rec.events if e[0] == "down"]
+        ups = [e for e in rec.events if e[0] == "up"]
+        assert len(downs) > 10
+        assert abs(len(downs) - len(ups)) <= 1
+
+    def test_down_up_alternate(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        injector.attach_host(interrupted_host())
+        sim.run(until=300.0)
+        kinds = [e[0] for e in rec.events]
+        for a, b in zip(kinds, kinds[1:]):
+            assert a != b, "down/up must alternate"
+
+    def test_double_attach_rejected(self):
+        _, injector = make_injector()
+        injector.attach_host(interrupted_host())
+        with pytest.raises(ValueError, match="already attached"):
+            injector.attach_host(interrupted_host())
+
+    def test_accounting(self):
+        sim, injector = make_injector()
+        injector.attach_host(interrupted_host())
+        sim.run(until=1000.0)
+        assert injector.episode_count("h0") > 0
+        assert injector.downtime_total("h0") > 0.0
+
+
+class TestTraceReplay:
+    def test_exact_windows(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        trace = AvailabilityTrace("t0", 100.0, [(10.0, 15.0), (40.0, 42.0)])
+        injector.attach_trace(trace)
+        sim.run(until=100.0)
+        assert rec.events == [
+            ("down", "t0", 10.0),
+            ("up", "t0", 15.0),
+            ("down", "t0", 40.0),
+            ("up", "t0", 42.0),
+        ]
+
+    def test_state_queries_during_replay(self):
+        sim, injector = make_injector()
+        trace = AvailabilityTrace("t0", 100.0, [(10.0, 20.0)])
+        injector.attach_trace(trace)
+        sim.run(until=12.0)
+        assert injector.is_down("t0")
+        sim.run(until=25.0)
+        assert not injector.is_down("t0")
+
+
+class TestBurnIn:
+    def test_zero_burn_in_starts_up(self):
+        sim, injector = make_injector()
+        injector.attach_host(interrupted_host())
+        assert not injector.is_down("h0")
+
+    def test_burn_in_can_start_down(self):
+        # A host down 90% of the time and a long burn-in: at t=0 it must
+        # (for some seed) already be down, with the episode clipped to 0.
+        found_down = False
+        for seed in range(30):
+            sim = Simulator()
+            injector = FailureInjector(sim, RandomSource(seed))
+            host = HostAvailability(
+                host_id="h0",
+                arrival=Exponential(mean=10.0),
+                service=Deterministic(value=50.0),
+                group="test",
+            )
+            injector.attach_host(host, burn_in=10_000.0)
+            sim.run(until=0.0)
+            if injector.is_down("h0"):
+                found_down = True
+                break
+        assert found_down
+
+    def test_burn_in_preserves_event_validity(self):
+        sim, injector = make_injector(seed=9)
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        injector.attach_host(interrupted_host(), burn_in=500.0)
+        sim.run(until=200.0)
+        # Events stay ordered and alternating after the shift.
+        times = [t for _k, _n, t in rec.events]
+        assert times == sorted(times)
+        kinds = [k for k, _n, _t in rec.events]
+        for a, b in zip(kinds, kinds[1:]):
+            assert a != b
+
+    def test_negative_burn_in_rejected(self):
+        _, injector = make_injector()
+        with pytest.raises(ValueError):
+            injector.attach_host(interrupted_host(), burn_in=-1.0)
+
+
+class TestMultipleSubscribersOrder:
+    def test_callbacks_in_subscription_order(self):
+        sim, injector = make_injector()
+        order = []
+        injector.subscribe(on_down=lambda n, t: order.append("first"))
+        injector.subscribe(on_down=lambda n, t: order.append("second"))
+        injector.attach_trace(AvailabilityTrace("t", 10.0, [(1.0, 2.0)]))
+        sim.run(until=1.5)
+        assert order == ["first", "second"]

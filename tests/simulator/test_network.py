@@ -1,0 +1,191 @@
+"""Tests for the flow-level network model."""
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.network import Network, TransferState
+from repro.util.units import MB, mbit_per_s
+
+
+def setup_net(fair=True, up=1000.0, down=None):
+    sim = Simulator()
+    net = Network(sim, uplink_bps=up, downlink_bps=down, fair_sharing=fair)
+    return sim, net
+
+
+class Collector:
+    def __init__(self):
+        self.completed = []
+        self.cancelled = []
+
+    def on_complete(self, t):
+        self.completed.append(t)
+
+    def on_cancel(self, t):
+        self.cancelled.append(t)
+
+
+class TestSingleTransfer:
+    @pytest.mark.parametrize("fair", [True, False])
+    def test_duration_is_size_over_rate(self, fair):
+        sim, net = setup_net(fair=fair, up=100.0)
+        c = Collector()
+        net.start_transfer("a", "b", 1000.0, c.on_complete)
+        sim.run()
+        assert len(c.completed) == 1
+        assert c.completed[0].finished_at == pytest.approx(10.0)
+
+    @pytest.mark.parametrize("fair", [True, False])
+    def test_asymmetric_links(self, fair):
+        # Uplink 100, downlink 50: the slower link binds.
+        sim, net = setup_net(fair=fair, up=100.0, down=50.0)
+        c = Collector()
+        net.start_transfer("a", "b", 1000.0, c.on_complete)
+        sim.run()
+        assert c.completed[0].finished_at == pytest.approx(20.0)
+
+    def test_paper_canonical_example(self):
+        # 64MB at 8Mb/s ~ 67 seconds (Section I's "several minutes" at 1Mb/s).
+        sim, net = setup_net(up=mbit_per_s(8.0))
+        c = Collector()
+        net.start_transfer("a", "b", 64 * MB, c.on_complete)
+        sim.run()
+        assert c.completed[0].finished_at == pytest.approx(67.1, abs=0.2)
+
+    def test_rejects_self_transfer(self):
+        _, net = setup_net()
+        with pytest.raises(ValueError, match="differ"):
+            net.start_transfer("a", "a", 10.0, lambda t: None)
+
+    def test_rejects_negative_size(self):
+        _, net = setup_net()
+        with pytest.raises(ValueError):
+            net.start_transfer("a", "b", -5.0, lambda t: None)
+
+
+class TestFairSharing:
+    def test_shared_uplink_halves_rate(self):
+        # Two transfers from the same source share its uplink.
+        sim, net = setup_net(up=100.0)
+        c = Collector()
+        net.start_transfer("src", "d1", 1000.0, c.on_complete)
+        net.start_transfer("src", "d2", 1000.0, c.on_complete)
+        sim.run()
+        assert len(c.completed) == 2
+        for t in c.completed:
+            assert t.finished_at == pytest.approx(20.0)
+
+    def test_disjoint_transfers_full_rate(self):
+        sim, net = setup_net(up=100.0)
+        c = Collector()
+        net.start_transfer("a", "b", 1000.0, c.on_complete)
+        net.start_transfer("c", "d", 1000.0, c.on_complete)
+        sim.run()
+        for t in c.completed:
+            assert t.finished_at == pytest.approx(10.0)
+
+    def test_rate_rises_after_competitor_finishes(self):
+        # Transfer 2 starts halfway through and then shares; transfer 1
+        # finishes and transfer 2 speeds back up.
+        sim, net = setup_net(up=100.0)
+        c = Collector()
+        net.start_transfer("src", "d1", 1000.0, c.on_complete)
+        sim.schedule(5.0, lambda: net.start_transfer("src", "d2", 1000.0, c.on_complete))
+        sim.run()
+        by_dst = {t.destination: t for t in c.completed}
+        # t1: 5s at 100 + 10s at 50 = 1000 bytes -> ends at 15.
+        assert by_dst["d1"].finished_at == pytest.approx(15.0)
+        # t2: 10s at 50 (500) + 5s at 100 (500) -> ends at 20.
+        assert by_dst["d2"].finished_at == pytest.approx(20.0)
+
+    def test_max_min_with_mixed_bottlenecks(self):
+        # src uplink 100 shared by two flows; one flow's destination
+        # downlink only 30 -> it gets 30, the other picks up 70.
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0, downlink_bps=1000.0)
+        net.set_link("slow", downlink_bps=30.0)
+        c = Collector()
+        net.start_transfer("src", "slow", 300.0, c.on_complete)
+        net.start_transfer("src", "fast", 700.0, c.on_complete)
+        sim.run()
+        by_dst = {t.destination: t for t in c.completed}
+        assert by_dst["slow"].finished_at == pytest.approx(10.0)
+        assert by_dst["fast"].finished_at == pytest.approx(10.0)
+
+    def test_conservation_no_link_oversubscribed(self):
+        # At any allocation, the sum of flow rates through a link must not
+        # exceed its capacity.
+        sim, net = setup_net(up=100.0)
+        done = Collector()
+        for i in range(5):
+            net.start_transfer("hot", f"d{i}", 500.0, done.on_complete)
+        total_rate = sum(t.rate for t in net.active_transfers)
+        assert total_rate <= 100.0 + 1e-6
+        sim.run()
+        assert len(done.completed) == 5
+
+    def test_outgoing_count(self):
+        sim, net = setup_net(up=100.0)
+        c = Collector()
+        net.start_transfer("s", "d1", 1e6, c.on_complete)
+        net.start_transfer("s", "d2", 1e6, c.on_complete)
+        assert net.outgoing_count("s") == 2
+        assert net.outgoing_count("d1") == 0
+        sim.run()
+        assert net.outgoing_count("s") == 0
+
+
+class TestSimpleMode:
+    def test_no_contention(self):
+        # In simple mode, concurrent transfers do not slow each other.
+        sim, net = setup_net(fair=False, up=100.0)
+        c = Collector()
+        net.start_transfer("src", "d1", 1000.0, c.on_complete)
+        net.start_transfer("src", "d2", 1000.0, c.on_complete)
+        sim.run()
+        for t in c.completed:
+            assert t.finished_at == pytest.approx(10.0)
+
+
+class TestCancellation:
+    @pytest.mark.parametrize("fair", [True, False])
+    def test_cancel_stops_completion(self, fair):
+        sim, net = setup_net(fair=fair, up=100.0)
+        c = Collector()
+        t = net.start_transfer("a", "b", 1000.0, c.on_complete, c.on_cancel)
+        sim.schedule(4.0, lambda: net.cancel(t))
+        sim.run()
+        assert c.completed == []
+        assert len(c.cancelled) == 1
+        assert t.state is TransferState.CANCELLED
+        # Partial progress recorded: 4s at 100 B/s.
+        assert t.transferred == pytest.approx(400.0)
+
+    def test_cancel_involving_node(self):
+        sim, net = setup_net(up=100.0)
+        c = Collector()
+        net.start_transfer("x", "y", 1000.0, c.on_complete, c.on_cancel)
+        net.start_transfer("z", "x", 1000.0, c.on_complete, c.on_cancel)
+        net.start_transfer("z", "w", 1000.0, c.on_complete, c.on_cancel)
+        doomed = net.cancel_involving("x")
+        assert len(doomed) == 2
+        sim.run()
+        assert len(c.completed) == 1
+        assert c.completed[0].destination == "w"
+
+    def test_cancel_idempotent(self):
+        sim, net = setup_net()
+        c = Collector()
+        t = net.start_transfer("a", "b", 100.0, c.on_complete, c.on_cancel)
+        net.cancel(t)
+        net.cancel(t)
+        assert len(c.cancelled) == 1
+
+    def test_cancel_after_completion_is_noop(self):
+        sim, net = setup_net(up=100.0)
+        c = Collector()
+        t = net.start_transfer("a", "b", 100.0, c.on_complete, c.on_cancel)
+        sim.run()
+        net.cancel(t)
+        assert c.cancelled == []
+        assert t.state is TransferState.COMPLETED

@@ -1,0 +1,101 @@
+"""Edge cases for the network model beyond the basics."""
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.network import Network, TransferState
+
+
+class TestZeroAndTiny:
+    def test_zero_size_completes_immediately(self):
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0)
+        done = []
+        net.start_transfer("a", "b", 0.0, done.append)
+        sim.run()
+        assert len(done) == 1
+        assert done[0].finished_at == 0.0
+
+    def test_tiny_transfer(self):
+        sim = Simulator()
+        net = Network(sim, uplink_bps=1e9)
+        done = []
+        net.start_transfer("a", "b", 1.0, done.append)
+        sim.run()
+        assert done[0].duration == pytest.approx(1e-9)
+
+
+class TestManyFlows:
+    def test_fifty_flows_one_source_conserve_bytes(self):
+        sim = Simulator()
+        net = Network(sim, uplink_bps=1000.0, fair_sharing=True)
+        done = []
+        for i in range(50):
+            net.start_transfer("hot", f"d{i}", 200.0, done.append)
+        sim.run()
+        assert len(done) == 50
+        # 50 x 200 bytes through a 1000 B/s uplink needs exactly 10s.
+        assert max(t.finished_at for t in done) == pytest.approx(10.0)
+
+    def test_chain_of_dependent_transfers(self):
+        # Each completion triggers the next; total time is the serial sum.
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0)
+        finished = []
+
+        def start(i):
+            if i >= 5:
+                return
+            net.start_transfer(
+                "a", "b", 100.0, lambda t: (finished.append(t), start(i + 1))
+            )
+
+        start(0)
+        sim.run()
+        assert len(finished) == 5
+        assert finished[-1].finished_at == pytest.approx(5.0)
+
+
+class TestDynamicCapacity:
+    def test_per_node_overrides(self):
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0)
+        net.set_link("fast", uplink_bps=1000.0)
+        assert net.uplink("fast") == 1000.0
+        assert net.uplink("other") == 100.0
+        with pytest.raises(ValueError):
+            net.set_link("bad", uplink_bps=0.0)
+
+    def test_rates_zero_after_terminal(self):
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0)
+        done = []
+        t = net.start_transfer("a", "b", 100.0, done.append)
+        sim.run()
+        assert t.rate == 0.0
+        assert t.state is TransferState.COMPLETED
+
+    def test_duration_unavailable_while_active(self):
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0)
+        t = net.start_transfer("a", "b", 1e9, lambda _t: None)
+        with pytest.raises(ValueError):
+            _ = t.duration
+
+
+class TestCancellationStorm:
+    def test_cancel_all_then_reuse(self):
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0, fair_sharing=True)
+        cancelled = []
+        for i in range(10):
+            net.start_transfer("s", f"d{i}", 1000.0, lambda t: None, cancelled.append)
+        for t in net.active_transfers:
+            net.cancel(t)
+        assert len(cancelled) == 10
+        assert net.active_transfers == []
+        # The network stays usable afterwards.
+        done = []
+        net.start_transfer("s", "fresh", 100.0, done.append)
+        sim.run()
+        assert len(done) == 1

@@ -1,0 +1,39 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        out = format_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 6  # rule, header, rule, 2 rows, rule
+        assert "| a" in lines[1]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-value"]])
+        lines = out.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every line padded to the same width
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159]])
+        assert "3.142" in out
+
+    def test_large_float_formatting(self):
+        out = format_table(["v"], [[123456.789]])
+        assert "123456.8" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "| a |" in out

@@ -1,0 +1,55 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro.util.units import (
+    MB,
+    Mb,
+    format_bytes,
+    format_rate,
+    mbit_per_s,
+    megabytes,
+    seconds_to_transfer,
+)
+
+
+class TestConversions:
+    def test_megabytes(self):
+        assert megabytes(64) == 64 * 1024 * 1024
+
+    def test_mbit_per_s(self):
+        # 8 Mb/s = 1e6 bytes/s.
+        assert mbit_per_s(8) == pytest.approx(1_000_000.0)
+
+    def test_mbit_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            mbit_per_s(0)
+
+    def test_transfer_time_64mb_at_8mbps(self):
+        # The paper's canonical example: a 64MB block at 8Mb/s takes ~67s.
+        t = seconds_to_transfer(megabytes(64), mbit_per_s(8))
+        assert t == pytest.approx(67.1, abs=0.1)
+
+    def test_transfer_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            seconds_to_transfer(100, 0)
+
+    def test_transfer_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            seconds_to_transfer(-1, 10)
+
+    def test_zero_size_is_instant(self):
+        assert seconds_to_transfer(0, 100) == 0.0
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(64 * MB) == "64.0MB"
+        assert format_bytes(512) == "512.0B"
+        assert format_bytes(3 * 1024) == "3.0KB"
+
+    def test_format_rate(self):
+        assert format_rate(mbit_per_s(8)) == "8.0Mb/s"
+
+    def test_mb_constant_consistency(self):
+        assert Mb == pytest.approx(125_000.0)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from bench_output.txt.
+
+Extracts the printed figure tables and the Table 1 / headline lines from a
+benchmark-harness run and substitutes them into EXPERIMENTS.md. Rerun after
+regenerating bench_output.txt to keep the document in sync.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def extract_table(lines, title_fragment):
+    """Grab an ASCII table that follows a title containing the fragment."""
+    for i, line in enumerate(lines):
+        if title_fragment in line:
+            block = [line.rstrip()]
+            j = i + 1
+            while j < len(lines) and (
+                lines[j].startswith("+") or lines[j].startswith("|")
+            ):
+                block.append(lines[j].rstrip())
+                j += 1
+            if len(block) > 1:
+                return "```\n" + "\n".join(block) + "\n```"
+    return "*(table not found in bench_output.txt — rerun the harness)*"
+
+
+def main() -> int:
+    bench = (ROOT / "bench_output.txt").read_text().splitlines()
+    doc = (ROOT / "EXPERIMENTS.md").read_text()
+
+    # Table 1 numbers.
+    t1 = {}
+    for line in bench:
+        m = re.match(r"\| MTBI \(seconds\)\s*\| (\S+)\s*\| (\S+)\s*\| (\S+)", line)
+        if m:
+            t1["mtbi_mean"], t1["mtbi_std"], t1["mtbi_cov"] = m.groups()
+        m = re.match(
+            r"\| Interruption Duration \(seconds\) \| (\S+)\s*\| (\S+)\s*\| (\S+)", line
+        )
+        if m:
+            t1["dur_mean"], t1["dur_std"], t1["dur_cov"] = m.groups()
+    doc = doc.replace("MEASURED_T1_MTBI_COV", t1.get("mtbi_cov", "?"))
+    doc = doc.replace("MEASURED_T1_MTBI", t1.get("mtbi_mean", "?"))
+    doc = doc.replace("MEASURED_T1_DUR_COV", t1.get("dur_cov", "?"))
+    doc = doc.replace("MEASURED_T1_DUR", t1.get("dur_mean", "?"))
+
+    headline = next((l for l in bench if l.startswith("headline")), None)
+    doc = doc.replace(
+        "HEADLINE_BLOCK", f"```\n{headline}\n```" if headline else "*(missing)*"
+    )
+
+    for placeholder, fragment in [
+        ("FIG3A_TABLE", "Figure 3(a)"),
+        ("FIG3B_TABLE", "Figure 3(b)"),
+        ("FIG3C_TABLE", "Figure 3(c)"),
+        ("FIG4A_TABLE", "Figure 4(a)"),
+        ("FIG4B_TABLE", "Figure 4(b)"),
+        ("FIG4C_TABLE", "Figure 4(c)"),
+        ("FIG5A_TABLE", "Figure 5(a)"),
+        ("FIG5B_TABLE", "Figure 5(b)"),
+        ("FIG5C_TABLE", "Figure 5(c)"),
+    ]:
+        doc = doc.replace(placeholder, extract_table(bench, fragment))
+
+    (ROOT / "EXPERIMENTS.md").write_text(doc)
+    leftovers = re.findall(r"(MEASURED_\w+|FIG\d\w_TABLE|HEADLINE_BLOCK)", doc)
+    if leftovers:
+        print(f"warning: unfilled placeholders: {sorted(set(leftovers))}")
+        return 1
+    print("EXPERIMENTS.md filled.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
