@@ -1,0 +1,122 @@
+"""Durability sweep: replication factor x permanent-failure rate.
+
+The paper models interruptions as recoverable ("data blocks are stored on
+persistent storage and could be reused after the node is back"), but real
+non-dedicated hosts also *leave* — volunteers quit, disks die. This
+benchmark turns on the durability pipeline (permanent-failure injection +
+the re-replication monitor) and sweeps replication factor against the
+per-host permanent-loss probability for each placement policy, reporting
+the costs the paper's experiments never pay: blocks lost for good,
+re-replication traffic, and the makespan impact of recovery copies
+contending with job reads.
+
+Note that the monitor also heals through *transient* interruptions — it
+cannot know a detected-dead node will come back, exactly like HDFS
+re-replicating after its dead-node timeout — so re-replication traffic is
+nonzero even at permanent-failure rate zero whenever replication >= 2.
+
+Expectations asserted:
+
+* with replication 1 a permanent failure destroys data — no amount of
+  healing can recover a block whose only replica is gone;
+* replication >= 2 plus the monitor loses strictly fewer blocks than
+  replication 1 under the same failure schedule (zero loss is *not*
+  guaranteed: two permanent failures landing close together can destroy
+  both replicas of a block before healing finishes — only the
+  single-node-loss guarantee, covered by the integration tests, is
+  absolute);
+* re-replication moves bytes whenever replication >= 2 (healing through
+  interruptions), and never at replication 1 (a block's sole replica has
+  no surviving source to copy from).
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import FULL, emulation_base, run_once
+from repro.runtime.runner import run_map_phase
+from repro.util.stats import mean
+from repro.util.tables import format_table
+
+POLICIES = ("existing", "naive", "adapt")
+REPLICATIONS = (1, 2, 3) if FULL else (1, 2)
+FAILURE_RATES = (0.0, 0.05, 0.15) if FULL else (0.0, 0.1)
+REPETITIONS = 3 if FULL else 2
+
+
+def test_durability_sweep(benchmark):
+    def run():
+        cells = {}
+        for policy in POLICIES:
+            for replication in REPLICATIONS:
+                for rate in FAILURE_RATES:
+                    elapsed, lost, rebytes, retries = [], [], [], []
+                    for rep in range(REPETITIONS):
+                        base = emulation_base(seed=900 + rep)
+                        config = replace(
+                            base.cluster_config(),
+                            replication_monitor=True,
+                            permanent_failure_rate=rate,
+                            permanent_failure_horizon=300.0,
+                        )
+                        result = run_map_phase(
+                            base.hosts(),
+                            config,
+                            policy,
+                            replication=replication,
+                            blocks_per_node=base.blocks_per_node,
+                        )
+                        durability = result.durability
+                        assert durability is not None
+                        elapsed.append(result.elapsed)
+                        lost.append(durability.blocks_lost)
+                        rebytes.append(durability.rereplication_bytes)
+                        retries.append(durability.degraded_read_retries)
+                    cells[(policy, replication, rate)] = {
+                        "elapsed": mean(elapsed),
+                        "blocks_lost": mean(lost),
+                        "rereplication_mb": mean(rebytes) / (1024.0 * 1024.0),
+                        "degraded_read_retries": mean(retries),
+                    }
+        return cells
+
+    cells = run_once(benchmark, run)
+    rows = [
+        [
+            policy,
+            replication,
+            f"{rate:.2f}",
+            f"{cell['elapsed']:.1f}",
+            f"{cell['blocks_lost']:.1f}",
+            f"{cell['rereplication_mb']:.0f}",
+            f"{cell['degraded_read_retries']:.1f}",
+        ]
+        for (policy, replication, rate), cell in sorted(cells.items())
+    ]
+    print()
+    print(
+        format_table(
+            [
+                "policy",
+                "replicas",
+                "perm rate",
+                "makespan (s)",
+                "blocks lost",
+                "re-repl (MB)",
+                "read retries",
+            ],
+            rows,
+            title="Durability: replication x permanent-failure rate",
+        )
+    )
+
+    top_rate = max(FAILURE_RATES)
+    for policy in POLICIES:
+        # Unreplicated data dies; replication + healing limits the damage.
+        lost_r1 = cells[(policy, 1, top_rate)]["blocks_lost"]
+        lost_r2 = cells[(policy, 2, top_rate)]["blocks_lost"]
+        assert lost_r1 > 0.0, policy
+        assert lost_r2 < lost_r1, policy
+        # Healing needs a surviving source: traffic iff replication >= 2.
+        for rate in FAILURE_RATES:
+            assert cells[(policy, 1, rate)]["rereplication_mb"] == 0.0, policy
+        assert cells[(policy, 2, top_rate)]["rereplication_mb"] > 0.0, policy

@@ -87,6 +87,29 @@ def _build_parser() -> argparse.ArgumentParser:
     emulate.add_argument("--bandwidth", type=float, default=8.0)
     emulate.add_argument("--blocks-per-node", type=float, default=20.0)
     emulate.add_argument("--seed", type=int, default=0)
+    emulate.add_argument(
+        "--replication-monitor",
+        action="store_true",
+        help="heal under-replicated blocks by re-replicating over the network",
+    )
+    emulate.add_argument(
+        "--permanent-failure-rate",
+        type=float,
+        default=0.0,
+        help="per-host probability of an unrecoverable loss (disk wiped)",
+    )
+    emulate.add_argument(
+        "--permanent-failure-horizon",
+        type=float,
+        default=600.0,
+        help="permanent losses strike uniformly within this many seconds",
+    )
+    emulate.add_argument(
+        "--fetch-retries",
+        type=int,
+        default=2,
+        help="remote-fetch retries across surviving replicas (0 = fail fast)",
+    )
 
     simulate = sub.add_parser("simulate", help="run one large-scale point (Fig 5 cell)")
     simulate.add_argument("--policy", default="adapt", choices=["existing", "naive", "adapt"])
@@ -167,6 +190,10 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
         bandwidth_mbps=args.bandwidth,
         blocks_per_node=args.blocks_per_node,
         seed=args.seed,
+        replication_monitor=args.replication_monitor,
+        permanent_failure_rate=args.permanent_failure_rate,
+        permanent_failure_horizon=args.permanent_failure_horizon,
+        fetch_retries=args.fetch_retries,
     )
     result = run_emulation_point(config, Strategy(args.policy, args.replicas))
     _print_result(result)
@@ -188,6 +215,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _print_result(result) -> None:
     rows = [[k, v] for k, v in result.summary_row().items()]
+    durability = getattr(result, "durability", None)
+    if durability is not None and (
+        durability.permanent_failures
+        or durability.rereplications_started
+        or durability.degraded_read_retries
+        or durability.blocks_lost
+    ):
+        rows.extend([k, v] for k, v in durability.summary_row().items())
     print(format_table(["metric", "value"], rows, title="Map phase result"))
 
 

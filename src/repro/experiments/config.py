@@ -77,6 +77,12 @@ class EmulationConfig:
     access_during_downtime: bool = True
     oracle_estimates: bool = True
     speculation_enabled: bool = True
+    #: Durability pipeline knobs (see ClusterConfig): heal under-replicated
+    #: blocks, and optionally destroy nodes for good during the run.
+    replication_monitor: bool = False
+    permanent_failure_rate: float = 0.0
+    permanent_failure_horizon: float = 600.0
+    fetch_retries: int = 2
 
     def __post_init__(self) -> None:
         check_positive("node_count", self.node_count)
@@ -84,6 +90,7 @@ class EmulationConfig:
         check_positive("bandwidth_mbps", self.bandwidth_mbps)
         check_positive("block_size_bytes", self.block_size_bytes)
         check_positive("blocks_per_node", self.blocks_per_node)
+        check_probability("permanent_failure_rate", self.permanent_failure_rate)
 
     def with_(self, **overrides: object) -> "EmulationConfig":
         """Immutable update (sweep axes replace one field at a time)."""
@@ -102,6 +109,10 @@ class EmulationConfig:
             access_during_downtime=self.access_during_downtime,
             oracle_estimates=self.oracle_estimates,
             speculation_enabled=self.speculation_enabled,
+            replication_monitor=self.replication_monitor,
+            permanent_failure_rate=self.permanent_failure_rate,
+            permanent_failure_horizon=self.permanent_failure_horizon,
+            fetch_retries=self.fetch_retries,
             seed=self.seed if seed is None else seed,
         )
 

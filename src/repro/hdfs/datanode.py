@@ -75,6 +75,18 @@ class DataNode:
         except KeyError:
             raise KeyError(f"{self._node_id} does not store {block_id}")
 
+    def wipe(self) -> List[str]:
+        """Destroy every stored replica (permanent failure: disk gone).
+
+        Returns the ids of the destroyed replicas, in sorted order. Unlike
+        an ordinary interruption — where "data blocks are stored on
+        persistent storage and could be reused after the node is back" —
+        a wiped node has nothing to offer even if it were to return.
+        """
+        destroyed = sorted(self._blocks)
+        self._blocks.clear()
+        return destroyed
+
     def __repr__(self) -> str:
         state = "up" if self._is_up else "down"
         return f"DataNode({self._node_id!r}, blocks={len(self._blocks)}, {state})"

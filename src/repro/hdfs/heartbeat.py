@@ -81,8 +81,42 @@ class HeartbeatService:
         self._schedule_beat(node_id)
         self._arm_watchdog(node_id)
 
+    def untrack(self, node_id: str) -> None:
+        """Stop heartbeating for one node and disarm its events.
+
+        Idempotent; use for nodes leaving the cluster for good (e.g. a
+        permanent failure, once detected) or when tearing a cluster down.
+        """
+        if node_id not in self._is_up:
+            return
+        for events in (self._beat_events, self._watchdogs):
+            event = events.pop(node_id, None)
+            if event is not None:
+                event.cancel()
+        del self._is_up[node_id]
+        del self._down_since[node_id]
+        del self._last_beat[node_id]
+
+    def stop(self) -> None:
+        """Disarm every beat and watchdog (cluster teardown).
+
+        A stopped service fires nothing further; cancelled clusters must
+        not leave armed events behind in the simulator heap.
+        """
+        for node_id in list(self._is_up):
+            self.untrack(node_id)
+
+    def is_tracked(self, node_id: str) -> bool:
+        return node_id in self._is_up
+
+    @property
+    def tracked_nodes(self) -> List[str]:
+        return sorted(self._is_up)
+
     def node_down(self, node_id: str, time: float) -> None:
         """Physical interruption: beats stop (injector callback)."""
+        if node_id not in self._is_up:
+            return
         self._is_up[node_id] = False
         self._down_since[node_id] = time
         event = self._beat_events.get(node_id)
@@ -92,6 +126,8 @@ class HeartbeatService:
 
     def node_up(self, node_id: str, time: float) -> None:
         """Physical return: beat immediately, then resume the cadence."""
+        if node_id not in self._is_up:
+            return
         self._is_up[node_id] = True
         self._beat(node_id, returning=True)
 
@@ -103,7 +139,7 @@ class HeartbeatService:
         )
 
     def _beat(self, node_id: str, returning: bool = False) -> None:
-        if not self._is_up[node_id]:
+        if not self._is_up.get(node_id, False):
             return
         now = self._sim.now
         predictor = self._namenode.predictor
@@ -134,6 +170,8 @@ class HeartbeatService:
         )
 
     def _check_timeout(self, node_id: str) -> None:
+        if node_id not in self._is_up:
+            return  # untracked while the watchdog was in flight
         self._watchdogs[node_id] = None
         now = self._sim.now
         if now - self._last_beat[node_id] < self.timeout:

@@ -8,7 +8,7 @@ an availability-aware policy driven by the Performance Predictor.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.placement import NodeView, PlacementPolicy
 from repro.core.predictor import PerformancePredictor
@@ -178,6 +178,78 @@ class NameNode:
             block.block_id: sorted(self._locations[block.block_id])
             for block in dfs_file.blocks
         }
+
+    def located_on(self, node_id: str) -> List[str]:
+        """Block ids whose *metadata* lists the node as a holder.
+
+        Unlike :meth:`blocks_on` this reads the location map, not the
+        DataNode's physical storage — so it stays correct for a node whose
+        disk was wiped but whose loss has not been processed yet.
+        """
+        self._require_node(node_id)
+        return sorted(
+            block_id for block_id, holders in self._locations.items() if node_id in holders
+        )
+
+    def replication_target(self, block_id: str) -> int:
+        """The replication degree the block's file asks for."""
+        block = self.block(block_id)
+        return self._files[block.file_name].replication
+
+    def under_replicated(self) -> Dict[str, int]:
+        """block id -> live replica count, for blocks below their target.
+
+        "Live" means held on a node the NameNode currently believes alive;
+        blocks with zero live replicas are included (count 0) as long as
+        some replica location is still recorded, and lost blocks (no
+        locations at all) are included too.
+        """
+        shortfall: Dict[str, int] = {}
+        for block_id, holders in self._locations.items():
+            live = sum(1 for n in holders if self._live[n])
+            if live < self.replication_target(block_id):
+                shortfall[block_id] = live
+        return shortfall
+
+    def add_replica(self, block_id: str, node_id: str) -> None:
+        """Materialise a new replica (re-replication landed)."""
+        block = self.block(block_id)
+        if node_id in self._locations[block_id]:
+            raise ValueError(f"{node_id} already holds {block_id}")
+        self._store_replica(block, node_id)
+
+    def remove_replica(self, block_id: str, node_id: str) -> None:
+        """Drop one replica (over-replication garbage collection).
+
+        Refuses to remove the last recorded replica — durability GC must
+        never turn an over-replicated block into a lost one.
+        """
+        if node_id not in self.replica_holders(block_id):
+            raise ValueError(f"{node_id} does not hold {block_id}")
+        if len(self._locations[block_id]) <= 1:
+            raise ValueError(f"refusing to remove the last replica of {block_id}")
+        self._remove_replica(block_id, node_id)
+
+    def purge_node(self, node_id: str) -> Tuple[List[str], List[str]]:
+        """Erase every replica the node held from the location map.
+
+        Called when a node's loss is known to be permanent (its disk is
+        gone, so the usual down-but-recoverable bookkeeping is wrong).
+        Returns ``(affected, lost)``: all block ids the node held, and the
+        subset left with zero replicas anywhere — unrecoverable data loss.
+        The node stays registered (and dead) so historic queries resolve.
+        """
+        self._require_node(node_id)
+        affected = self.located_on(node_id)
+        lost: List[str] = []
+        datanode = self._datanodes[node_id]
+        for block_id in affected:
+            self._locations[block_id].discard(node_id)
+            if datanode.has_block(block_id):
+                datanode.remove(block_id)
+            if not self._locations[block_id]:
+                lost.append(block_id)
+        return affected, lost
 
     def _store_replica(self, block: Block, node_id: str) -> None:
         self._require_node(node_id)

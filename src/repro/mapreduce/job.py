@@ -21,6 +21,11 @@ class TaskState(enum.Enum):
     PENDING = "pending"
     RUNNING = "running"
     COMPLETED = "completed"
+    #: The task's input block has zero surviving replicas (permanent node
+    #: losses destroyed them all); it can never run and no longer blocks
+    #: job completion. Real Hadoop fails such jobs outright — abandoning
+    #: the task instead keeps the makespan measurable under data loss.
+    ABANDONED = "abandoned"
 
 
 class AttemptState(enum.Enum):
@@ -220,6 +225,11 @@ class MapJob:
     @property
     def completed_count(self) -> int:
         return sum(1 for t in self._tasks if t.is_completed)
+
+    @property
+    def abandoned_count(self) -> int:
+        """Tasks whose input block was destroyed (see TaskState.ABANDONED)."""
+        return sum(1 for t in self._tasks if t.state is TaskState.ABANDONED)
 
     @property
     def makespan(self) -> float:

@@ -29,7 +29,7 @@ replicas are unreadable (ablation).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.predictor import PerformancePredictor
 from repro.hdfs.namenode import NameNode
@@ -68,6 +68,7 @@ class JobTracker(SchedulerContext):
 
         self._job: Optional[MapJob] = None
         self._scheduler: Optional[TaskScheduler] = None
+        self._tasks_by_block: Dict[str, MapTask] = {}
         self._running: Dict[MapTask, None] = {}  # insertion-ordered set
         self._limbo: Dict[str, List] = {}  # node -> failed, not-yet-requeued attempts
         self._idle: Dict[str, None] = {}  # insertion-ordered set of starved nodes
@@ -75,6 +76,10 @@ class JobTracker(SchedulerContext):
         self._down_overlap: Dict[str, float] = {}
         self._busy_baseline: Dict[str, float] = {}
         self._completed = 0
+        self._abandoned = 0
+        #: Blocks with zero surviving physical replicas — storage-level
+        #: fact, so it survives across jobs.
+        self._lost_blocks: Set[str] = set()
         self._sweep_event: Optional[EventHandle] = None
         self._on_complete: Optional[Callable[[MapJob], None]] = None
         # Straggler scan memoised per timestamp (cleared when time advances).
@@ -116,9 +121,18 @@ class JobTracker(SchedulerContext):
             self._down_since.setdefault(node_id, None)
             self._down_overlap[node_id] = 0.0
             self._busy_baseline[node_id] = tracker.busy_seconds
+        self._abandoned = 0
+        self._tasks_by_block = {task.block.block_id: task for task in job.tasks}
         for task in job.tasks:
             self._metrics.add_base(task.gamma)
             self._scheduler.enqueue(task, sorted(self.holders(task)))
+        # A job submitted over already-destroyed blocks must not wait on
+        # tasks that can never run.
+        for task in job.tasks:
+            if task.block.block_id in self._lost_blocks:
+                self._abandon(task)
+        if self.is_done:
+            return
         for node_id, tracker in self._trackers.items():
             if tracker.is_up:
                 self.try_assign(node_id)
@@ -133,10 +147,34 @@ class JobTracker(SchedulerContext):
         return sorted(self._namenode.replica_holders(task.block.block_id))
 
     def readable_holders(self, task: MapTask) -> Sequence[str]:
-        all_holders = self.holders(task)
+        block_id = task.block.block_id
+        # A holder whose physical storage lost the block (permanently failed
+        # node, wiped but not yet purged from the location map) can never
+        # serve it — even under soft access_during_downtime semantics.
+        holders = [
+            h for h in self.holders(task) if self._namenode.datanode(h).has_block(block_id)
+        ]
         if self._access_down:
-            return all_holders
-        return [h for h in all_holders if self._namenode.datanode(h).is_up]
+            return holders
+        return [h for h in holders if self._namenode.datanode(h).is_up]
+
+    def alternative_source(
+        self,
+        task: MapTask,
+        reader: str,
+        exclude: Optional[str] = None,
+    ) -> Optional[str]:
+        """Best readable replica for a degraded-read retry, or None.
+
+        ``exclude`` is the source that just failed; it is avoided when any
+        other replica is readable, but allowed back as a last resort (it
+        may have recovered by the time the backoff fires).
+        """
+        sources = [h for h in self.readable_holders(task) if h != reader]
+        if not sources:
+            return None
+        pool = [h for h in sources if h != exclude] or sources
+        return self.choose_source(task, pool)
 
     def choose_source(self, task: MapTask, sources: Sequence[str]) -> str:
         """Stream from the least-loaded replica (ties broken lexically)."""
@@ -254,7 +292,7 @@ class JobTracker(SchedulerContext):
             self._trackers[other.node_id].kill(other)
             freed.append(other.node_id)
         assert self._job is not None
-        if self._completed == self._job.num_tasks:
+        if self._completed + self._abandoned == self._job.num_tasks:
             self._finish()
             return
         for node_id in freed:
@@ -280,6 +318,11 @@ class JobTracker(SchedulerContext):
     def _maybe_requeue(self, task: MapTask) -> None:
         if task.is_completed or task.has_live_attempt():
             return
+        if task.state is TaskState.ABANDONED:
+            return
+        if task.block.block_id in self._lost_blocks:
+            self._abandon(task)
+            return
         if task.state is TaskState.PENDING:
             return  # already queued
         task.state = TaskState.PENDING
@@ -300,6 +343,33 @@ class JobTracker(SchedulerContext):
             self.try_assign(node_id)
             if not self.is_assignable(task):
                 return
+
+    def _abandon(self, task: MapTask) -> None:
+        """Give up on a task whose input block no longer exists anywhere."""
+        if task.is_completed or task.state is TaskState.ABANDONED:
+            return
+        task.state = TaskState.ABANDONED
+        self._running.pop(task, None)
+        self._abandoned += 1
+        assert self._job is not None
+        if self._completed + self._abandoned == self._job.num_tasks:
+            self._finish()
+
+    def on_block_lost(self, block_id: str) -> None:
+        """Permanent failures destroyed the block's last physical replica.
+
+        Tasks over the block can never (re-)run. A live attempt already
+        streamed (or holds) its input, so it may still succeed — if it later
+        fails, :meth:`_maybe_requeue` abandons the task then.
+        """
+        self._lost_blocks.add(block_id)
+        if self._job is None or self.is_done:
+            return
+        task = self._tasks_by_block.get(block_id)
+        if task is None or task.is_completed:
+            return
+        if not task.has_live_attempt():
+            self._abandon(task)
 
     # -- cluster signals ------------------------------------------------------------------
 
@@ -324,6 +394,21 @@ class JobTracker(SchedulerContext):
         """Failure detection fired (heartbeat timeout or oracle)."""
         for attempt in self._limbo.pop(node_id, []):
             self._maybe_requeue(attempt.task)
+
+    def on_replica_added(self, block_id: str, node_id: str) -> None:
+        """A re-replication copy landed: the replica map moved under us.
+
+        If the block's task is still pending, the new holder opens a fresh
+        locality opportunity — enqueue it node-locally and poke the node.
+        """
+        if self._job is None or self.is_done or self._scheduler is None:
+            return
+        task = self._tasks_by_block.get(block_id)
+        if task is None:
+            return
+        if self.is_assignable(task):
+            self._scheduler.enqueue(task, [node_id])
+        self.try_assign(node_id)
 
     def on_node_down_physical(self, node_id: str, time: float) -> None:
         """Raw injector signal, used only for recovery-time accounting."""

@@ -10,6 +10,15 @@ partial fetch wasted *migration* — and the blocks it stores persist. The
 TaskTracker does all physical accounting at the instant of failure; the
 JobTracker decides *when* to reschedule (it may not learn of the failure
 until a heartbeat timeout or the node's return).
+
+Hardened read path: when a remote fetch is torn down from the *source*
+side (the holder died mid-stream, or its disk was wiped), the attempt is
+not failed outright. If another readable replica exists, the fetch is
+retried against it after an exponential backoff, up to ``fetch_retries``
+times per attempt; only when the retries run out — or no surviving
+replica is readable — does the attempt fail back to the JobTracker. The
+backoff wait is charged to migration time (the slot is occupied acquiring
+remote data), which keeps the slot-time conservation law exact.
 """
 
 from __future__ import annotations
@@ -18,8 +27,9 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.mapreduce.job import AttemptState, TaskAttempt
 from repro.simulator.engine import EventHandle, Simulator
-from repro.simulator.metrics import MapPhaseMetrics
+from repro.simulator.metrics import DurabilityMetrics, MapPhaseMetrics
 from repro.simulator.network import Network, Transfer
+from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mapreduce.jobtracker import JobTracker
@@ -35,19 +45,30 @@ class TaskTracker:
         network: Network,
         metrics: MapPhaseMetrics,
         slots: int = 1,
+        fetch_retries: int = 0,
+        fetch_backoff: float = 1.0,
+        durability: Optional[DurabilityMetrics] = None,
     ) -> None:
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
+        if fetch_retries < 0:
+            raise ValueError(f"fetch_retries must be >= 0, got {fetch_retries}")
+        check_positive("fetch_backoff", fetch_backoff)
         self._sim = sim
         self._node_id = node_id
         self._network = network
         self._metrics = metrics
         self._slots = slots
+        self._fetch_retries = fetch_retries
+        self._fetch_backoff = fetch_backoff
+        self._durability = durability
         self._is_up = True
         self._jobtracker: Optional["JobTracker"] = None
         self._live: Dict[str, TaskAttempt] = {}
         self._exec_events: Dict[str, EventHandle] = {}
         self._transfers: Dict[str, Transfer] = {}
+        self._retry_events: Dict[str, EventHandle] = {}
+        self._retries_used: Dict[str, int] = {}
         self._busy_seconds = 0.0
 
     def bind(self, jobtracker: "JobTracker") -> None:
@@ -97,16 +118,20 @@ class TaskTracker:
             self._start_exec(attempt)
         else:
             attempt.state = AttemptState.FETCHING
-            attempt.fetch_started = self._sim.now
-            transfer = self._network.start_transfer(
-                source=attempt.source_node,
-                destination=self._node_id,
-                size_bytes=attempt.task.block.size_bytes,
-                on_complete=lambda t, a=attempt: self._on_fetch_done(a, t),
-                on_cancel=lambda t, a=attempt: self._on_fetch_cancelled(a, t),
-                label=f"fetch:{attempt.attempt_id}",
-            )
-            self._transfers[attempt.attempt_id] = transfer
+            self._start_fetch(attempt, attempt.source_node)
+
+    def _start_fetch(self, attempt: TaskAttempt, source: str) -> None:
+        attempt.source_node = source
+        attempt.fetch_started = self._sim.now
+        transfer = self._network.start_transfer(
+            source=source,
+            destination=self._node_id,
+            size_bytes=attempt.task.block.size_bytes,
+            on_complete=lambda t, a=attempt: self._on_fetch_done(a, t),
+            on_cancel=lambda t, a=attempt: self._on_fetch_cancelled(a, t),
+            label=f"fetch:{attempt.attempt_id}",
+        )
+        self._transfers[attempt.attempt_id] = transfer
 
     def _start_exec(self, attempt: TaskAttempt) -> None:
         attempt.state = AttemptState.RUNNING
@@ -132,15 +157,61 @@ class TaskTracker:
         self._start_exec(attempt)
 
     def _on_fetch_cancelled(self, attempt: TaskAttempt, transfer: Transfer) -> None:
-        """The network tore the fetch down (source side went unreadable)."""
+        """The network tore the fetch down (source side went unreadable).
+
+        If the node itself is still up, another readable replica exists and
+        the retry budget allows, the fetch is retried against a surviving
+        replica after an exponential backoff instead of failing the attempt.
+        """
         if attempt.state is not AttemptState.FETCHING:
             return  # we initiated the cancel ourselves; already accounted
         self._transfers.pop(attempt.attempt_id, None)
         assert attempt.fetch_started is not None
         self._metrics.add_migration(self._sim.now - attempt.fetch_started)
-        self._retire(attempt, AttemptState.FAILED)
         assert self._jobtracker is not None
+        used = self._retries_used.get(attempt.attempt_id, 0)
+        if (
+            self._is_up
+            and used < self._fetch_retries
+            and self._jobtracker.alternative_source(
+                attempt.task, reader=self._node_id, exclude=transfer.source
+            )
+            is not None
+        ):
+            self._retries_used[attempt.attempt_id] = used + 1
+            if self._durability is not None:
+                self._durability.degraded_read_retries += 1
+            # The attempt keeps its slot while waiting; fetch_started marks
+            # the start of the wait so the backoff is charged to migration
+            # when it ends (retry fires, node dies, or speculation kills us).
+            attempt.fetch_started = self._sim.now
+            delay = self._fetch_backoff * (2.0 ** used)
+            self._retry_events[attempt.attempt_id] = self._sim.schedule(
+                delay,
+                lambda: self._refetch(attempt),
+                label=f"refetch:{attempt.attempt_id}",
+            )
+            return
+        self._retire(attempt, AttemptState.FAILED)
         self._jobtracker.on_attempt_failed(attempt)
+
+    def _refetch(self, attempt: TaskAttempt) -> None:
+        """Backoff elapsed: fetch again from the best surviving replica."""
+        self._retry_events.pop(attempt.attempt_id, None)
+        if attempt.state is not AttemptState.FETCHING or not self._is_up:
+            return  # killed / node died while waiting; already accounted
+        assert attempt.fetch_started is not None
+        self._metrics.add_migration(self._sim.now - attempt.fetch_started)
+        assert self._jobtracker is not None
+        source = self._jobtracker.alternative_source(
+            attempt.task, reader=self._node_id, exclude=attempt.source_node
+        )
+        if source is None:
+            # The replica set changed during the backoff; give up cleanly.
+            self._retire(attempt, AttemptState.FAILED)
+            self._jobtracker.on_attempt_failed(attempt)
+            return
+        self._start_fetch(attempt, source)
 
     # -- interruption handling ---------------------------------------------------------
 
@@ -155,6 +226,8 @@ class TaskTracker:
                 if event is not None:
                     event.cancel()
             elif attempt.state is AttemptState.FETCHING:
+                # An armed retry has no transfer; fetch_started then marks
+                # the start of the backoff wait, charged the same way.
                 assert attempt.fetch_started is not None
                 self._metrics.add_migration(self._sim.now - attempt.fetch_started)
             self._retire(attempt, AttemptState.FAILED)
@@ -193,6 +266,10 @@ class TaskTracker:
     def _retire(self, attempt: TaskAttempt, state: AttemptState) -> None:
         attempt.retire(state, self._sim.now)
         self._live.pop(attempt.attempt_id, None)
+        self._retries_used.pop(attempt.attempt_id, None)
+        retry = self._retry_events.pop(attempt.attempt_id, None)
+        if retry is not None:
+            retry.cancel()
         assert attempt.finished_at is not None
         self._busy_seconds += attempt.finished_at - attempt.created_at
 

@@ -29,12 +29,13 @@ from repro.hdfs.client import DfsClient
 from repro.hdfs.datanode import DataNode
 from repro.hdfs.heartbeat import HeartbeatService
 from repro.hdfs.namenode import NameNode
+from repro.hdfs.replication_monitor import ReplicationMonitor
 from repro.mapreduce.jobtracker import JobTracker
 from repro.mapreduce.speculation import SpeculationPolicy
 from repro.mapreduce.tasktracker import TaskTracker
 from repro.simulator.engine import Simulator
 from repro.simulator.failures import FailureInjector
-from repro.simulator.metrics import MapPhaseMetrics
+from repro.simulator.metrics import DurabilityMetrics, MapPhaseMetrics
 from repro.simulator.network import Network
 from repro.util.rng import RandomSource
 from repro.util.units import MB, mbit_per_s
@@ -88,6 +89,24 @@ class ClusterConfig:
     prior_mtbi: float = 1e6
     prior_recovery: float = 0.0
     prior_weight: float = 1e-4
+    #: Durability pipeline: re-replicate under-replicated blocks when a
+    #: holder is declared dead (see repro.hdfs.replication_monitor).
+    #: Disabled by default — the paper's experiments model interruptions
+    #: as recoverable and never pay recovery traffic.
+    replication_monitor: bool = False
+    rereplication_max_concurrent: int = 2
+    rereplication_retry_budget: int = 4
+    rereplication_backoff_base: float = 5.0
+    rereplication_backoff_max: float = 60.0
+    #: Hardened read path: per-attempt remote-fetch retries with
+    #: exponential backoff across surviving replicas (0 = fail fast).
+    fetch_retries: int = 2
+    fetch_backoff: float = 1.0
+    #: Permanent failures: each host independently suffers an unrecoverable
+    #: loss (disk wiped, never returns) with this probability, at a uniform
+    #: time within ``permanent_failure_horizon``. 0 disables.
+    permanent_failure_rate: float = 0.0
+    permanent_failure_horizon: float = 600.0
     #: Root seed; every random stream in the cluster derives from it.
     seed: int = 0
 
@@ -98,6 +117,12 @@ class ClusterConfig:
             raise ValueError("slots_per_node must be >= 1")
         if self.detection not in _DETECTIONS:
             raise ValueError(f"detection must be one of {_DETECTIONS}, got {self.detection!r}")
+        if self.fetch_retries < 0:
+            raise ValueError("fetch_retries must be >= 0")
+        if not 0.0 <= self.permanent_failure_rate <= 1.0:
+            raise ValueError("permanent_failure_rate must be in [0, 1]")
+        if self.permanent_failure_rate > 0.0:
+            check_positive("permanent_failure_horizon", self.permanent_failure_horizon)
 
     @property
     def uplink_bps(self) -> float:
@@ -131,6 +156,8 @@ class Cluster:
         jobtracker: JobTracker,
         heartbeats: Optional[HeartbeatService],
         client: DfsClient,
+        durability: Optional[DurabilityMetrics] = None,
+        monitor: Optional[ReplicationMonitor] = None,
     ) -> None:
         self.config = config
         self.hosts = list(hosts)
@@ -144,6 +171,8 @@ class Cluster:
         self.jobtracker = jobtracker
         self.heartbeats = heartbeats
         self.client = client
+        self.durability = durability if durability is not None else DurabilityMetrics()
+        self.monitor = monitor
 
     @property
     def node_ids(self) -> List[str]:
@@ -174,6 +203,19 @@ class Cluster:
                     f"job did not finish within {max_events} events; "
                     "likely a livelock (check replica reachability settings)"
                 )
+
+    def stop(self) -> None:
+        """Tear the cluster down: disarm every recurring event source.
+
+        After this the simulator heap drains naturally — nothing re-arms —
+        so abandoned clusters don't leak beats, watchdogs, interruption
+        streams, or re-replication retries.
+        """
+        self.injector.stop()
+        if self.heartbeats is not None:
+            self.heartbeats.stop()
+        if self.monitor is not None:
+            self.monitor.stop()
 
 
 def build_cluster(
@@ -214,6 +256,7 @@ def build_cluster(
         predictor, placement_liveness_filter=config.placement_liveness_filter
     )
     metrics = MapPhaseMetrics()
+    durability = DurabilityMetrics()
     injector = FailureInjector(sim, rng)
 
     datanodes: Dict[str, DataNode] = {}
@@ -223,7 +266,14 @@ def build_cluster(
         namenode.register_datanode(datanode)
         datanodes[host.host_id] = datanode
         trackers[host.host_id] = TaskTracker(
-            sim, host.host_id, network, metrics, slots=config.slots_per_node
+            sim,
+            host.host_id,
+            network,
+            metrics,
+            slots=config.slots_per_node,
+            fetch_retries=config.fetch_retries,
+            fetch_backoff=config.fetch_backoff,
+            durability=durability,
         )
         if config.oracle_estimates:
             predictor.pin_oracle(
@@ -262,9 +312,41 @@ def build_cluster(
             interval=config.heartbeat_interval,
             miss_threshold=config.heartbeat_miss_threshold,
         )
-        heartbeats.subscribe(on_dead=jobtracker.on_node_dead)
         for host in hosts:
             heartbeats.track(host.host_id)
+
+    monitor: Optional[ReplicationMonitor] = None
+    if config.replication_monitor:
+
+        def on_node_purged(node_id: str) -> None:
+            # A permanently failed node never beats again; drop its
+            # watchdog instead of letting it fire forever.
+            if heartbeats is not None:
+                heartbeats.untrack(node_id)
+
+        monitor = ReplicationMonitor(
+            sim,
+            namenode,
+            network,
+            metrics=durability,
+            max_concurrent=config.rereplication_max_concurrent,
+            retry_budget=config.rereplication_retry_budget,
+            backoff_base=config.rereplication_backoff_base,
+            backoff_max=config.rereplication_backoff_max,
+            is_permanent=injector.is_permanently_failed,
+            on_node_purged=on_node_purged,
+            on_replica_added=jobtracker.on_replica_added,
+        )
+
+    # Detection subscribers: the monitor first (a permanent node must be
+    # purged from the location map before the JobTracker requeues work
+    # against stale holders), then the JobTracker.
+    if heartbeats is not None:
+        if monitor is not None:
+            heartbeats.subscribe(
+                on_dead=monitor.on_node_dead, on_returned=monitor.on_node_returned
+            )
+        heartbeats.subscribe(on_dead=jobtracker.on_node_dead)
 
     # -- transition wiring (order matters; see module docstring) -----------------
     injector.subscribe(on_down=jobtracker.on_node_down_physical)
@@ -277,6 +359,8 @@ def build_cluster(
     else:
         def oracle_down(node_id: str, t: float) -> None:
             namenode.mark_dead(node_id)
+            if monitor is not None:
+                monitor.on_node_dead(node_id, t)
             jobtracker.on_node_dead(node_id, t)
 
         injector.subscribe(on_down=oracle_down)
@@ -286,8 +370,40 @@ def build_cluster(
     if heartbeats is not None:
         injector.subscribe(on_up=heartbeats.node_up)
     else:
-        injector.subscribe(on_up=lambda node_id, t: namenode.mark_alive(node_id))
+        def oracle_up(node_id: str, t: float) -> None:
+            namenode.mark_alive(node_id)
+            if monitor is not None:
+                monitor.on_node_returned(node_id, t)
+
+        injector.subscribe(on_up=oracle_up)
     injector.subscribe(on_up=lambda node_id, t: trackers[node_id].on_node_up(t))
+
+    def on_permanent(node_id: str, t: float) -> None:
+        # Fires *before* the on_down chain (the disk dies the instant the
+        # failure strikes; detection reactions must see the wiped state).
+        # Wipe the physical storage, account the destroyed replicas, and
+        # tear down every in-flight transfer touching the node — sources
+        # included, regardless of the soft access_during_downtime
+        # semantics (there is nothing left to read).
+        destroyed = datanodes[node_id].wipe()
+        durability.record_permanent_failure(replicas_destroyed=len(destroyed))
+        lost = [
+            block_id
+            for block_id in destroyed
+            if not any(
+                namenode.datanode(holder).has_block(block_id)
+                for holder in namenode.replica_holders(block_id)
+            )
+        ]
+        durability.record_lost_blocks(lost)
+        # Tell the JobTracker *before* tearing down transfers: fetches
+        # cancelled below then see the block as lost and abandon instead of
+        # retrying against replicas that no longer exist.
+        for block_id in lost:
+            jobtracker.on_block_lost(block_id)
+        network.cancel_involving(node_id)
+
+    injector.subscribe(on_permanent=on_permanent)
 
     if traces is not None:
         trace_ids = [trace.host_id for trace in traces]
@@ -298,6 +414,17 @@ def build_cluster(
     else:
         for host in hosts:
             injector.attach_host(host, burn_in=config.stationary_burn_in)
+
+    if config.permanent_failure_rate > 0.0:
+        # Keyed per host so one host's draw never perturbs another's —
+        # the same property the interruption streams have.
+        for host in hosts:
+            perm_rng = rng.substream("permanent", host.host_id)
+            if perm_rng.random() < config.permanent_failure_rate:
+                injector.schedule_permanent_failure(
+                    host.host_id,
+                    at_time=perm_rng.uniform(0.0, config.permanent_failure_horizon),
+                )
 
     client = DfsClient(
         namenode,
@@ -318,4 +445,6 @@ def build_cluster(
         jobtracker=jobtracker,
         heartbeats=heartbeats,
         client=client,
+        durability=durability,
+        monitor=monitor,
     )

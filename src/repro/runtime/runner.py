@@ -17,7 +17,7 @@ from repro.availability.traces import AvailabilityTrace
 from repro.core.placement import PlacementPolicy, make_policy
 from repro.mapreduce.job import JobConf, MapJob
 from repro.runtime.cluster import Cluster, ClusterConfig, build_cluster
-from repro.simulator.metrics import OverheadBreakdown
+from repro.simulator.metrics import DurabilityMetrics, OverheadBreakdown
 from repro.workloads.base import Workload
 from repro.workloads.terasort import TerasortWorkload
 
@@ -34,6 +34,10 @@ class MapPhaseResult:
     data_locality: float
     breakdown: OverheadBreakdown
     seed: int
+    #: Storage-durability accounting for the run (always present; all
+    #: zeros unless failures were permanent or the monitor/read-path
+    #: hardening did work).
+    durability: Optional[DurabilityMetrics] = None
 
     @property
     def overhead_ratios(self) -> Dict[str, float]:
@@ -112,4 +116,5 @@ def run_map_phase(
         data_locality=cluster.metrics.data_locality,
         breakdown=breakdown,
         seed=config.seed,
+        durability=cluster.durability,
     )

@@ -9,20 +9,36 @@ pre-materialised :class:`~repro.availability.traces.AvailabilityTrace`
 Subscribers (cluster nodes, the heartbeat service, the network) receive
 ``on_down(node_id, time)`` / ``on_up(node_id, time)`` callbacks in
 subscription order, at the exact simulated instant of the transition.
+
+Beyond the recoverable episodes above, the injector can model *permanent*
+node loss (a downtime episode that never ends — the volunteer left and the
+disk is gone) via :meth:`FailureInjector.schedule_permanent_failure`, and
+*correlated* multi-node outages (a switch or site failure taking several
+hosts down at once) via :meth:`FailureInjector.schedule_outage`. Permanent
+loss fires a dedicated ``on_permanent`` chain *first* (the disk is
+destroyed at the failure instant — storage layers wipe and account before
+anything reacts), then the ordinary ``on_down`` chain (if the node was
+still up), so subscribers can distinguish "blocks temporarily unreachable"
+from "replicas destroyed".
+
+:meth:`FailureInjector.stop` tears the injector down: every armed event is
+cancelled, so an abandoned cluster cannot fire transitions into torn-down
+state.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.availability.generator import HostAvailability
 from repro.availability.process import DowntimeEpisode, InterruptionProcess
 from repro.availability.traces import AvailabilityTrace
-from repro.simulator.engine import Simulator
+from repro.simulator.engine import EventHandle, Simulator
 from repro.util.rng import RandomSource
 
 DownListener = Callable[[str, float], None]
 UpListener = Callable[[str, float], None]
+PermanentListener = Callable[[str, float], None]
 
 
 class FailureInjector:
@@ -33,10 +49,17 @@ class FailureInjector:
         self._rng = rng
         self._down_listeners: List[DownListener] = []
         self._up_listeners: List[UpListener] = []
+        self._permanent_listeners: List[PermanentListener] = []
         self._episode_streams: Dict[str, Iterator[DowntimeEpisode]] = {}
         self._is_down: Dict[str, bool] = {}
         self._episode_counts: Dict[str, int] = {}
         self._downtime_totals: Dict[str, float] = {}
+        self._permanent: Dict[str, bool] = {}
+        #: The one armed stream event per node (next begin, or current end).
+        self._stream_events: Dict[str, Optional[EventHandle]] = {}
+        #: Armed events from schedule_outage / schedule_permanent_failure.
+        self._injected_events: List[EventHandle] = []
+        self._stopped = False
 
     # -- subscriptions -----------------------------------------------------------
 
@@ -44,12 +67,21 @@ class FailureInjector:
         self,
         on_down: Optional[DownListener] = None,
         on_up: Optional[UpListener] = None,
+        on_permanent: Optional[PermanentListener] = None,
     ) -> None:
-        """Register transition callbacks."""
+        """Register transition callbacks.
+
+        ``on_permanent`` fires once per permanently failed node, *before*
+        the ``on_down`` chain (if the node was up at that instant): the
+        disk is gone the moment the failure strikes, and detection-side
+        reactions in the down chain must observe the wiped state.
+        """
         if on_down is not None:
             self._down_listeners.append(on_down)
         if on_up is not None:
             self._up_listeners.append(on_up)
+        if on_permanent is not None:
+            self._permanent_listeners.append(on_permanent)
 
     # -- attachment ---------------------------------------------------------------
 
@@ -70,9 +102,7 @@ class FailureInjector:
             raise ValueError(f"node {node_id!r} already attached")
         if burn_in < 0:
             raise ValueError(f"burn_in must be non-negative, got {burn_in}")
-        self._is_down[node_id] = False
-        self._episode_counts[node_id] = 0
-        self._downtime_totals[node_id] = 0.0
+        self._register(node_id)
         process = host.process(self._rng.substream("failures", node_id))
         if process is None:
             return
@@ -103,15 +133,114 @@ class FailureInjector:
         node_id = trace.host_id
         if node_id in self._is_down:
             raise ValueError(f"node {node_id!r} already attached")
-        self._is_down[node_id] = False
-        self._episode_counts[node_id] = 0
-        self._downtime_totals[node_id] = 0.0
+        self._register(node_id)
         episodes = (
             DowntimeEpisode(start=start, end=end, interruption_count=1)
             for start, end in trace.down_windows
         )
         self._episode_streams[node_id] = episodes
         self._schedule_next(node_id)
+
+    def _register(self, node_id: str) -> None:
+        self._is_down[node_id] = False
+        self._episode_counts[node_id] = 0
+        self._downtime_totals[node_id] = 0.0
+        self._permanent[node_id] = False
+        self._stream_events[node_id] = None
+
+    # -- injected failures ---------------------------------------------------------
+
+    def schedule_permanent_failure(self, node_id: str, at_time: float) -> None:
+        """Arm a permanent loss of ``node_id`` at ``at_time``.
+
+        At that instant the node goes (or stays) down forever: its episode
+        stream is dropped, any pending recovery is cancelled, and the
+        ``on_permanent`` chain fires. A second permanent failure for the
+        same node is a silent no-op at fire time.
+        """
+        self._require_node(node_id)
+        handle = self._sim.schedule_at(
+            at_time,
+            lambda: self._begin_permanent(node_id),
+            label=f"permafail:{node_id}",
+        )
+        self._injected_events.append(handle)
+
+    def schedule_outage(
+        self, node_ids: Sequence[str], start: float, duration: float
+    ) -> None:
+        """Arm a correlated outage: every node goes down at ``start`` for
+        ``duration`` seconds.
+
+        Nodes already down at ``start`` simply stay down (their own episode
+        governs the return); nodes taken down by the outage come back at
+        ``start + duration`` unless permanently failed in between.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        for node_id in node_ids:
+            self._require_node(node_id)
+        episode = DowntimeEpisode(
+            start=start, end=start + duration, interruption_count=1
+        )
+        for node_id in node_ids:
+            handle = self._sim.schedule_at(
+                start,
+                lambda n=node_id: self._begin_injected(n, episode),
+                label=f"outage:{node_id}",
+            )
+            self._injected_events.append(handle)
+
+    def _begin_injected(self, node_id: str, episode: DowntimeEpisode) -> None:
+        if self._stopped or self._permanent[node_id] or self._is_down[node_id]:
+            return
+        # An armed stream begin-event would double-fire on_down while the
+        # outage holds the node; _begin_episode guards on is_down and folds
+        # such overlaps away, so the stream stays consistent.
+        self._begin_episode(node_id, episode, from_stream=False)
+
+    def _begin_permanent(self, node_id: str) -> None:
+        if self._stopped or self._permanent[node_id]:
+            return
+        self._permanent[node_id] = True
+        self._episode_streams.pop(node_id, None)
+        event = self._stream_events.get(node_id)
+        if event is not None:
+            event.cancel()
+            self._stream_events[node_id] = None
+        now = self._sim.now
+        # Destruction before detection: the permanent chain (disk wipe,
+        # durability accounting) runs first so the down chain — trackers,
+        # heartbeats, oracle detection — sees the post-wipe state.
+        for listener in self._permanent_listeners:
+            listener(node_id, now)
+        if not self._is_down[node_id]:
+            self._is_down[node_id] = True
+            self._episode_counts[node_id] += 1
+            for listener in self._down_listeners:
+                listener(node_id, now)
+
+    # -- teardown --------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Cancel every armed event; the injector goes permanently quiet.
+
+        Use when abandoning a cluster mid-run so stray transitions cannot
+        fire into torn-down subscribers.
+        """
+        self._stopped = True
+        for node_id, event in self._stream_events.items():
+            if event is not None:
+                event.cancel()
+                self._stream_events[node_id] = None
+        for event in self._injected_events:
+            event.cancel()
+        self._injected_events.clear()
+        self._episode_streams.clear()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
 
     # -- queries --------------------------------------------------------------------
 
@@ -123,6 +252,10 @@ class FailureInjector:
         """Current state of a node."""
         return self._is_down[node_id]
 
+    def is_permanently_failed(self, node_id: str) -> bool:
+        """Whether the node is gone for good (disk and all)."""
+        return self._permanent[node_id]
+
     def episode_count(self, node_id: str) -> int:
         """Downtime episodes this node has *started* so far."""
         return self._episode_counts[node_id]
@@ -130,6 +263,10 @@ class FailureInjector:
     def downtime_total(self, node_id: str) -> float:
         """Seconds of completed downtime so far."""
         return self._downtime_totals[node_id]
+
+    def _require_node(self, node_id: str) -> None:
+        if node_id not in self._is_down:
+            raise KeyError(f"unknown node {node_id!r}")
 
     # -- internals --------------------------------------------------------------------
 
@@ -139,27 +276,49 @@ class FailureInjector:
             return
         episode = next(stream, None)
         if episode is None:
+            self._stream_events[node_id] = None
             return
         start = max(episode.start, self._sim.now)
-        self._sim.schedule_at(
+        self._stream_events[node_id] = self._sim.schedule_at(
             start, lambda: self._begin_episode(node_id, episode), label=f"down:{node_id}"
         )
 
-    def _begin_episode(self, node_id: str, episode: DowntimeEpisode) -> None:
+    def _begin_episode(
+        self, node_id: str, episode: DowntimeEpisode, from_stream: bool = True
+    ) -> None:
+        if self._stopped or self._permanent[node_id]:
+            return
+        if self._is_down[node_id]:
+            # Overlap with an injected outage: fold this episode away and
+            # keep the stream advancing (its own episodes never overlap).
+            if from_stream:
+                self._schedule_next(node_id)
+            return
         self._is_down[node_id] = True
         self._episode_counts[node_id] += 1
         now = self._sim.now
         for listener in self._down_listeners:
             listener(node_id, now)
         end = max(episode.end, now)
-        self._sim.schedule_at(
-            end, lambda: self._end_episode(node_id, episode), label=f"up:{node_id}"
+        handle = self._sim.schedule_at(
+            end,
+            lambda: self._end_episode(node_id, episode, from_stream),
+            label=f"up:{node_id}",
         )
+        if from_stream:
+            self._stream_events[node_id] = handle
+        else:
+            self._injected_events.append(handle)
 
-    def _end_episode(self, node_id: str, episode: DowntimeEpisode) -> None:
+    def _end_episode(
+        self, node_id: str, episode: DowntimeEpisode, from_stream: bool = True
+    ) -> None:
+        if self._stopped or self._permanent[node_id]:
+            return
         self._is_down[node_id] = False
         self._downtime_totals[node_id] += episode.duration
         now = self._sim.now
         for listener in self._up_listeners:
             listener(node_id, now)
-        self._schedule_next(node_id)
+        if from_stream:
+            self._schedule_next(node_id)

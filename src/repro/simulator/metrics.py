@@ -25,7 +25,7 @@ property-tested.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterable, List, Set
 
 from repro.util.validation import check_non_negative
 
@@ -116,6 +116,81 @@ class MapPhaseMetrics:
             useful=self.useful_time,
             data_locality=self.data_locality,
         )
+
+
+@dataclass
+class DurabilityMetrics:
+    """Durability accounting for the storage layer.
+
+    Populated by the :class:`~repro.hdfs.replication_monitor.ReplicationMonitor`
+    (re-replication traffic, retries, garbage collection), the cluster's
+    permanent-failure wiring (replicas destroyed, blocks lost for good) and
+    the TaskTrackers (degraded-read retries on the hardened fetch path).
+    """
+
+    #: Permanent node failures observed (at detection time).
+    permanent_failures: int = 0
+    #: Replicas destroyed by permanent failures (disk wiped).
+    replicas_lost: int = 0
+    #: Blocks with zero surviving replicas — unrecoverable data loss.
+    blocks_lost: int = 0
+    #: Re-replication copies started / completed over the network.
+    rereplications_started: int = 0
+    rereplications_completed: int = 0
+    #: Bytes moved by re-replication (partial bytes of failed copies count:
+    #: the traffic was spent either way).
+    rereplication_bytes: float = 0.0
+    #: Wall-clock transfer time consumed by re-replication copies.
+    rereplication_seconds: float = 0.0
+    #: Copies torn down mid-transfer by an endpoint death.
+    rereplication_failures: int = 0
+    #: Backoff retries scheduled after mid-copy failures.
+    rereplication_retries: int = 0
+    #: Blocks whose retry budget ran out (left for a later membership event).
+    rereplication_abandoned: int = 0
+    #: Redundant replicas removed when an interrupted holder returned.
+    overreplicated_removed: int = 0
+    #: Remote fetches retried against a surviving replica instead of
+    #: failing the attempt outright (the hardened read path).
+    degraded_read_retries: int = 0
+
+    _lost_ids: Set[str] = field(default_factory=set, repr=False)
+
+    def record_permanent_failure(self, replicas_destroyed: int) -> None:
+        if replicas_destroyed < 0:
+            raise ValueError(f"replicas_destroyed must be >= 0, got {replicas_destroyed}")
+        self.permanent_failures += 1
+        self.replicas_lost += replicas_destroyed
+
+    def record_lost_blocks(self, block_ids: Iterable[str]) -> None:
+        """Record unrecoverable blocks (idempotent per block id)."""
+        for block_id in block_ids:
+            if block_id not in self._lost_ids:
+                self._lost_ids.add(block_id)
+                self.blocks_lost += 1
+
+    @property
+    def lost_block_ids(self) -> List[str]:
+        return sorted(self._lost_ids)
+
+    def record_copy_traffic(self, transferred_bytes: float, seconds: float) -> None:
+        self.rereplication_bytes += check_non_negative("bytes", transferred_bytes)
+        self.rereplication_seconds += check_non_negative("seconds", seconds)
+
+    def summary_row(self) -> Dict[str, object]:
+        """Flat view for result tables / benchmark output."""
+        return {
+            "permanent_failures": self.permanent_failures,
+            "replicas_lost": self.replicas_lost,
+            "blocks_lost": self.blocks_lost,
+            "rereplications_completed": self.rereplications_completed,
+            "rereplication_bytes": self.rereplication_bytes,
+            "rereplication_seconds": self.rereplication_seconds,
+            "rereplication_failures": self.rereplication_failures,
+            "rereplication_retries": self.rereplication_retries,
+            "overreplicated_removed": self.overreplicated_removed,
+            "degraded_read_retries": self.degraded_read_retries,
+        }
 
 
 @dataclass(frozen=True)

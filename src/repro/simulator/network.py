@@ -121,7 +121,10 @@ class Network:
         self._fair = fair_sharing
         self._uplinks: Dict[str, float] = {}
         self._downlinks: Dict[str, float] = {}
-        self._active: Set[Transfer] = set()
+        # Insertion-ordered: Transfer hashes by identity, so iterating a
+        # plain set would depend on memory addresses and break seed
+        # determinism. Every iteration below relies on this ordering.
+        self._active: Dict[Transfer, None] = {}
         self._outgoing: Dict[str, int] = defaultdict(int)
         self._ids = itertools.count()
         self._last_update = sim.now
@@ -191,10 +194,10 @@ class Network:
         self._outgoing[source] += 1
         if self._fair:
             self._advance()
-            self._active.add(transfer)
+            self._active[transfer] = None
             self._reallocate_and_reschedule()
         else:
-            self._active.add(transfer)
+            self._active[transfer] = None
             transfer.rate = min(self.uplink(source), self.downlink(destination))
             eta = transfer.remaining / transfer.rate if transfer.remaining > 0 else 0.0
             transfer._event = self._sim.schedule(
@@ -208,7 +211,7 @@ class Network:
             return
         if self._fair:
             self._advance()
-            self._active.discard(transfer)
+            self._active.pop(transfer, None)
             self._finalize(transfer, TransferState.CANCELLED)
             self._reallocate_and_reschedule()
         else:
@@ -217,7 +220,7 @@ class Network:
             # Record partial progress for accounting.
             elapsed = self._sim.now - transfer.started_at
             transfer.remaining = max(transfer.remaining - transfer.rate * elapsed, 0.0)
-            self._active.discard(transfer)
+            self._active.pop(transfer, None)
             self._finalize(transfer, TransferState.CANCELLED)
 
     def cancel_involving(self, node_id: str) -> List[Transfer]:
@@ -235,7 +238,7 @@ class Network:
         if transfer.state is not TransferState.ACTIVE:
             return
         transfer.remaining = 0.0
-        self._active.discard(transfer)
+        self._active.pop(transfer, None)
         self._finalize(transfer, TransferState.COMPLETED)
 
     # -- internals: fair-sharing mode ------------------------------------------------
@@ -257,7 +260,13 @@ class Network:
         # Complete anything already drained before looking for the next ETA.
         finished = [t for t in self._active if t.remaining <= _DONE_EPSILON]
         for transfer in finished:
-            self._active.discard(transfer)
+            if transfer.state is not TransferState.ACTIVE:
+                # A completion callback re-entered the network (started or
+                # cancelled transfers) and an inner reallocation already
+                # finalized this one; finalizing again would double-fire
+                # callbacks and corrupt the outgoing counts.
+                continue
+            self._active.pop(transfer, None)
             transfer.remaining = 0.0
             self._finalize(transfer, TransferState.COMPLETED)
         if finished:
@@ -281,14 +290,14 @@ class Network:
         if not self._active:
             return
         capacity: Dict[Tuple[str, str], float] = {}
-        members: Dict[Tuple[str, str], Set[Transfer]] = defaultdict(set)
+        members: Dict[Tuple[str, str], List[Transfer]] = defaultdict(list)
         for transfer in self._active:
             up = ("up", transfer.source)
             down = ("down", transfer.destination)
             capacity.setdefault(up, self.uplink(transfer.source))
             capacity.setdefault(down, self.downlink(transfer.destination))
-            members[up].add(transfer)
-            members[down].add(transfer)
+            members[up].append(transfer)
+            members[down].append(transfer)
 
         unfixed: Set[Transfer] = set(self._active)
         rates: Dict[Transfer, float] = {}
@@ -297,17 +306,17 @@ class Network:
             bottleneck = None
             bottleneck_share = None
             for link, users in members.items():
-                live = users & unfixed
+                live = sum(1 for u in users if u in unfixed)
                 if not live:
                     continue
-                share = max(capacity[link], 0.0) / len(live)
+                share = max(capacity[link], 0.0) / live
                 if bottleneck_share is None or share < bottleneck_share:
                     bottleneck_share = share
                     bottleneck = link
             if bottleneck is None:
                 break
             assert bottleneck_share is not None
-            for transfer in list(members[bottleneck] & unfixed):
+            for transfer in [t for t in members[bottleneck] if t in unfixed]:
                 rates[transfer] = bottleneck_share
                 unfixed.discard(transfer)
                 # Consume this flow's share on its *other* link.
@@ -324,7 +333,14 @@ class Network:
         transfer.state = state
         transfer.finished_at = self._sim.now
         transfer.rate = 0.0
-        self._outgoing[transfer.source] -= 1
+        count = self._outgoing[transfer.source] - 1
+        assert count >= 0, f"negative outgoing count for {transfer.source!r}"
+        if count == 0:
+            # Prune so outgoing_count/choose_source tie-breaks stay exact
+            # and the dict does not grow without bound over long runs.
+            del self._outgoing[transfer.source]
+        else:
+            self._outgoing[transfer.source] = count
         if state is TransferState.COMPLETED:
             transfer.on_complete(transfer)
         elif transfer.on_cancel is not None:

@@ -93,3 +93,46 @@ class TestConfigValidation:
             HeartbeatService(sim, nn, interval=0.0)
         with pytest.raises(ValueError):
             HeartbeatService(sim, nn, miss_threshold=0)
+
+
+class TestTeardown:
+    def test_untrack_disarms_beats_and_watchdog(self):
+        sim, nn, hb = setup()
+        hb.untrack("n0")
+        assert not hb.is_tracked("n0")
+        assert hb.tracked_nodes == []
+        fired = sim.run(until=1000.0)
+        assert fired == 0, "no beat or watchdog may fire after untrack"
+
+    def test_untrack_is_idempotent_and_ignores_unknown(self):
+        sim, nn, hb = setup()
+        hb.untrack("n0")
+        hb.untrack("n0")
+        hb.untrack("ghost")
+        assert hb.tracked_nodes == []
+
+    def test_untracked_node_never_declared_dead(self):
+        # A permanently-failed node is untracked at purge time: its silence
+        # must not keep firing the watchdog forever.
+        sim, nn, hb = setup()
+        deaths = []
+        hb.subscribe(on_dead=lambda n, t: deaths.append(n))
+        sim.schedule(10.0, lambda: hb.node_down("n0", 10.0))
+        sim.schedule(11.0, lambda: hb.untrack("n0"))
+        sim.run(until=1000.0)
+        assert deaths == []
+
+    def test_stop_untracks_every_node(self):
+        sim, nn, hb = setup(nodes=3)
+        sim.run(until=10.0)
+        hb.stop()
+        assert hb.tracked_nodes == []
+        assert sim.run(until=1000.0) == 0
+
+    def test_retrack_after_untrack(self):
+        sim, nn, hb = setup()
+        hb.untrack("n0")
+        hb.track("n0")
+        assert hb.is_tracked("n0")
+        sim.run(until=50.0)
+        assert nn.is_live("n0")

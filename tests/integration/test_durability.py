@@ -1,0 +1,178 @@
+"""Durability scenarios: permanent data loss and the healing pipeline.
+
+The acceptance bar for the durability stack: with the replication monitor
+on and replication >= 2, a permanent single-node loss must end with zero
+unreadable blocks and every job completing; with the monitor off the same
+scenario must *report* the damage in the durability metrics. Correlated
+permanent losses that destroy every replica of a block must still leave
+the job terminating (tasks over lost blocks are abandoned, keeping the
+makespan measurable) with the loss accounted.
+"""
+
+from repro.availability.generator import HostAvailability
+from repro.availability.traces import AvailabilityTrace
+from repro.core.placement import RandomPlacement
+from repro.mapreduce.job import JobConf, MapJob, TaskState
+from repro.runtime.cluster import ClusterConfig, build_cluster
+
+GAMMA = 10.0
+HORIZON = 1_000_000.0
+
+
+def build(windows, n=4, detection="oracle", bandwidth=8.0, seed=1, **kw):
+    hosts = [HostAvailability(host_id=f"n{i}") for i in range(n)]
+    traces = [
+        AvailabilityTrace(f"n{i}", HORIZON, windows.get(i, ())) for i in range(n)
+    ]
+    config = ClusterConfig(
+        bandwidth_mbps=bandwidth, detection=detection, seed=seed, **kw
+    )
+    return build_cluster(hosts, config, traces=traces, default_gamma=GAMMA)
+
+
+def submit(cluster, blocks, replication=2):
+    f = cluster.client.copy_from_local(
+        "in", num_blocks=blocks, replication=replication,
+        policy=RandomPlacement(), gamma=GAMMA,
+    )
+    job = MapJob.uniform(JobConf(), f, GAMMA)
+    cluster.jobtracker.submit(job)
+    return job
+
+
+def readable_replicas(cluster, block_id):
+    """Holders whose *physical* storage can still serve the block."""
+    return [
+        h
+        for h in cluster.namenode.replica_holders(block_id)
+        if cluster.namenode.datanode(h).has_block(block_id)
+    ]
+
+
+class TestSinglePermanentLoss:
+    def test_monitor_heals_to_zero_unreadable(self):
+        cluster = build({}, n=4, replication_monitor=True)
+        job = submit(cluster, blocks=8, replication=2)
+        held = cluster.client.block_distribution("in")["n0"]
+        assert held > 0, "seed must place data on the doomed node"
+        cluster.injector.schedule_permanent_failure("n0", at_time=12.0)
+        cluster.run_until_job_done()
+        assert job.is_complete
+        cluster.sim.run(until=50_000.0)  # let healing drain
+        d = cluster.durability
+        assert d.permanent_failures == 1
+        assert d.replicas_lost == held
+        assert d.blocks_lost == 0
+        assert d.rereplications_completed == held
+        assert d.rereplication_bytes > 0
+        # Every block is back at full strength on surviving disks.
+        assert cluster.namenode.under_replicated() == {}
+        for task in job.tasks:
+            block_id = task.block.block_id
+            replicas = readable_replicas(cluster, block_id)
+            assert len(replicas) == 2
+            assert "n0" not in replicas
+        assert cluster.monitor.is_idle()
+
+    def test_without_monitor_damage_is_reported_not_healed(self):
+        cluster = build({}, n=4)  # replication_monitor defaults off
+        job = submit(cluster, blocks=8, replication=2)
+        held = cluster.client.block_distribution("in")["n0"]
+        assert held > 0
+        cluster.injector.schedule_permanent_failure("n0", at_time=12.0)
+        cluster.run_until_job_done()
+        # Surviving replicas keep every block readable: the job completes.
+        assert job.is_complete
+        cluster.sim.run(until=50_000.0)
+        d = cluster.durability
+        assert d.permanent_failures == 1
+        assert d.replicas_lost == held
+        assert d.blocks_lost == 0
+        assert d.rereplication_bytes == 0.0
+        # Nothing heals: the shortfall persists in the NameNode's view.
+        shortfall = cluster.namenode.under_replicated()
+        assert len(shortfall) == held
+        assert all(live == 1 for live in shortfall.values())
+
+    def test_heartbeat_detection_purges_and_untracks(self):
+        cluster = build(
+            {}, n=4, detection="heartbeat", replication_monitor=True,
+            heartbeat_interval=3.0, heartbeat_miss_threshold=2,
+        )
+        job = submit(cluster, blocks=8, replication=2)
+        cluster.injector.schedule_permanent_failure("n0", at_time=12.0)
+        cluster.run_until_job_done()
+        assert job.is_complete
+        cluster.sim.run(until=50_000.0)
+        assert not cluster.heartbeats.is_tracked("n0")
+        assert cluster.durability.blocks_lost == 0
+        assert cluster.namenode.under_replicated() == {}
+        assert cluster.namenode.located_on("n0") == []
+
+
+class TestUnrecoverableLoss:
+    def doomed_blocks(self, cluster, job, victims):
+        return [
+            t.block.block_id
+            for t in job.tasks
+            if cluster.namenode.replica_holders(t.block.block_id) <= victims
+        ]
+
+    def test_correlated_loss_destroys_blocks_but_job_terminates(self):
+        # n0 and n1 are both lost before any heal can finish (a block copy
+        # takes ~64 s at 8 Mb/s; the failures are 4 s apart): every block
+        # whose replicas all lived on the pair is gone for good. The job
+        # must still terminate, abandoning the unrunnable tasks.
+        cluster = build({}, n=3, replication_monitor=True)
+        job = submit(cluster, blocks=9, replication=2)
+        doomed = self.doomed_blocks(cluster, job, {"n0", "n1"})
+        assert doomed, "seed must co-locate some block entirely on n0+n1"
+        cluster.injector.schedule_permanent_failure("n0", at_time=8.0)
+        cluster.injector.schedule_permanent_failure("n1", at_time=12.0)
+        cluster.run_until_job_done()
+        assert job.finished_at is not None
+        assert job.makespan > 0.0
+        d = cluster.durability
+        assert d.permanent_failures == 2
+        assert d.blocks_lost == len(doomed)
+        assert sorted(d.lost_block_ids) == sorted(doomed)
+        assert job.completed_count + job.abandoned_count == job.num_tasks
+        # Only tasks over destroyed blocks were abandoned.
+        for task in job.tasks:
+            if task.state is TaskState.ABANDONED:
+                assert task.block.block_id in doomed
+
+    def test_replication_one_permanent_loss_abandons_and_terminates(self):
+        # With replication 1 there is nothing to heal from: the dead node's
+        # blocks are simply lost and their tasks abandoned (this is the
+        # scenario that used to livelock run_until_job_done).
+        cluster = build({}, n=3, replication_monitor=True)
+        job = submit(cluster, blocks=9, replication=1)
+        doomed = self.doomed_blocks(cluster, job, {"n0"})
+        assert doomed
+        cluster.injector.schedule_permanent_failure("n0", at_time=5.0)
+        cluster.run_until_job_done()
+        assert job.finished_at is not None
+        d = cluster.durability
+        assert d.blocks_lost == len(doomed)
+        assert d.rereplication_bytes == 0.0
+        assert job.completed_count + job.abandoned_count == job.num_tasks
+        abandoned = [t for t in job.tasks if t.state is TaskState.ABANDONED]
+        assert abandoned
+        assert all(t.block.block_id in doomed for t in abandoned)
+
+    def test_job_over_already_lost_blocks_finishes_immediately(self):
+        # Losing data between jobs: a second job submitted over the damaged
+        # file must abandon the dead tasks at submit time, not hang.
+        cluster = build({}, n=3, replication_monitor=True)
+        job = submit(cluster, blocks=6, replication=1)
+        doomed = self.doomed_blocks(cluster, job, {"n0"})
+        assert doomed
+        cluster.injector.schedule_permanent_failure("n0", at_time=5.0)
+        cluster.run_until_job_done()
+        second = MapJob.uniform(JobConf(name="again"), cluster.namenode.file("in"), GAMMA)
+        cluster.jobtracker.submit(second)
+        cluster.run_until_job_done()
+        assert second.finished_at is not None
+        assert second.abandoned_count == len(doomed)
+        assert second.completed_count == second.num_tasks - len(doomed)

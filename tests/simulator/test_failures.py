@@ -159,3 +159,98 @@ class TestMultipleSubscribersOrder:
         injector.attach_trace(AvailabilityTrace("t", 10.0, [(1.0, 2.0)]))
         sim.run(until=1.5)
         assert order == ["first", "second"]
+
+
+class TestPermanentFailures:
+    def test_node_never_returns(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        perms = []
+        injector.subscribe(rec.down, rec.up, on_permanent=lambda n, t: perms.append((n, t)))
+        injector.attach_host(interrupted_host())
+        injector.schedule_permanent_failure("h0", at_time=50.0)
+        sim.run(until=5000.0)
+        assert perms == [("h0", 50.0)]
+        assert injector.is_permanently_failed("h0")
+        assert injector.is_down("h0")
+        # No transition fires after the permanent loss.
+        assert all(t <= 50.0 for _k, _n, t in rec.events)
+
+    def test_permanent_while_already_down_fires_no_extra_down(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        injector.attach_trace(AvailabilityTrace("t0", 100.0, [(10.0, 20.0)]))
+        injector.schedule_permanent_failure("t0", at_time=15.0)
+        sim.run(until=100.0)
+        assert rec.events == [("down", "t0", 10.0)]
+        assert injector.is_down("t0")
+
+    def test_second_permanent_failure_is_noop(self):
+        sim, injector = make_injector()
+        perms = []
+        injector.subscribe(on_permanent=lambda n, t: perms.append(t))
+        injector.attach_host(HostAvailability(host_id="h0"))
+        injector.schedule_permanent_failure("h0", at_time=10.0)
+        injector.schedule_permanent_failure("h0", at_time=20.0)
+        sim.run(until=100.0)
+        assert perms == [10.0]
+
+    def test_unknown_node_rejected(self):
+        _, injector = make_injector()
+        with pytest.raises(KeyError):
+            injector.schedule_permanent_failure("ghost", at_time=1.0)
+
+
+class TestCorrelatedOutage:
+    def test_all_nodes_drop_and_return_together(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        for i in range(3):
+            injector.attach_host(HostAvailability(host_id=f"h{i}"))
+        injector.schedule_outage(["h0", "h1", "h2"], start=10.0, duration=5.0)
+        sim.run(until=100.0)
+        downs = sorted(e for e in rec.events if e[0] == "down")
+        ups = sorted(e for e in rec.events if e[0] == "up")
+        assert downs == [("down", f"h{i}", 10.0) for i in range(3)]
+        assert ups == [("up", f"h{i}", 15.0) for i in range(3)]
+
+    def test_outage_skips_already_down_node(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        injector.attach_trace(AvailabilityTrace("t0", 100.0, [(5.0, 30.0)]))
+        injector.attach_trace(AvailabilityTrace("t1", 100.0, []))
+        injector.schedule_outage(["t0", "t1"], start=10.0, duration=5.0)
+        sim.run(until=100.0)
+        # t0's own episode governs its return; t1 follows the outage.
+        assert ("up", "t0", 30.0) in rec.events
+        assert ("up", "t1", 15.0) in rec.events
+        assert [e for e in rec.events if e[0] == "down" and e[1] == "t0"] == [
+            ("down", "t0", 5.0)
+        ]
+
+    def test_rejects_nonpositive_duration(self):
+        _, injector = make_injector()
+        injector.attach_host(HostAvailability(host_id="h0"))
+        with pytest.raises(ValueError):
+            injector.schedule_outage(["h0"], start=1.0, duration=0.0)
+
+
+class TestInjectorTeardown:
+    def test_stop_silences_everything(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        injector.attach_host(interrupted_host())
+        injector.schedule_outage(["h0"], start=500.0, duration=5.0)
+        injector.schedule_permanent_failure("h0", at_time=600.0)
+        sim.run(until=100.0)
+        fired_before = len(rec.events)
+        assert fired_before > 0
+        injector.stop()
+        assert injector.stopped
+        sim.run(until=5000.0)
+        assert len(rec.events) == fired_before
+        assert not injector.is_permanently_failed("h0")

@@ -99,3 +99,111 @@ class TestCancellationStorm:
         net.start_transfer("s", "fresh", 100.0, done.append)
         sim.run()
         assert len(done) == 1
+
+
+class TestOutgoingBookkeeping:
+    def test_counts_prune_to_zero_after_traffic(self):
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0)
+        for i in range(3):
+            net.start_transfer("s", f"d{i}", 100.0, lambda t: None)
+        assert net.outgoing_count("s") == 3
+        sim.run()
+        assert net.outgoing_count("s") == 0
+        # The internal map is pruned, not just zeroed.
+        assert net._outgoing == {}
+
+    def test_cancel_involving_both_roles(self):
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0)
+        keep = net.start_transfer("a", "b", 1000.0, lambda t: None)
+        as_source = net.start_transfer("x", "b", 1000.0, lambda t: None)
+        as_dest = net.start_transfer("a", "x", 1000.0, lambda t: None)
+        doomed = net.cancel_involving("x")
+        assert set(doomed) == {as_source, as_dest}
+        assert as_source.state is TransferState.CANCELLED
+        assert as_dest.state is TransferState.CANCELLED
+        assert net.active_transfers == [keep]
+        assert net.outgoing_count("x") == 0
+
+    def test_cancel_involving_uninvolved_node_is_noop(self):
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0)
+        t = net.start_transfer("a", "b", 1000.0, lambda t: None)
+        assert net.cancel_involving("z") == []
+        assert t.state is TransferState.ACTIVE
+
+
+class TestZeroByteFairMode:
+    def test_zero_size_amid_active_flows(self):
+        # A zero-byte transfer must complete instantly without disturbing
+        # the rates or the completion of concurrent nonzero flows.
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0, fair_sharing=True)
+        done = []
+        net.start_transfer("a", "b", 1000.0, done.append)
+        zero = net.start_transfer("a", "c", 0.0, done.append)
+        assert zero.state is TransferState.COMPLETED
+        assert zero.duration == 0.0
+        sim.run()
+        assert len(done) == 2
+        assert done[-1].finished_at == pytest.approx(10.0)
+        assert net.outgoing_count("a") == 0
+
+    def test_zero_size_cancel_after_completion_is_noop(self):
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0, fair_sharing=True)
+        cancelled = []
+        zero = net.start_transfer("a", "b", 0.0, lambda t: None, cancelled.append)
+        net.cancel(zero)
+        assert cancelled == []
+        assert zero.state is TransferState.COMPLETED
+
+
+class TestReentrantCompletion:
+    def test_completion_callback_starting_transfer_does_not_double_fire(self):
+        # Regression: two flows drain in the same sweep; the first one's
+        # on_complete starts a new transfer, which re-enters the allocator
+        # and finalizes the second flow *inside* the inner call. The outer
+        # loop must not finalize it again (double callbacks would corrupt
+        # the outgoing counts).
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0, fair_sharing=True)
+        completions = []
+
+        def first_done(t):
+            completions.append(t)
+            net.start_transfer("c", "d", 50.0, completions.append)
+
+        net.start_transfer("a", "b", 1000.0, first_done)
+        net.start_transfer("b", "a", 1000.0, completions.append)
+        sim.run()
+        assert len(completions) == 3
+        assert len(set(completions)) == 3, "a transfer completed twice"
+        for node in ("a", "b", "c", "d"):
+            assert net.outgoing_count(node) == 0
+
+    def test_completion_callback_cancelling_sibling(self):
+        # The first finisher cancels the second mid-finalization sweep: the
+        # second must end CANCELLED, not COMPLETED, and fire only on_cancel.
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0, fair_sharing=True)
+        events = []
+        second = None
+
+        def first_done(t):
+            events.append(("complete", t))
+            net.cancel(second)
+
+        net.start_transfer("a", "b", 1000.0, first_done)
+        second = net.start_transfer(
+            "b", "a", 1000.0,
+            lambda t: events.append(("complete", t)),
+            lambda t: events.append(("cancel", t)),
+        )
+        sim.run()
+        kinds = sorted(k for k, _t in events)
+        assert kinds == ["cancel", "complete"]
+        assert second.state is TransferState.CANCELLED
+        assert net.outgoing_count("a") == 0
+        assert net.outgoing_count("b") == 0
