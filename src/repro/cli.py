@@ -110,6 +110,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2,
         help="remote-fetch retries across surviving replicas (0 = fail fast)",
     )
+    emulate.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="export the run's bus-event stream to PATH as JSON Lines",
+    )
 
     simulate = sub.add_parser("simulate", help="run one large-scale point (Fig 5 cell)")
     simulate.add_argument("--policy", default="adapt", choices=["existing", "naive", "adapt"])
@@ -195,8 +201,12 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
         permanent_failure_horizon=args.permanent_failure_horizon,
         fetch_retries=args.fetch_retries,
     )
-    result = run_emulation_point(config, Strategy(args.policy, args.replicas))
+    result = run_emulation_point(
+        config, Strategy(args.policy, args.replicas), trace_out=args.trace_out
+    )
     _print_result(result)
+    if args.trace_out is not None:
+        print(f"trace written to {args.trace_out}")
     return 0
 
 

@@ -33,8 +33,12 @@ def run_emulation_point(
     config: EmulationConfig,
     strategy: Strategy,
     seed: Optional[int] = None,
+    trace_out: Optional[str] = None,
 ) -> MapPhaseResult:
-    """Run one (configuration, strategy) cell once."""
+    """Run one (configuration, strategy) cell once.
+
+    ``trace_out`` exports the run's bus-event stream as JSON Lines.
+    """
     run_seed = config.seed if seed is None else seed
     hosts = config.hosts()
     return run_map_phase(
@@ -43,6 +47,7 @@ def run_emulation_point(
         policy=strategy.policy,
         replication=strategy.replication,
         blocks_per_node=config.blocks_per_node,
+        trace_out=trace_out,
     )
 
 

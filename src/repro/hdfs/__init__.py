@@ -10,7 +10,20 @@ heartbeats, and the three client interfaces ``copyFromLocal``, ``cp`` and
 from repro.hdfs.blocks import Block, DfsFile
 from repro.hdfs.client import DfsClient
 from repro.hdfs.datanode import DataNode
+from repro.hdfs.detection import OracleDetector
+from repro.hdfs.durability import PermanentFailurePipeline
 from repro.hdfs.heartbeat import HeartbeatService
 from repro.hdfs.namenode import NameNode
+from repro.hdfs.replication_monitor import ReplicationMonitor
 
-__all__ = ["Block", "DfsFile", "DataNode", "NameNode", "HeartbeatService", "DfsClient"]
+__all__ = [
+    "Block",
+    "DfsFile",
+    "DataNode",
+    "NameNode",
+    "HeartbeatService",
+    "OracleDetector",
+    "PermanentFailurePipeline",
+    "ReplicationMonitor",
+    "DfsClient",
+]

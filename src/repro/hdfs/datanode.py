@@ -8,9 +8,12 @@ failure injector toggles ``is_up``; stored blocks survive the transition.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.hdfs.blocks import Block
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.events import NodeDown, NodeUp
 
 
 class DataNode:
@@ -32,8 +35,16 @@ class DataNode:
         return self._is_up
 
     def set_up(self, up: bool) -> None:
-        """Toggle physical availability (called by the failure injector)."""
+        """Toggle physical availability (failure injection)."""
         self._is_up = up
+
+    def handle_node_down(self, event: "NodeDown") -> None:
+        """Bus handler (STORAGE phase, keyed by this node's id)."""
+        self.set_up(False)
+
+    def handle_node_up(self, event: "NodeUp") -> None:
+        """Bus handler (STORAGE phase, keyed by this node's id)."""
+        self.set_up(True)
 
     @property
     def capacity_bytes(self) -> Optional[int]:

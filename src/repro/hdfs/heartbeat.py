@@ -7,10 +7,14 @@ misses, and ADAPT's Performance Predictor derives interruption statistics
 both: per-beat uptime observations, downtime observations measured from
 the beat gap when a node returns, and (delayed) death/return marking.
 
-The service subscribes to the failure injector for the *physical* state;
-the NameNode's *belief* only changes on beat arrival/miss, so detection lag
-is modelled faithfully. An "oracle" cluster skips this service and wires
-the injector straight to the NameNode.
+The service observes the failure injector's bus events for the *physical*
+state (DETECTION phase of ``NodeDown``/``NodeUp``); the NameNode's
+*belief* only changes on beat arrival/miss, so detection lag is modelled
+faithfully. Belief changes are published back on the bus as
+``NodeDeclaredDead`` / ``NodeReturned`` events — downstream consumers
+(replication monitor, JobTracker) subscribe to those and never see the
+detector's identity, which is what makes this service interchangeable
+with the instant :class:`~repro.hdfs.detection.OracleDetector`.
 """
 
 from __future__ import annotations
@@ -20,11 +24,21 @@ from typing import Callable, Dict, List, Optional
 from repro.core.predictor import PerformancePredictor
 from repro.hdfs.namenode import NameNode
 from repro.simulator.engine import EventHandle, Simulator
+from repro.simulator.events import (
+    EventBus,
+    NodeDeclaredDead,
+    NodeDown,
+    NodePurged,
+    NodeReturned,
+    NodeUp,
+)
 from repro.util.validation import check_positive
 
 
 class HeartbeatService:
     """Schedules beats for every node and turns misses into death marks."""
+
+    name = "heartbeat-detector"
 
     def __init__(
         self,
@@ -32,9 +46,11 @@ class HeartbeatService:
         namenode: NameNode,
         interval: float = 3.0,
         miss_threshold: int = 3,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self._sim = sim
         self._namenode = namenode
+        self._bus = bus if bus is not None else EventBus()
         self._interval = check_positive("interval", interval)
         if miss_threshold < 1:
             raise ValueError(f"miss_threshold must be >= 1, got {miss_threshold}")
@@ -61,7 +77,11 @@ class HeartbeatService:
         on_dead: Optional[Callable[[str, float], None]] = None,
         on_returned: Optional[Callable[[str, float], None]] = None,
     ) -> None:
-        """Register callbacks fired when the *belief* changes."""
+        """Register ``(node_id, time)`` belief-change callbacks (legacy API).
+
+        Cluster wiring consumes the bus's ``NodeDeclaredDead`` /
+        ``NodeReturned`` events instead; this remains for standalone use.
+        """
         if on_dead is not None:
             self._on_dead.append(on_dead)
         if on_returned is not None:
@@ -97,6 +117,9 @@ class HeartbeatService:
         del self._down_since[node_id]
         del self._last_beat[node_id]
 
+    def start(self) -> None:
+        """No startup work; beats are armed per node by :meth:`track`."""
+
     def stop(self) -> None:
         """Disarm every beat and watchdog (cluster teardown).
 
@@ -106,12 +129,33 @@ class HeartbeatService:
         for node_id in list(self._is_up):
             self.untrack(node_id)
 
+    def describe(self) -> Dict[str, object]:
+        return {
+            "tracked_nodes": len(self._is_up),
+            "interval": self._interval,
+            "miss_threshold": self._miss_threshold,
+        }
+
     def is_tracked(self, node_id: str) -> bool:
         return node_id in self._is_up
 
     @property
     def tracked_nodes(self) -> List[str]:
         return sorted(self._is_up)
+
+    def handle_node_down(self, event: NodeDown) -> None:
+        """Bus handler (DETECTION phase): the node's beats stop."""
+        self.node_down(event.node_id, event.time)
+
+    def handle_node_up(self, event: NodeUp) -> None:
+        """Bus handler (DETECTION phase): beat immediately, resume cadence."""
+        self.node_up(event.node_id, event.time)
+
+    def handle_node_purged(self, event: NodePurged) -> None:
+        """Bus handler (DETECTION phase): a permanently failed node was
+        purged from the location map — drop its watchdog instead of letting
+        it fire forever."""
+        self.untrack(event.node_id)
 
     def node_down(self, node_id: str, time: float) -> None:
         """Physical interruption: beats stop (injector callback)."""
@@ -157,6 +201,7 @@ class HeartbeatService:
             self._namenode.mark_alive(node_id)
             for callback in self._on_returned:
                 callback(node_id, now)
+            self._bus.publish(NodeReturned(time=now, node_id=node_id))
         self._schedule_beat(node_id)
         self._arm_watchdog(node_id)
 
@@ -180,3 +225,4 @@ class HeartbeatService:
             self._namenode.mark_dead(node_id)
             for callback in self._on_dead:
                 callback(node_id, now)
+            self._bus.publish(NodeDeclaredDead(time=now, node_id=node_id))

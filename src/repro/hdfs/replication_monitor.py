@@ -42,6 +42,13 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.hdfs.namenode import NameNode
 from repro.simulator.engine import EventHandle, Simulator
+from repro.simulator.events import (
+    EventBus,
+    NodeDeclaredDead,
+    NodePurged,
+    NodeReturned,
+    ReplicaAdded,
+)
 from repro.simulator.metrics import DurabilityMetrics
 from repro.simulator.network import Network, Transfer
 from repro.util.validation import check_positive
@@ -49,6 +56,8 @@ from repro.util.validation import check_positive
 
 class ReplicationMonitor:
     """NameNode-attached service that heals under-replicated blocks."""
+
+    name = "replication-monitor"
 
     def __init__(
         self,
@@ -63,6 +72,7 @@ class ReplicationMonitor:
         is_permanent: Optional[Callable[[str], bool]] = None,
         on_node_purged: Optional[Callable[[str], None]] = None,
         on_replica_added: Optional[Callable[[str, str], None]] = None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         """``is_permanent(node_id)`` tells the monitor whether a detected
         death is a permanent loss (injector knowledge); ``on_node_purged``
@@ -88,6 +98,7 @@ class ReplicationMonitor:
         self._is_permanent = is_permanent if is_permanent is not None else lambda _n: False
         self._on_node_purged = on_node_purged
         self._on_replica_added = on_replica_added
+        self._bus = bus if bus is not None else EventBus()
 
         self._heap: List[Tuple[int, int, str]] = []  # (live replicas, seq, block)
         self._seq = itertools.count()
@@ -119,6 +130,14 @@ class ReplicationMonitor:
 
     # -- detection signals -----------------------------------------------------------
 
+    def handle_node_dead(self, event: NodeDeclaredDead) -> None:
+        """Bus handler (STORAGE phase): a detector declared the node dead."""
+        self.on_node_dead(event.node_id, event.time)
+
+    def handle_node_returned(self, event: NodeReturned) -> None:
+        """Bus handler (STORAGE phase): a believed-dead holder is back."""
+        self.on_node_returned(event.node_id, event.time)
+
     def on_node_dead(self, node_id: str, time: float) -> None:
         """Failure detection fired: queue the dead node's blocks.
 
@@ -136,6 +155,7 @@ class ReplicationMonitor:
             self._metrics.record_lost_blocks(lost)
             if self._on_node_purged is not None:
                 self._on_node_purged(node_id)
+            self._bus.publish(NodePurged(time=time, node_id=node_id))
         else:
             affected = self._namenode.located_on(node_id)
         for block_id in affected:
@@ -172,7 +192,10 @@ class ReplicationMonitor:
                 self._consider(block_id)
         self._pump()
 
-    # -- teardown -----------------------------------------------------------------------
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def start(self) -> None:
+        """No startup work; healing is driven by detection events."""
 
     def stop(self) -> None:
         """Cancel queued work, armed retries, and in-flight copies."""
@@ -184,6 +207,14 @@ class ReplicationMonitor:
             self._cancel_inflight(block_id)
         self._queued.clear()
         self._heap.clear()
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "queued": len(self._queued),
+            "inflight": len(self._inflight),
+            "armed_retries": len(self._retry_events),
+            "stopped": self._stopped,
+        }
 
     # -- scheduling internals --------------------------------------------------------------
 
@@ -280,6 +311,10 @@ class ReplicationMonitor:
             self._retries.pop(block_id, None)
             if self._on_replica_added is not None and target is not None:
                 self._on_replica_added(block_id, target)
+            if target is not None:
+                self._bus.publish(
+                    ReplicaAdded(time=self._sim.now, block_id=block_id, node_id=target)
+                )
             self._consider(block_id)  # still short? (lost 2 of 3, say)
         self._pump()
 

@@ -38,6 +38,15 @@ from repro.mapreduce.scheduler import SchedulerContext, TaskScheduler, make_sche
 from repro.mapreduce.speculation import SpeculationPolicy
 from repro.mapreduce.tasktracker import TaskTracker
 from repro.simulator.engine import EventHandle, Simulator
+from repro.simulator.events import (
+    BlockLost,
+    EventBus,
+    NodeDeclaredDead,
+    NodeDown,
+    NodeUp,
+    ReplicaAdded,
+    TaskStateChange,
+)
 from repro.simulator.metrics import MapPhaseMetrics
 from repro.simulator.network import Network
 from repro.util.validation import check_positive
@@ -45,6 +54,8 @@ from repro.util.validation import check_positive
 
 class JobTracker(SchedulerContext):
     """Central scheduler for a single map phase at a time."""
+
+    name = "jobtracker"
 
     def __init__(
         self,
@@ -56,6 +67,7 @@ class JobTracker(SchedulerContext):
         access_during_downtime: bool = True,
         speculation: Optional[SpeculationPolicy] = None,
         sweep_interval: float = 3.0,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self._sim = sim
         self._namenode = namenode
@@ -65,6 +77,8 @@ class JobTracker(SchedulerContext):
         self._access_down = access_during_downtime
         self._speculation = speculation if speculation is not None else SpeculationPolicy()
         self._sweep_interval = check_positive("sweep_interval", sweep_interval)
+        self._bus = bus if bus is not None else EventBus()
+        self._stopped = False
 
         self._job: Optional[MapJob] = None
         self._scheduler: Optional[TaskScheduler] = None
@@ -184,11 +198,27 @@ class JobTracker(SchedulerContext):
         estimate = self._namenode.predictor.estimate(node_id)
         return 1.0 - estimate.steady_state_availability
 
+    def _note_task_state(self, task: MapTask, node_id: Optional[str] = None) -> None:
+        """Publish a :class:`TaskStateChange` (observability only).
+
+        Guarded by :meth:`EventBus.wants` so the hot path pays nothing —
+        not even event construction — when no tap or handler listens.
+        """
+        if self._bus.wants(TaskStateChange):
+            self._bus.publish(
+                TaskStateChange(
+                    time=self._sim.now,
+                    task_id=task.task_id,
+                    state=task.state.name,
+                    node_id=node_id,
+                )
+            )
+
     # -- assignment -------------------------------------------------------------------
 
     def try_assign(self, node_id: str) -> None:
         """Hand the node as much work as its slots allow."""
-        if self._job is None or self.is_done or self._scheduler is None:
+        if self._stopped or self._job is None or self.is_done or self._scheduler is None:
             return
         tracker = self._trackers[node_id]
         if not tracker.is_up:
@@ -227,6 +257,7 @@ class JobTracker(SchedulerContext):
             self._metrics.speculative_attempts += 1
         task.state = TaskState.RUNNING
         self._running[task] = None
+        self._note_task_state(task, node_id)
         self._trackers[node_id].execute(attempt)
 
     def _straggler_candidates(self) -> List[MapTask]:
@@ -285,6 +316,7 @@ class JobTracker(SchedulerContext):
         task.state = TaskState.COMPLETED
         task.completed_by = attempt
         self._running.pop(task, None)
+        self._note_task_state(task, attempt.node_id)
         self._completed += 1
         self._metrics.record_completion(local=attempt.local)
         freed = [attempt.node_id]
@@ -327,6 +359,7 @@ class JobTracker(SchedulerContext):
             return  # already queued
         task.state = TaskState.PENDING
         self._running.pop(task, None)
+        self._note_task_state(task)
         assert self._scheduler is not None
         holders = sorted(self.holders(task))
         self._scheduler.enqueue(task, holders)
@@ -350,6 +383,7 @@ class JobTracker(SchedulerContext):
             return
         task.state = TaskState.ABANDONED
         self._running.pop(task, None)
+        self._note_task_state(task)
         self._abandoned += 1
         assert self._job is not None
         if self._completed + self._abandoned == self._job.num_tasks:
@@ -370,6 +404,30 @@ class JobTracker(SchedulerContext):
             return
         if not task.has_live_attempt():
             self._abandon(task)
+
+    # -- bus adapters ---------------------------------------------------------------------
+
+    def handle_node_down_physical(self, event: NodeDown) -> None:
+        """Bus handler (ACCOUNTING phase): open the downtime interval."""
+        self._metrics.record_interruption()
+        self.on_node_down_physical(event.node_id, event.time)
+
+    def handle_node_up_physical(self, event: NodeUp) -> None:
+        """Bus handler (ACCOUNTING phase): close the downtime interval."""
+        self._metrics.record_node_return()
+        self.on_node_up_physical(event.node_id, event.time)
+
+    def handle_node_dead(self, event: NodeDeclaredDead) -> None:
+        """Bus handler (SCHEDULING phase): requeue the dead node's limbo."""
+        self.on_node_dead(event.node_id, event.time)
+
+    def handle_block_lost(self, event: BlockLost) -> None:
+        """Bus handler (SCHEDULING phase): the block is gone everywhere."""
+        self.on_block_lost(event.block_id)
+
+    def handle_replica_added(self, event: ReplicaAdded) -> None:
+        """Bus handler (SCHEDULING phase): fresh locality opportunity."""
+        self.on_replica_added(event.block_id, event.node_id)
 
     # -- cluster signals ------------------------------------------------------------------
 
@@ -431,6 +489,8 @@ class JobTracker(SchedulerContext):
     # -- end-game sweep ----------------------------------------------------------------------
 
     def _arm_sweep(self) -> None:
+        if self._stopped:
+            return
         self._sweep_event = self._sim.schedule(
             self._sweep_interval, self._sweep, label="jt-sweep"
         )
@@ -474,3 +534,25 @@ class JobTracker(SchedulerContext):
         self._metrics.add_idle(idle_total)
         if self._on_complete is not None:
             self._on_complete(job)
+
+    # -- service lifecycle --------------------------------------------------------------------
+
+    def start(self) -> None:
+        """No startup work; scheduling begins at :meth:`submit`."""
+
+    def stop(self) -> None:
+        """Disarm the sweep and refuse further assignment (teardown)."""
+        self._stopped = True
+        if self._sweep_event is not None:
+            self._sweep_event.cancel()
+            self._sweep_event = None
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "job": None if self._job is None else self._job.conf.name,
+            "done": self.is_done,
+            "running_tasks": len(self._running),
+            "completed": self._completed,
+            "abandoned": self._abandoned,
+            "stopped": self._stopped,
+        }

@@ -33,6 +33,7 @@ from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mapreduce.jobtracker import JobTracker
+    from repro.simulator.events import NodeDown, NodeUp
 
 
 class TaskTracker:
@@ -56,6 +57,8 @@ class TaskTracker:
         check_positive("fetch_backoff", fetch_backoff)
         self._sim = sim
         self._node_id = node_id
+        #: Service name; unique per node so a registry can hold all of them.
+        self.name = f"tasktracker:{node_id}"
         self._network = network
         self._metrics = metrics
         self._slots = slots
@@ -215,6 +218,15 @@ class TaskTracker:
 
     # -- interruption handling ---------------------------------------------------------
 
+    def handle_node_down(self, event: "NodeDown") -> None:
+        """Bus handler (COMPUTE phase, keyed by this node's id)."""
+        self.on_node_down(event.time)
+
+    def handle_node_up(self, event: "NodeUp") -> None:
+        """Bus handler (SCHEDULING phase, keyed by this node's id): the
+        node asks for work only after storage and detection have settled."""
+        self.on_node_up(event.time)
+
     def on_node_down(self, time: float) -> None:
         """The host was interrupted: every live attempt dies right now."""
         self._is_up = False
@@ -260,6 +272,25 @@ class TaskTracker:
         transfer = self._transfers.pop(attempt.attempt_id, None)
         if transfer is not None:
             self._network.cancel(transfer)
+
+    # -- service lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """No startup work; execution begins when the JobTracker assigns."""
+
+    def stop(self) -> None:
+        """Kill every live attempt (teardown): frees exec timers, fetch
+        transfers and armed retries so the simulator heap can drain."""
+        for attempt in list(self._live.values()):
+            self.kill(attempt)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "node": self._node_id,
+            "up": self._is_up,
+            "live_attempts": len(self._live),
+            "busy_seconds": self._busy_seconds,
+        }
 
     # -- internals -----------------------------------------------------------------------
 

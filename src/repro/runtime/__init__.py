@@ -10,6 +10,7 @@ breakdown).
 
 from repro.runtime.cluster import Cluster, ClusterConfig, build_cluster
 from repro.runtime.runner import MapPhaseResult, run_map_phase
+from repro.runtime.services import Service, ServiceRegistry
 
 __all__ = [
     "Cluster",
@@ -17,4 +18,6 @@ __all__ = [
     "build_cluster",
     "MapPhaseResult",
     "run_map_phase",
+    "Service",
+    "ServiceRegistry",
 ]

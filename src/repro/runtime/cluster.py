@@ -7,18 +7,39 @@ JobTracker. The failure injector plays the role of the non-dedicated
 environment: it interrupts hosts according to their availability
 descriptions, and everything else reacts.
 
-Callback order on a transition is load-bearing and fixed here:
+All reactions flow through one typed
+:class:`~repro.simulator.events.EventBus`. Reaction *order* on a
+transition is load-bearing, and it is expressed here as dispatch phases
+rather than subscription order (see ``repro.simulator.events`` and
+DESIGN.md, "Event bus & dispatch phases"):
 
-down: accounting -> DataNode off -> TaskTracker kills attempts ->
-      (hard mode only) in-flight reads from the node torn down ->
-      detection (heartbeat stops / oracle marks dead & requeues)
-up:   accounting -> DataNode on -> detection (beat / oracle mark alive)
-      -> TaskTracker asks for work
+=================  ==========================================================
+Phase              NodeDown / NodeUp reaction
+=================  ==========================================================
+ACCOUNTING         JobTracker opens/closes the downtime interval
+STORAGE            DataNode toggles physical availability
+COMPUTE            TaskTracker kills the attempts that lived on the node
+NETWORK            (hard mode only) in-flight flows of a down node torn down
+DETECTION          heartbeat bookkeeping, or the oracle marking belief
+SCHEDULING         the returned node's TaskTracker asks for work
+=================  ==========================================================
+
+Belief events (``NodeDeclaredDead`` / ``NodeReturned``) are published by
+whichever detector is configured; the replication monitor reacts in
+STORAGE phase (purge before requeue) and the JobTracker in SCHEDULING.
+Permanent failures wipe storage in STORAGE phase
+(:class:`~repro.hdfs.durability.PermanentFailurePipeline`) and tear down
+flows in NETWORK phase — both before the ``NodeDown`` that follows.
+
+Every long-lived subsystem satisfies the
+:class:`~repro.runtime.services.Service` protocol and is owned by the
+cluster's :class:`~repro.runtime.services.ServiceRegistry`, so teardown is
+one loop in reverse registration order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.availability.estimators import AvailabilityEstimate
@@ -27,16 +48,32 @@ from repro.availability.traces import AvailabilityTrace
 from repro.core.predictor import PerformancePredictor
 from repro.hdfs.client import DfsClient
 from repro.hdfs.datanode import DataNode
+from repro.hdfs.detection import OracleDetector
+from repro.hdfs.durability import PermanentFailurePipeline
 from repro.hdfs.heartbeat import HeartbeatService
 from repro.hdfs.namenode import NameNode
 from repro.hdfs.replication_monitor import ReplicationMonitor
 from repro.mapreduce.jobtracker import JobTracker
 from repro.mapreduce.speculation import SpeculationPolicy
 from repro.mapreduce.tasktracker import TaskTracker
+from repro.runtime.services import ServiceRegistry
 from repro.simulator.engine import Simulator
+from repro.simulator.events import (
+    BlockLost,
+    EventBus,
+    NodeDeclaredDead,
+    NodeDown,
+    NodePurged,
+    NodeReturned,
+    NodeUp,
+    PermanentFailure,
+    Phase,
+    ReplicaAdded,
+)
 from repro.simulator.failures import FailureInjector
 from repro.simulator.metrics import DurabilityMetrics, MapPhaseMetrics
 from repro.simulator.network import Network
+from repro.simulator.trace import TraceRecorder
 from repro.util.rng import RandomSource
 from repro.util.units import MB, mbit_per_s
 from repro.util.validation import check_positive
@@ -107,18 +144,26 @@ class ClusterConfig:
     #: time within ``permanent_failure_horizon``. 0 disables.
     permanent_failure_rate: float = 0.0
     permanent_failure_horizon: float = 600.0
+    #: Capture every bus event in a TraceRecorder (exportable as JSONL via
+    #: ``Cluster.tracer`` / the ``emulate --trace-out`` flag).
+    trace_events: bool = False
     #: Root seed; every random stream in the cluster derives from it.
     seed: int = 0
 
     def __post_init__(self) -> None:
         check_positive("bandwidth_mbps", self.bandwidth_mbps)
+        if self.downlink_mbps is not None:
+            check_positive("downlink_mbps", self.downlink_mbps)
         check_positive("block_size_bytes", self.block_size_bytes)
         if self.slots_per_node < 1:
             raise ValueError("slots_per_node must be >= 1")
         if self.detection not in _DETECTIONS:
             raise ValueError(f"detection must be one of {_DETECTIONS}, got {self.detection!r}")
+        check_positive("heartbeat_interval", self.heartbeat_interval)
+        check_positive("sweep_interval", self.sweep_interval)
         if self.fetch_retries < 0:
             raise ValueError("fetch_retries must be >= 0")
+        check_positive("fetch_backoff", self.fetch_backoff)
         if not 0.0 <= self.permanent_failure_rate <= 1.0:
             raise ValueError("permanent_failure_rate must be in [0, 1]")
         if self.permanent_failure_rate > 0.0:
@@ -158,6 +203,10 @@ class Cluster:
         client: DfsClient,
         durability: Optional[DurabilityMetrics] = None,
         monitor: Optional[ReplicationMonitor] = None,
+        bus: Optional[EventBus] = None,
+        services: Optional[ServiceRegistry] = None,
+        detector: Optional[OracleDetector] = None,
+        tracer: Optional[TraceRecorder] = None,
     ) -> None:
         self.config = config
         self.hosts = list(hosts)
@@ -173,6 +222,10 @@ class Cluster:
         self.client = client
         self.durability = durability if durability is not None else DurabilityMetrics()
         self.monitor = monitor
+        self.bus = bus if bus is not None else EventBus()
+        self.services = services if services is not None else ServiceRegistry()
+        self.detector = detector
+        self.tracer = tracer
 
     @property
     def node_ids(self) -> List[str]:
@@ -205,17 +258,15 @@ class Cluster:
                 )
 
     def stop(self) -> None:
-        """Tear the cluster down: disarm every recurring event source.
+        """Tear the cluster down: stop every registered service.
 
-        After this the simulator heap drains naturally — nothing re-arms —
-        so abandoned clusters don't leak beats, watchdogs, interruption
-        streams, or re-replication retries.
+        Services stop in reverse registration order (consumers before
+        producers — see :meth:`ServiceRegistry.stop_all`), after which the
+        simulator heap drains naturally: nothing re-arms, so abandoned
+        clusters don't leak beats, watchdogs, interruption streams, or
+        re-replication retries.
         """
-        self.injector.stop()
-        if self.heartbeats is not None:
-            self.heartbeats.stop()
-        if self.monitor is not None:
-            self.monitor.stop()
+        self.services.stop_all()
 
 
 def build_cluster(
@@ -241,6 +292,10 @@ def build_cluster(
 
     sim = Simulator()
     rng = RandomSource(config.seed)
+    bus = EventBus()
+    tracer: Optional[TraceRecorder] = None
+    if config.trace_events:
+        tracer = TraceRecorder(bus)
     network = Network(
         sim,
         uplink_bps=config.uplink_bps,
@@ -257,7 +312,7 @@ def build_cluster(
     )
     metrics = MapPhaseMetrics()
     durability = DurabilityMetrics()
-    injector = FailureInjector(sim, rng)
+    injector = FailureInjector(sim, rng, bus=bus)
 
     datanodes: Dict[str, DataNode] = {}
     trackers: Dict[str, TaskTracker] = {}
@@ -300,30 +355,28 @@ def build_cluster(
         access_during_downtime=config.access_during_downtime,
         speculation=speculation,
         sweep_interval=config.sweep_interval,
+        bus=bus,
     )
     for tracker in trackers.values():
         tracker.bind(jobtracker)
 
     heartbeats: Optional[HeartbeatService] = None
+    detector: Optional[OracleDetector] = None
     if config.detection == "heartbeat":
         heartbeats = HeartbeatService(
             sim,
             namenode,
             interval=config.heartbeat_interval,
             miss_threshold=config.heartbeat_miss_threshold,
+            bus=bus,
         )
         for host in hosts:
             heartbeats.track(host.host_id)
+    else:
+        detector = OracleDetector(namenode, bus=bus)
 
     monitor: Optional[ReplicationMonitor] = None
     if config.replication_monitor:
-
-        def on_node_purged(node_id: str) -> None:
-            # A permanently failed node never beats again; drop its
-            # watchdog instead of letting it fire forever.
-            if heartbeats is not None:
-                heartbeats.untrack(node_id)
-
         monitor = ReplicationMonitor(
             sim,
             namenode,
@@ -334,76 +387,49 @@ def build_cluster(
             backoff_base=config.rereplication_backoff_base,
             backoff_max=config.rereplication_backoff_max,
             is_permanent=injector.is_permanently_failed,
-            on_node_purged=on_node_purged,
-            on_replica_added=jobtracker.on_replica_added,
+            bus=bus,
         )
 
-    # Detection subscribers: the monitor first (a permanent node must be
-    # purged from the location map before the JobTracker requeues work
-    # against stale holders), then the JobTracker.
-    if heartbeats is not None:
-        if monitor is not None:
-            heartbeats.subscribe(
-                on_dead=monitor.on_node_dead, on_returned=monitor.on_node_returned
-            )
-        heartbeats.subscribe(on_dead=jobtracker.on_node_dead)
+    pipeline = PermanentFailurePipeline(namenode, durability, bus=bus)
 
-    # -- transition wiring (order matters; see module docstring) -----------------
-    injector.subscribe(on_down=jobtracker.on_node_down_physical)
-    injector.subscribe(on_down=lambda node_id, t: datanodes[node_id].set_up(False))
-    injector.subscribe(on_down=lambda node_id, t: trackers[node_id].on_node_down(t))
+    # -- bus wiring (phases encode the reaction order; see module docstring) ----
+
+    # Physical transitions (the injector's ground truth).
+    bus.subscribe(NodeDown, jobtracker.handle_node_down_physical, Phase.ACCOUNTING)
+    bus.subscribe(NodeUp, jobtracker.handle_node_up_physical, Phase.ACCOUNTING)
+    for host in hosts:
+        datanode = datanodes[host.host_id]
+        tracker = trackers[host.host_id]
+        bus.subscribe(NodeDown, datanode.handle_node_down, Phase.STORAGE, key=host.host_id)
+        bus.subscribe(NodeUp, datanode.handle_node_up, Phase.STORAGE, key=host.host_id)
+        bus.subscribe(NodeDown, tracker.handle_node_down, Phase.COMPUTE, key=host.host_id)
+        bus.subscribe(NodeUp, tracker.handle_node_up, Phase.SCHEDULING, key=host.host_id)
     if not config.access_during_downtime:
-        injector.subscribe(on_down=lambda node_id, t: network.cancel_involving(node_id))
+        bus.subscribe(NodeDown, network.handle_node_down, Phase.NETWORK)
     if heartbeats is not None:
-        injector.subscribe(on_down=heartbeats.node_down)
+        bus.subscribe(NodeDown, heartbeats.handle_node_down, Phase.DETECTION)
+        bus.subscribe(NodeUp, heartbeats.handle_node_up, Phase.DETECTION)
+        bus.subscribe(NodePurged, heartbeats.handle_node_purged, Phase.DETECTION)
     else:
-        def oracle_down(node_id: str, t: float) -> None:
-            namenode.mark_dead(node_id)
-            if monitor is not None:
-                monitor.on_node_dead(node_id, t)
-            jobtracker.on_node_dead(node_id, t)
+        assert detector is not None
+        bus.subscribe(NodeDown, detector.handle_node_down, Phase.DETECTION)
+        bus.subscribe(NodeUp, detector.handle_node_up, Phase.DETECTION)
 
-        injector.subscribe(on_down=oracle_down)
+    # Permanent failures: destruction precedes detection — the pipeline
+    # wipes in STORAGE phase and the network tears flows down in NETWORK
+    # phase, all before the injector publishes the accompanying NodeDown.
+    bus.subscribe(PermanentFailure, pipeline.handle_permanent_failure, Phase.STORAGE)
+    bus.subscribe(PermanentFailure, network.handle_permanent_failure, Phase.NETWORK)
+    bus.subscribe(BlockLost, jobtracker.handle_block_lost, Phase.SCHEDULING)
 
-    injector.subscribe(on_up=jobtracker.on_node_up_physical)
-    injector.subscribe(on_up=lambda node_id, t: datanodes[node_id].set_up(True))
-    if heartbeats is not None:
-        injector.subscribe(on_up=heartbeats.node_up)
-    else:
-        def oracle_up(node_id: str, t: float) -> None:
-            namenode.mark_alive(node_id)
-            if monitor is not None:
-                monitor.on_node_returned(node_id, t)
-
-        injector.subscribe(on_up=oracle_up)
-    injector.subscribe(on_up=lambda node_id, t: trackers[node_id].on_node_up(t))
-
-    def on_permanent(node_id: str, t: float) -> None:
-        # Fires *before* the on_down chain (the disk dies the instant the
-        # failure strikes; detection reactions must see the wiped state).
-        # Wipe the physical storage, account the destroyed replicas, and
-        # tear down every in-flight transfer touching the node — sources
-        # included, regardless of the soft access_during_downtime
-        # semantics (there is nothing left to read).
-        destroyed = datanodes[node_id].wipe()
-        durability.record_permanent_failure(replicas_destroyed=len(destroyed))
-        lost = [
-            block_id
-            for block_id in destroyed
-            if not any(
-                namenode.datanode(holder).has_block(block_id)
-                for holder in namenode.replica_holders(block_id)
-            )
-        ]
-        durability.record_lost_blocks(lost)
-        # Tell the JobTracker *before* tearing down transfers: fetches
-        # cancelled below then see the block as lost and abandon instead of
-        # retrying against replicas that no longer exist.
-        for block_id in lost:
-            jobtracker.on_block_lost(block_id)
-        network.cancel_involving(node_id)
-
-    injector.subscribe(on_permanent=on_permanent)
+    # Belief transitions (published by whichever detector is configured):
+    # the monitor purges/queues in STORAGE phase, before the JobTracker
+    # requeues work against the settled replica map in SCHEDULING phase.
+    if monitor is not None:
+        bus.subscribe(NodeDeclaredDead, monitor.handle_node_dead, Phase.STORAGE)
+        bus.subscribe(NodeReturned, monitor.handle_node_returned, Phase.STORAGE)
+    bus.subscribe(NodeDeclaredDead, jobtracker.handle_node_dead, Phase.SCHEDULING)
+    bus.subscribe(ReplicaAdded, jobtracker.handle_replica_added, Phase.SCHEDULING)
 
     if traces is not None:
         trace_ids = [trace.host_id for trace in traces]
@@ -426,6 +452,25 @@ def build_cluster(
                     at_time=perm_rng.uniform(0.0, config.permanent_failure_horizon),
                 )
 
+    # -- service registry (registration order is start order; stop is the
+    # reverse, so consumers always stop before the producers they read) ---------
+    services = ServiceRegistry()
+    services.register(network)
+    services.register(injector)
+    services.register(pipeline)
+    if heartbeats is not None:
+        services.register(heartbeats)
+    if detector is not None:
+        services.register(detector)
+    if monitor is not None:
+        services.register(monitor)
+    services.register(jobtracker)
+    for tracker in trackers.values():
+        services.register(tracker)
+    if tracer is not None:
+        services.register(tracer)
+    services.start_all()
+
     client = DfsClient(
         namenode,
         rng.substream("client"),
@@ -447,4 +492,8 @@ def build_cluster(
         client=client,
         durability=durability,
         monitor=monitor,
+        bus=bus,
+        services=services,
+        detector=detector,
+        tracer=tracer,
     )

@@ -5,10 +5,15 @@ placement policy, runs the map phase to completion, and returns a
 :class:`MapPhaseResult` with exactly the quantities the paper reports:
 map-phase elapsed time (Figure 3), data locality (Figure 4), and the
 rework/recovery/migration/misc overhead breakdown (Figure 5).
+
+``trace_out`` exports the cluster's full bus-event stream as JSON Lines
+(one object per event, in causal order) — see
+:class:`~repro.simulator.trace.TraceRecorder`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
@@ -38,6 +43,11 @@ class MapPhaseResult:
     #: zeros unless failures were permanent or the monitor/read-path
     #: hardening did work).
     durability: Optional[DurabilityMetrics] = None
+    #: Physical availability transitions over the cluster's lifetime —
+    #: cross-checkable against a ``trace_out`` export's NodeDown/NodeUp
+    #: record counts.
+    interruptions: int = 0
+    node_returns: int = 0
 
     @property
     def overhead_ratios(self) -> Dict[str, float]:
@@ -71,6 +81,7 @@ def run_map_phase(
     traces: Optional[Sequence[AvailabilityTrace]] = None,
     warmup_seconds: float = 0.0,
     max_events: int = 500_000_000,
+    trace_out: Optional[str] = None,
 ) -> MapPhaseResult:
     """Run one complete experiment point.
 
@@ -79,10 +90,14 @@ def run_map_phase(
     ingested with ``policy`` at ``replication``, and processed by
     ``workload`` (terasort by default). ``warmup_seconds`` advances the
     cluster before ingest so heartbeat-driven estimators can learn — only
-    meaningful with ``config.oracle_estimates=False``.
+    meaningful with ``config.oracle_estimates=False``. ``trace_out``
+    writes the bus-event stream to that path as JSON Lines (implies
+    ``config.trace_events``).
     """
     if isinstance(policy, str):
         policy = make_policy(policy)
+    if trace_out is not None and not config.trace_events:
+        config = dataclasses.replace(config, trace_events=True)
     chosen_workload = workload if workload is not None else TerasortWorkload()
     gamma = chosen_workload.gamma_seconds(config.block_size_bytes)
     cluster = build_cluster(hosts, config, traces=traces, default_gamma=gamma)
@@ -107,7 +122,7 @@ def run_map_phase(
     cluster.run_until_job_done(max_events=max_events)
 
     breakdown = cluster.metrics.breakdown(job.makespan, slots=cluster.total_slots)
-    return MapPhaseResult(
+    result = MapPhaseResult(
         policy=policy.name,
         replication=replication,
         node_count=cluster.node_count,
@@ -117,4 +132,12 @@ def run_map_phase(
         breakdown=breakdown,
         seed=config.seed,
         durability=cluster.durability,
+        interruptions=cluster.metrics.interruptions,
+        node_returns=cluster.metrics.node_returns,
     )
+    # Teardown after every result field is captured: stopping kills live
+    # speculative attempts, which would otherwise perturb the accounting.
+    cluster.stop()
+    if trace_out is not None and cluster.tracer is not None:
+        cluster.tracer.export_jsonl(trace_out)
+    return result

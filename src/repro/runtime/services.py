@@ -1,0 +1,99 @@
+"""Service lifecycle kernel: uniform start/stop/describe over subsystems.
+
+Every long-lived cluster subsystem — failure injector, heartbeat or oracle
+detector, replication monitor, JobTracker, TaskTrackers, network, trace
+recorder — implements the structural :class:`Service` protocol, and
+:class:`Cluster` owns them through a :class:`ServiceRegistry`. Teardown
+becomes a loop (reverse registration order, so consumers stop before
+producers) instead of a hand-maintained list of special cases, and
+``describe()`` gives a uniform introspection surface for debugging and
+tracing.
+
+The protocol is structural (:func:`typing.runtime_checkable`): subsystems
+do not import this module or inherit anything — they just grow ``name``,
+``start``, ``stop`` and ``describe`` members.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Service(Protocol):
+    """Structural lifecycle contract for cluster subsystems."""
+
+    #: Stable identifier, unique within one cluster (registry key).
+    name: str
+
+    def start(self) -> None:
+        """Begin operating. Idempotent; wiring happened at construction."""
+
+    def stop(self) -> None:
+        """Disarm every scheduled event and go permanently quiet.
+
+        After every registered service stops, the simulator heap must
+        drain naturally — nothing re-arms.
+        """
+
+    def describe(self) -> Dict[str, object]:
+        """Structured snapshot of the service's current state."""
+
+
+class ServiceRegistry:
+    """Ordered service collection with loop-based lifecycle management."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, Service] = {}
+
+    def register(self, service: Service) -> None:
+        """Add a service; registration order is start order."""
+        if not isinstance(service, Service):
+            raise TypeError(
+                f"{service!r} does not satisfy the Service protocol "
+                "(needs name/start/stop/describe)"
+            )
+        if service.name in self._services:
+            raise ValueError(f"service {service.name!r} already registered")
+        self._services[service.name] = service
+
+    def get(self, name: str) -> Service:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise KeyError(f"no service named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __iter__(self) -> Iterator[Service]:
+        return iter(self._services.values())
+
+    @property
+    def names(self) -> List[str]:
+        """Service names in registration order."""
+        return list(self._services)
+
+    def start_all(self) -> None:
+        """Start services in registration order (producers first)."""
+        for service in self._services.values():
+            service.start()
+
+    def stop_all(self) -> None:
+        """Stop services in *reverse* registration order.
+
+        Consumers (schedulers, monitors) stop before producers (injector,
+        network), so teardown never publishes into a torn-down upstream.
+        """
+        for service in reversed(list(self._services.values())):
+            service.stop()
+
+    def describe_all(self) -> List[Dict[str, object]]:
+        """Snapshot every service, in registration order."""
+        return [service.describe() for service in self._services.values()]
+
+
+__all__ = ["Service", "ServiceRegistry"]

@@ -12,12 +12,32 @@ The paper evaluates ADAPT twice: on an emulated non-dedicated environment
   processes or replayed traces.
 * :mod:`repro.simulator.metrics` — the rework/recovery/migration/misc
   overhead decomposition of Figure 5.
+* :mod:`repro.simulator.events` — the typed event bus every subsystem
+  publishes to and subscribes on, with fixed dispatch phases.
+* :mod:`repro.simulator.trace` — bus-event capture and JSONL export.
 """
 
 from repro.simulator.engine import EventHandle, Simulator
+from repro.simulator.events import (
+    BlockLost,
+    Event,
+    EventBus,
+    NodeDeclaredDead,
+    NodeDown,
+    NodeEvent,
+    NodePurged,
+    NodeReturned,
+    NodeUp,
+    PermanentFailure,
+    Phase,
+    ReplicaAdded,
+    Subscription,
+    TaskStateChange,
+)
 from repro.simulator.failures import FailureInjector
 from repro.simulator.metrics import MapPhaseMetrics, OverheadBreakdown
 from repro.simulator.network import Network, Transfer, TransferState
+from repro.simulator.trace import TraceRecord, TraceRecorder
 
 __all__ = [
     "Simulator",
@@ -28,4 +48,20 @@ __all__ = [
     "FailureInjector",
     "MapPhaseMetrics",
     "OverheadBreakdown",
+    "EventBus",
+    "Phase",
+    "Subscription",
+    "Event",
+    "NodeEvent",
+    "NodeDown",
+    "NodeUp",
+    "PermanentFailure",
+    "NodeDeclaredDead",
+    "NodeReturned",
+    "NodePurged",
+    "BlockLost",
+    "ReplicaAdded",
+    "TaskStateChange",
+    "TraceRecord",
+    "TraceRecorder",
 ]

@@ -7,6 +7,12 @@ a property the reproducibility tests assert end-to-end.
 
 Cancellation is lazy (a cancelled handle stays in the heap and is skipped
 when popped), which keeps both ``schedule`` and ``cancel`` O(log n) / O(1).
+Long runs with recurring reschedule/cancel cycles (heartbeat watchdogs,
+network sweeps) would otherwise accumulate dead entries without bound, so
+the heap is compacted — cancelled entries filtered out and the heap
+re-heapified — whenever they outnumber the live ones (amortised O(1) per
+cancellation; :attr:`Simulator.pending_events` stays within a constant
+factor of the live event count).
 """
 
 from __future__ import annotations
@@ -16,17 +22,28 @@ import itertools
 import math
 from typing import Callable, List, Optional, Tuple
 
+#: Never compact below this heap size: tiny heaps don't need the churn.
+_COMPACT_MIN_SIZE = 64
+
 
 class EventHandle:
     """A scheduled event; call :meth:`cancel` to revoke it."""
 
-    __slots__ = ("time", "action", "label", "_cancelled")
+    __slots__ = ("time", "action", "label", "_cancelled", "_sim")
 
-    def __init__(self, time: float, action: Callable[[], None], label: str) -> None:
+    def __init__(
+        self,
+        time: float,
+        action: Callable[[], None],
+        label: str,
+        sim: Optional["Simulator"] = None,
+    ) -> None:
         self.time = time
         self.action: Optional[Callable[[], None]] = action
         self.label = label
         self._cancelled = False
+        #: Owning simulator, told about cancellations for heap hygiene.
+        self._sim = sim
 
     @property
     def cancelled(self) -> bool:
@@ -34,8 +51,17 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Revoke the event; a no-op if it already fired."""
+        if self._cancelled:
+            return
         self._cancelled = True
         self.action = None  # release the closure promptly
+        if self._sim is not None:
+            self._sim._note_cancelled()
+
+    def _consume(self) -> None:
+        """Mark fired (already popped — no hygiene accounting)."""
+        self._cancelled = True
+        self.action = None
 
     def __repr__(self) -> str:
         state = "cancelled" if self._cancelled else "pending"
@@ -51,6 +77,7 @@ class Simulator:
         self._sequence = itertools.count()
         self._events_fired = 0
         self._running = False
+        self._cancelled_in_heap = 0
 
     @property
     def now(self) -> float:
@@ -66,6 +93,11 @@ class Simulator:
     def pending_events(self) -> int:
         """Events still in the heap (including lazily-cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Lazily-cancelled entries currently occupying the heap."""
+        return self._cancelled_in_heap
 
     def schedule(
         self,
@@ -89,7 +121,7 @@ class Simulator:
             raise ValueError(f"cannot schedule at {time} before now ({self._now})")
         if not math.isfinite(time):
             raise ValueError(f"event time must be finite, got {time}")
-        handle = EventHandle(time, action, label)
+        handle = EventHandle(time, action, label, sim=self)
         heapq.heappush(self._heap, (time, next(self._sequence), handle))
         return handle
 
@@ -98,10 +130,11 @@ class Simulator:
         while self._heap:
             time, _seq, handle = heapq.heappop(self._heap)
             if handle.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = time
             action = handle.action
-            handle.cancel()  # mark consumed; also drops the closure ref
+            handle._consume()  # mark fired; also drops the closure ref
             self._events_fired += 1
             assert action is not None
             action()
@@ -144,9 +177,22 @@ class Simulator:
             time, _seq, handle = self._heap[0]
             if handle.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled_in_heap -= 1
                 continue
             return time
         return None
+
+    def _note_cancelled(self) -> None:
+        """A pending handle was cancelled; compact when the dead outnumber
+        the living (and the heap is big enough to care)."""
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= _COMPACT_MIN_SIZE
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_in_heap = 0
 
     def __repr__(self) -> str:
         return f"Simulator(now={self._now:g}, pending={len(self._heap)})"

@@ -1,0 +1,316 @@
+"""Typed, priority-phased event bus: the cluster's nervous system.
+
+Every availability transition in the simulated deployment fans out to many
+subsystems — accounting, storage, compute, network, failure detection,
+scheduling — and the *order* of those reactions is load-bearing (a
+DataNode must be marked down before detection requeues its work; a wiped
+disk must be accounted before the scheduler abandons tasks). The seed
+cluster enforced that order implicitly, through the subscription order of
+~15 callbacks in ``build_cluster``; this module makes the contract
+explicit and typed.
+
+Dispatch contract
+-----------------
+* Events are frozen dataclasses (:class:`NodeDown`, :class:`NodeUp`,
+  :class:`PermanentFailure`, :class:`NodeDeclaredDead`,
+  :class:`NodeReturned`, :class:`NodePurged`, :class:`BlockLost`,
+  :class:`ReplicaAdded`, :class:`TaskStateChange`). Matching is by exact
+  type — no subclass dispatch, so adding an event type never changes the
+  delivery set of existing subscriptions.
+* Each subscription names a :class:`Phase`. On ``publish`` the handlers of
+  the event's type run grouped by phase, ``ACCOUNTING`` through
+  ``SCHEDULING``; within a phase, in subscription order. This replaces
+  "subscription order is the contract" with "phase order is the contract".
+* Dispatch is synchronous and depth-first: a handler that publishes a
+  nested event (a wipe publishing :class:`BlockLost`) has the nested
+  dispatch complete before the outer dispatch resumes — exactly the
+  semantics of the direct callback chains it replaces.
+* Subscriptions may be *keyed* by the event's routing key (a node id or
+  block id). A keyed handler only runs for events carrying that key, and
+  delivery cost is O(handlers that care), not O(nodes) — per-node agents
+  (TaskTrackers, DataNodes) subscribe keyed so a 10k-node cluster pays two
+  dict lookups per transition, not 10k predicate calls.
+* Taps (:meth:`EventBus.add_tap`) observe every published event once, at
+  publish entry, before any handler runs — so a trace reads in causal
+  (publish) order. The :class:`~repro.simulator.trace.TraceRecorder`
+  service is a tap.
+
+Determinism: handler invocation order is a pure function of (phase,
+subscription sequence), both of which are fixed at wiring time, so a bus
+dispatch is as deterministic as the callback chains it replaced — the
+golden-seed tests assert this end-to-end.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, fields
+from typing import Callable, Dict, List, Optional, Tuple, Type, TypeVar
+
+
+class Phase(enum.IntEnum):
+    """Dispatch phases, in execution order.
+
+    ACCOUNTING  raw bookkeeping of the physical transition (metrics,
+                downtime intervals) — must see the pre-reaction state.
+    STORAGE     storage-layer state: DataNode up/down toggles, disk wipes,
+                replica-map maintenance (re-replication queueing, purges).
+    COMPUTE     execution-layer state: TaskTrackers killing or accounting
+                the attempts that lived on the transitioning node.
+    NETWORK     in-flight transfer teardown (hard-downtime semantics,
+                wiped sources).
+    DETECTION   belief updates: heartbeat bookkeeping or oracle marking,
+                which may publish NodeDeclaredDead / NodeReturned.
+    SCHEDULING  reactions that hand out new work (requeues, assignment
+                pokes) — always last, so they observe a settled cluster.
+    """
+
+    ACCOUNTING = 0
+    STORAGE = 1
+    COMPUTE = 2
+    NETWORK = 3
+    DETECTION = 4
+    SCHEDULING = 5
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for everything the bus carries."""
+
+    #: Simulation time at which the event occurred.
+    time: float
+
+    @property
+    def routing_key(self) -> Optional[str]:
+        """Key used to match keyed subscriptions (None = unkeyed only)."""
+        return None
+
+    def payload(self) -> Dict[str, object]:
+        """Flat field view for structured tracing."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class NodeEvent(Event):
+    """An event about one node; routed by node id."""
+
+    node_id: str
+
+    @property
+    def routing_key(self) -> Optional[str]:
+        return self.node_id
+
+
+@dataclass(frozen=True)
+class NodeDown(NodeEvent):
+    """Physical interruption began (the injector's ground truth)."""
+
+
+@dataclass(frozen=True)
+class NodeUp(NodeEvent):
+    """Physical recovery: the node is running again."""
+
+
+@dataclass(frozen=True)
+class PermanentFailure(NodeEvent):
+    """The node is gone for good — disk and all. Published *before* the
+    accompanying :class:`NodeDown` (destruction precedes detection)."""
+
+
+@dataclass(frozen=True)
+class NodeDeclaredDead(NodeEvent):
+    """Failure *detection* fired: the masters now believe the node dead
+    (heartbeat timeout, or instantly under oracle detection)."""
+
+
+@dataclass(frozen=True)
+class NodeReturned(NodeEvent):
+    """The masters believe a previously-dead node is back."""
+
+
+@dataclass(frozen=True)
+class NodePurged(NodeEvent):
+    """A permanently failed node was erased from the location map; it will
+    never beat, serve, or store again."""
+
+
+@dataclass(frozen=True)
+class BlockLost(Event):
+    """Zero physical replicas of the block survive anywhere."""
+
+    block_id: str
+
+    @property
+    def routing_key(self) -> Optional[str]:
+        return self.block_id
+
+
+@dataclass(frozen=True)
+class ReplicaAdded(Event):
+    """A re-replication copy landed: ``node_id`` now holds ``block_id``."""
+
+    block_id: str
+    node_id: str
+
+    @property
+    def routing_key(self) -> Optional[str]:
+        return self.block_id
+
+
+@dataclass(frozen=True)
+class TaskStateChange(Event):
+    """A map task changed state (observability; no cluster logic reacts)."""
+
+    task_id: str
+    state: str
+    node_id: Optional[str] = None
+
+    @property
+    def routing_key(self) -> Optional[str]:
+        return self.task_id
+
+
+E = TypeVar("E", bound=Event)
+Handler = Callable[[E], None]
+#: A tap sees (event, phases that have at least one handler registered).
+Tap = Callable[[Event, Tuple[Phase, ...]], None]
+
+#: (phase, sequence, handler) — sequence is global, so sorting by this
+#: tuple yields phase-major, subscription-order-minor dispatch.
+_Entry = Tuple[int, int, Callable[[Event], None]]
+
+
+class Subscription:
+    """Handle for one registered handler; ``cancel()`` detaches it."""
+
+    __slots__ = ("_entries", "_entry", "_active")
+
+    def __init__(self, entries: List[_Entry], entry: _Entry) -> None:
+        self._entries = entries
+        self._entry = entry
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def cancel(self) -> None:
+        """Detach the handler; a no-op if already cancelled."""
+        if not self._active:
+            return
+        self._active = False
+        try:
+            self._entries.remove(self._entry)
+        except ValueError:  # pragma: no cover - double bookkeeping guard
+            pass
+
+
+class EventBus:
+    """Synchronous, phase-ordered, typed publish/subscribe hub."""
+
+    def __init__(self) -> None:
+        #: type -> routing key (None = unkeyed) -> entries in seq order.
+        self._subs: Dict[Type[Event], Dict[Optional[str], List[_Entry]]] = {}
+        self._taps: List[Tap] = []
+        self._seq = 0
+        self._published = 0
+        self._dispatched = 0
+
+    # -- registration ------------------------------------------------------------
+
+    def subscribe(
+        self,
+        event_type: Type[E],
+        handler: Handler[E],
+        phase: Phase,
+        key: Optional[str] = None,
+    ) -> Subscription:
+        """Register ``handler`` for events of exactly ``event_type``.
+
+        ``key`` restricts delivery to events whose :attr:`Event.routing_key`
+        equals it (used by per-node / per-block agents). Handlers run in
+        (phase, subscription) order; see the module docstring.
+        """
+        if not (isinstance(event_type, type) and issubclass(event_type, Event)):
+            raise TypeError(f"event_type must be an Event subclass, got {event_type!r}")
+        entries = self._subs.setdefault(event_type, {}).setdefault(key, [])
+        self._seq += 1
+        entry: _Entry = (int(phase), self._seq, handler)  # type: ignore[arg-type]
+        # Keep each list in (phase, seq) order so dispatch never re-sorts
+        # the common single-list case. Sequence numbers are unique, so the
+        # comparison never reaches the (uncomparable) handler element.
+        bisect.insort(entries, entry)
+        return Subscription(entries, entry)
+
+    def add_tap(self, tap: Tap) -> None:
+        """Register an observer of *every* published event (tracing)."""
+        self._taps.append(tap)
+
+    # -- introspection -----------------------------------------------------------
+
+    def wants(self, event_type: Type[Event]) -> bool:
+        """Whether publishing ``event_type`` would reach anything.
+
+        Lets hot paths skip constructing high-volume events (e.g.
+        :class:`TaskStateChange`) when nobody is listening.
+        """
+        if self._taps:
+            return True
+        by_key = self._subs.get(event_type)
+        return bool(by_key) and any(by_key.values())
+
+    @property
+    def published_count(self) -> int:
+        """Events published so far (including those nobody received)."""
+        return self._published
+
+    @property
+    def dispatched_count(self) -> int:
+        """Handler invocations executed so far."""
+        return self._dispatched
+
+    def handler_count(self, event_type: Type[Event]) -> int:
+        by_key = self._subs.get(event_type, {})
+        return sum(len(entries) for entries in by_key.values())
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def publish(self, event: Event) -> None:
+        """Deliver ``event`` to its handlers, phase by phase, synchronously."""
+        self._published += 1
+        by_key = self._subs.get(type(event))
+        merged: List[_Entry]
+        if by_key is None:
+            merged = []
+        else:
+            merged = list(by_key.get(None, ()))
+            key = event.routing_key
+            if key is not None and key in by_key:
+                merged += by_key[key]
+                merged.sort()
+        if self._taps:
+            phases = tuple(sorted({Phase(entry[0]) for entry in merged}))
+            for tap in self._taps:
+                tap(event, phases)
+        for _phase, _seq, handler in merged:
+            self._dispatched += 1
+            handler(event)
+
+
+__all__ = [
+    "Phase",
+    "Event",
+    "NodeEvent",
+    "NodeDown",
+    "NodeUp",
+    "PermanentFailure",
+    "NodeDeclaredDead",
+    "NodeReturned",
+    "NodePurged",
+    "BlockLost",
+    "ReplicaAdded",
+    "TaskStateChange",
+    "EventBus",
+    "Subscription",
+]

@@ -6,9 +6,15 @@ mode — interruptions drawn live from the Table 2 distributions) or by a
 pre-materialised :class:`~repro.availability.traces.AvailabilityTrace`
 (the large-scale mode — replaying SETI@home-style traces).
 
-Subscribers (cluster nodes, the heartbeat service, the network) receive
-``on_down(node_id, time)`` / ``on_up(node_id, time)`` callbacks in
-subscription order, at the exact simulated instant of the transition.
+Transitions are published on the cluster's typed event bus
+(:mod:`repro.simulator.events`) as :class:`~repro.simulator.events.NodeDown`
+/ :class:`~repro.simulator.events.NodeUp` /
+:class:`~repro.simulator.events.PermanentFailure` events, dispatched
+through the bus's explicit phases at the exact simulated instant of the
+transition. The legacy ``subscribe(on_down=..., on_up=...,
+on_permanent=...)`` helper remains as a thin wrapper that registers
+bus handlers (all in one phase, preserving subscription order) for tests
+and standalone use.
 
 Beyond the recoverable episodes above, the injector can model *permanent*
 node loss (a downtime episode that never ends — the volunteer left and the
@@ -34,22 +40,44 @@ from repro.availability.generator import HostAvailability
 from repro.availability.process import DowntimeEpisode, InterruptionProcess
 from repro.availability.traces import AvailabilityTrace
 from repro.simulator.engine import EventHandle, Simulator
+from repro.simulator.events import (
+    EventBus,
+    NodeDown,
+    NodeUp,
+    PermanentFailure,
+    Phase,
+)
 from repro.util.rng import RandomSource
 
 DownListener = Callable[[str, float], None]
 UpListener = Callable[[str, float], None]
 PermanentListener = Callable[[str, float], None]
 
+#: Phase used for legacy ``subscribe()`` wrappers: subscription order alone
+#: determines their relative order, as the old callback lists did.
+_LEGACY_PHASE = Phase.SCHEDULING
+
+
+def _adapt_listener(listener: Callable[[str, float], None]) -> Callable[..., None]:
+    """Wrap a ``(node_id, time)`` callback as a node-event bus handler."""
+
+    def handler(event: "NodeDown | NodeUp | PermanentFailure") -> None:
+        listener(event.node_id, event.time)
+
+    return handler
+
 
 class FailureInjector:
-    """Schedules downtime episodes and notifies subscribers."""
+    """Schedules downtime episodes and publishes transitions on the bus."""
 
-    def __init__(self, sim: Simulator, rng: RandomSource) -> None:
+    name = "failure-injector"
+
+    def __init__(
+        self, sim: Simulator, rng: RandomSource, bus: Optional[EventBus] = None
+    ) -> None:
         self._sim = sim
         self._rng = rng
-        self._down_listeners: List[DownListener] = []
-        self._up_listeners: List[UpListener] = []
-        self._permanent_listeners: List[PermanentListener] = []
+        self._bus = bus if bus is not None else EventBus()
         self._episode_streams: Dict[str, Iterator[DowntimeEpisode]] = {}
         self._is_down: Dict[str, bool] = {}
         self._episode_counts: Dict[str, int] = {}
@@ -63,13 +91,23 @@ class FailureInjector:
 
     # -- subscriptions -----------------------------------------------------------
 
+    @property
+    def bus(self) -> EventBus:
+        """The bus this injector publishes transitions on."""
+        return self._bus
+
     def subscribe(
         self,
         on_down: Optional[DownListener] = None,
         on_up: Optional[UpListener] = None,
         on_permanent: Optional[PermanentListener] = None,
     ) -> None:
-        """Register transition callbacks.
+        """Register ``(node_id, time)`` transition callbacks (legacy API).
+
+        Wraps each callback as a bus handler in a single fixed phase, so
+        relative order among ``subscribe`` callers stays subscription
+        order — the old callback-list contract. New code should subscribe
+        on :attr:`bus` with an explicit phase instead.
 
         ``on_permanent`` fires once per permanently failed node, *before*
         the ``on_down`` chain (if the node was up at that instant): the
@@ -77,11 +115,23 @@ class FailureInjector:
         reactions in the down chain must observe the wiped state.
         """
         if on_down is not None:
-            self._down_listeners.append(on_down)
+            self._bus.subscribe(
+                NodeDown,
+                _adapt_listener(on_down),
+                phase=_LEGACY_PHASE,
+            )
         if on_up is not None:
-            self._up_listeners.append(on_up)
+            self._bus.subscribe(
+                NodeUp,
+                _adapt_listener(on_up),
+                phase=_LEGACY_PHASE,
+            )
         if on_permanent is not None:
-            self._permanent_listeners.append(on_permanent)
+            self._bus.subscribe(
+                PermanentFailure,
+                _adapt_listener(on_permanent),
+                phase=_LEGACY_PHASE,
+            )
 
     # -- attachment ---------------------------------------------------------------
 
@@ -212,15 +262,25 @@ class FailureInjector:
         # Destruction before detection: the permanent chain (disk wipe,
         # durability accounting) runs first so the down chain — trackers,
         # heartbeats, oracle detection — sees the post-wipe state.
-        for listener in self._permanent_listeners:
-            listener(node_id, now)
+        self._bus.publish(PermanentFailure(time=now, node_id=node_id))
         if not self._is_down[node_id]:
             self._is_down[node_id] = True
             self._episode_counts[node_id] += 1
-            for listener in self._down_listeners:
-                listener(node_id, now)
+            self._bus.publish(NodeDown(time=now, node_id=node_id))
 
-    # -- teardown --------------------------------------------------------------------
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> None:
+        """No-op: attachment arms the streams (Service protocol)."""
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "service": self.name,
+            "nodes": len(self._is_down),
+            "down": sorted(n for n, down in self._is_down.items() if down),
+            "permanent": sorted(n for n, p in self._permanent.items() if p),
+            "stopped": self._stopped,
+        }
 
     def stop(self) -> None:
         """Cancel every armed event; the injector goes permanently quiet.
@@ -297,8 +357,7 @@ class FailureInjector:
         self._is_down[node_id] = True
         self._episode_counts[node_id] += 1
         now = self._sim.now
-        for listener in self._down_listeners:
-            listener(node_id, now)
+        self._bus.publish(NodeDown(time=now, node_id=node_id))
         end = max(episode.end, now)
         handle = self._sim.schedule_at(
             end,
@@ -318,7 +377,6 @@ class FailureInjector:
         self._is_down[node_id] = False
         self._downtime_totals[node_id] += episode.duration
         now = self._sim.now
-        for listener in self._up_listeners:
-            listener(node_id, now)
+        self._bus.publish(NodeUp(time=now, node_id=node_id))
         if from_stream:
             self._schedule_next(node_id)

@@ -24,6 +24,7 @@ from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.simulator.engine import EventHandle, Simulator
+from repro.simulator.events import NodeDown, PermanentFailure
 from repro.util.validation import check_positive
 
 #: Remaining-bytes tolerance under which a transfer counts as finished.
@@ -103,6 +104,8 @@ class Transfer:
 
 class Network:
     """Shared network connecting every node in the cluster."""
+
+    name = "network"
 
     def __init__(
         self,
@@ -231,6 +234,44 @@ class Network:
         for transfer in doomed:
             self.cancel(transfer)
         return doomed
+
+    # -- bus handlers --------------------------------------------------------------
+
+    def handle_node_down(self, event: NodeDown) -> None:
+        """Hard-downtime semantics (NETWORK phase): a down node's flows die.
+
+        Only wired when ``access_during_downtime`` is off — under the
+        paper's default soft semantics a down host's stored blocks stay
+        streamable.
+        """
+        self.cancel_involving(event.node_id)
+
+    def handle_permanent_failure(self, event: PermanentFailure) -> None:
+        """Wiped disk (NETWORK phase): nothing is left to stream, either
+        direction — tear down every flow touching the node."""
+        self.cancel_involving(event.node_id)
+
+    # -- service lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """No-op: the network is passive until transfers start."""
+
+    def stop(self) -> None:
+        """Cancel every active transfer and disarm the rate sweep."""
+        for transfer in list(self._active):
+            self.cancel(transfer)
+        if self._sweep is not None:
+            self._sweep.cancel()
+            self._sweep = None
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "service": self.name,
+            "active_transfers": len(self._active),
+            "fair_sharing": self._fair,
+            "uplink_bps": self._default_up,
+            "downlink_bps": self._default_down,
+        }
 
     # -- internals: simple mode ----------------------------------------------------
 

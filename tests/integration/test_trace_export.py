@@ -1,0 +1,113 @@
+"""End-to-end trace export: `emulate --trace-out` and the runner API.
+
+The acceptance bar from the refactor issue: a traced run must produce
+parseable JSON Lines whose NodeDown / NodeUp record counts equal the
+MapPhaseResult's interruption accounting — the trace is the bus stream,
+and the bus stream *is* what the metrics counted.
+"""
+
+import json
+
+from repro.cli import main
+from repro.experiments.config import EmulationConfig, Strategy
+from repro.experiments.emulation import run_emulation_point
+
+
+def _load_jsonl(path):
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            records.append(json.loads(line))
+    return records
+
+
+class TestRunnerTraceOut:
+    def test_trace_counts_match_metrics(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        config = EmulationConfig(
+            node_count=12, interrupted_ratio=0.5, blocks_per_node=3.0, seed=13
+        )
+        result = run_emulation_point(config, Strategy("adapt", 1), trace_out=str(path))
+        records = _load_jsonl(path)
+        assert records, "traced run produced no events"
+        counts = {}
+        for record in records:
+            counts[record["type"]] = counts.get(record["type"], 0) + 1
+        assert counts.get("NodeDown", 0) == result.interruptions
+        assert counts.get("NodeUp", 0) == result.node_returns
+        assert result.interruptions > 0  # the scenario actually interrupted
+
+    def test_records_are_well_formed_and_causally_ordered(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        config = EmulationConfig(
+            node_count=8, interrupted_ratio=0.5, blocks_per_node=2.0, seed=21
+        )
+        run_emulation_point(config, Strategy("existing", 1), trace_out=str(path))
+        records = _load_jsonl(path)
+        for expected_seq, record in enumerate(records):
+            assert record["seq"] == expected_seq
+            assert set(record) == {"seq", "time", "type", "key", "phases", "payload"}
+            assert record["payload"]["time"] == record["time"]
+        times = [record["time"] for record in records]
+        assert times == sorted(times)  # publish order never rewinds the clock
+
+    def test_trace_includes_task_lifecycle(self, tmp_path):
+        # With a tap attached, TaskStateChange is wanted and every task's
+        # transitions appear in the stream.
+        path = tmp_path / "trace.jsonl"
+        config = EmulationConfig(
+            node_count=8, interrupted_ratio=0.25, blocks_per_node=2.0, seed=2
+        )
+        result = run_emulation_point(config, Strategy("adapt", 1), trace_out=str(path))
+        records = _load_jsonl(path)
+        completed = [
+            r
+            for r in records
+            if r["type"] == "TaskStateChange" and r["payload"]["state"] == "COMPLETED"
+        ]
+        assert len(completed) == result.num_tasks
+
+    def test_untraced_run_writes_nothing(self, tmp_path):
+        config = EmulationConfig(
+            node_count=8, interrupted_ratio=0.25, blocks_per_node=2.0, seed=2
+        )
+        result = run_emulation_point(config, Strategy("adapt", 1))
+        assert result.elapsed > 0
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCliTraceOut:
+    def test_emulate_trace_out_flag(self, tmp_path, capsys):
+        path = tmp_path / "cli-trace.jsonl"
+        code = main(
+            [
+                "emulate",
+                "--policy",
+                "adapt",
+                "--replicas",
+                "1",
+                "--nodes",
+                "8",
+                "--ratio",
+                "0.5",
+                "--blocks-per-node",
+                "2",
+                "--seed",
+                "3",
+                "--trace-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {path}" in out
+        records = _load_jsonl(path)
+        assert records
+        assert {"NodeDown", "NodeUp"} & {record["type"] for record in records}
+
+    def test_emulate_without_flag_prints_no_trace_line(self, capsys):
+        code = main(
+            ["emulate", "--nodes", "8", "--ratio", "0.25", "--blocks-per-node", "2"]
+        )
+        assert code == 0
+        assert "trace written" not in capsys.readouterr().out

@@ -1,0 +1,169 @@
+"""Lifecycle and wiring tests for the bus-driven cluster.
+
+Covers the combinations the refactor made first-class: oracle detection
+feeding the replication monitor through belief events, `Cluster.stop()`
+draining the heap via the service registry, and the registry holding
+every subsystem.
+"""
+
+import pytest
+
+from repro.availability.generator import build_group_hosts
+from repro.runtime.cluster import ClusterConfig, build_cluster
+from repro.runtime.services import Service
+from repro.simulator.events import NodeDeclaredDead, NodeDown, Phase
+
+
+def _monitor_config(**overrides):
+    base = dict(
+        seed=5,
+        replication_monitor=True,
+        permanent_failure_rate=0.5,
+        permanent_failure_horizon=60.0,
+    )
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+class TestOracleWithMonitor:
+    def test_oracle_detection_feeds_monitor(self):
+        hosts = build_group_hosts(8, 1.0)
+        cluster = build_cluster(hosts, _monitor_config(detection="oracle"))
+        assert cluster.detector is not None
+        assert cluster.heartbeats is None
+        assert cluster.monitor is not None
+        declared = []
+        cluster.bus.subscribe(
+            NodeDeclaredDead, lambda e: declared.append(e.node_id), Phase.SCHEDULING
+        )
+        cluster.sim.run(until=120.0)
+        # The oracle declares every physical interruption instantly, so the
+        # belief stream is non-empty and the monitor reacted to each event.
+        assert declared
+        info = cluster.detector.describe()
+        assert info["deaths_declared"] == len(declared)
+        # Permanent failures were purged through the belief path: the wiped
+        # nodes no longer appear in the monitor's tracked queue state and
+        # the durability metrics saw the wipes.
+        assert cluster.durability.permanent_failures > 0
+
+    def test_oracle_and_heartbeat_reach_same_monitor_api(self):
+        # Both detectors publish the same belief events; the monitor wiring
+        # is identical in the two modes (interchangeability contract).
+        hosts = build_group_hosts(4, 1.0)
+        oracle = build_cluster(hosts, _monitor_config(detection="oracle"))
+        heartbeat = build_cluster(hosts, _monitor_config(detection="heartbeat"))
+        for cluster in (oracle, heartbeat):
+            assert cluster.bus.handler_count(NodeDeclaredDead) >= 2  # monitor + jobtracker
+            assert cluster.monitor is not None
+
+
+class TestStopDrainsHeap:
+    def test_stop_with_monitor_lets_heap_drain(self):
+        hosts = build_group_hosts(8, 1.0)
+        cluster = build_cluster(hosts, _monitor_config())
+        cluster.sim.run(until=90.0)
+        cluster.stop()
+        # Nothing re-arms after a full stop: the injector schedules no new
+        # episodes, beats and watchdogs are disarmed, the monitor retries
+        # nothing, so the heap empties in bounded work.
+        cluster.sim.run()
+        assert cluster.sim.pending_events == 0
+
+    def test_stop_with_oracle_lets_heap_drain(self):
+        hosts = build_group_hosts(6, 1.0)
+        cluster = build_cluster(hosts, _monitor_config(detection="oracle"))
+        cluster.sim.run(until=50.0)
+        cluster.stop()
+        cluster.sim.run()
+        assert cluster.sim.pending_events == 0
+
+    def test_stop_is_idempotent(self):
+        hosts = build_group_hosts(4, 0.5)
+        cluster = build_cluster(hosts, ClusterConfig(seed=2))
+        cluster.stop()
+        cluster.stop()  # second stop must not raise
+
+
+class TestServiceRegistryWiring:
+    def test_every_subsystem_registered(self):
+        hosts = build_group_hosts(4, 0.5)
+        cluster = build_cluster(hosts, _monitor_config(trace_events=True))
+        names = cluster.services.names
+        assert "network" in names
+        assert "failure-injector" in names
+        assert "durability-pipeline" in names
+        assert "heartbeat-detector" in names
+        assert "replication-monitor" in names
+        assert "jobtracker" in names
+        assert "trace-recorder" in names
+        for host in hosts:
+            assert f"tasktracker:{host.host_id}" in names
+        # Consumers registered after producers: stop_all (reverse order)
+        # then tears down schedulers before the network they publish into.
+        assert names.index("jobtracker") > names.index("network")
+
+    def test_registered_objects_satisfy_protocol(self):
+        hosts = build_group_hosts(3, 0.5)
+        cluster = build_cluster(hosts, ClusterConfig(seed=1))
+        for service in cluster.services:
+            assert isinstance(service, Service)
+
+    def test_describe_all_returns_one_row_per_service(self):
+        hosts = build_group_hosts(3, 0.5)
+        cluster = build_cluster(hosts, ClusterConfig(seed=1))
+        rows = cluster.services.describe_all()
+        assert len(rows) == len(cluster.services)
+        assert all(isinstance(row, dict) for row in rows)
+
+    def test_no_inline_lambdas_in_wiring(self):
+        # The refactor's contract: bus wiring is named-method subscriptions
+        # only, so dispatch order is readable from the phase table.
+        import inspect
+
+        from repro.runtime import cluster as cluster_module
+
+        source = inspect.getsource(cluster_module.build_cluster)
+        assert "lambda" not in source
+
+
+class TestConfigValidation:
+    def test_downlink_rejected_when_nonpositive(self):
+        with pytest.raises(ValueError, match="downlink_mbps"):
+            ClusterConfig(downlink_mbps=0.0)
+        with pytest.raises(ValueError, match="downlink_mbps"):
+            ClusterConfig(downlink_mbps=-4.0)
+        assert ClusterConfig(downlink_mbps=None).downlink_mbps is None  # symmetric OK
+
+    def test_heartbeat_interval_rejected_when_nonpositive(self):
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            ClusterConfig(heartbeat_interval=0.0)
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            ClusterConfig(heartbeat_interval=-1.0)
+
+    def test_sweep_interval_rejected_when_nonpositive(self):
+        with pytest.raises(ValueError, match="sweep_interval"):
+            ClusterConfig(sweep_interval=0.0)
+
+    def test_fetch_backoff_rejected_when_nonpositive(self):
+        with pytest.raises(ValueError, match="fetch_backoff"):
+            ClusterConfig(fetch_backoff=0.0)
+        with pytest.raises(ValueError, match="fetch_backoff"):
+            ClusterConfig(fetch_backoff=-0.5)
+
+    def test_valid_config_accepted(self):
+        config = ClusterConfig(
+            downlink_mbps=15.0, heartbeat_interval=1.0, sweep_interval=2.0, fetch_backoff=0.25
+        )
+        assert config.heartbeat_interval == 1.0
+
+
+class TestBusObservability:
+    def test_node_down_events_flow_through_bus(self):
+        hosts = build_group_hosts(6, 1.0)
+        cluster = build_cluster(hosts, ClusterConfig(seed=4, detection="oracle"))
+        downs = []
+        cluster.bus.subscribe(NodeDown, lambda e: downs.append(e.node_id), Phase.SCHEDULING)
+        cluster.sim.run(until=60.0)
+        assert len(downs) == cluster.metrics.interruptions
+        assert cluster.bus.published_count >= len(downs)

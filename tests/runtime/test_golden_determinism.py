@@ -1,0 +1,123 @@
+"""Golden-seed determinism: the bus refactor must be byte-identical.
+
+These values were captured from the pre-bus cluster wiring (direct
+callback chains). The event-bus rewrite replaced every subscription with
+phase-ordered dispatch; these tests pin the end-to-end numbers to prove
+the dispatch order — and therefore every simulated trajectory — is
+unchanged. Exact ``==`` on floats is deliberate: any reordering of
+handler execution shows up as a different trajectory, not a rounding
+wobble.
+"""
+
+import pytest
+
+from repro.experiments.config import EmulationConfig, Strategy
+from repro.experiments.emulation import run_emulation_point
+
+
+@pytest.mark.slow
+class TestGoldenScenarios:
+    def test_scenario_baseline_adapt(self):
+        # Plain interruptions, heartbeat detection, no monitor.
+        config = EmulationConfig(
+            node_count=16, interrupted_ratio=0.5, blocks_per_node=4.0, seed=7
+        )
+        result = run_emulation_point(config, Strategy("adapt", 1))
+        assert result.elapsed == 343.5642303163495
+        assert result.data_locality == 0.796875
+        b = result.breakdown
+        assert b.rework == 99.20506020196304
+        assert b.recovery == 1335.170865499867
+        assert b.migration == 2076.041370867412
+        assert b.idle == 1211.5708815433015
+        assert b.useful == 768.0
+        assert b.duplicate == 7.039506949048473
+
+    def test_scenario_oracle_monitor_permanent(self):
+        # Oracle detection + replication monitor + permanent failures.
+        config = EmulationConfig(
+            node_count=16,
+            interrupted_ratio=0.5,
+            blocks_per_node=4.0,
+            seed=11,
+            detection="oracle",
+            replication_monitor=True,
+            permanent_failure_rate=0.3,
+            permanent_failure_horizon=300.0,
+        )
+        result = run_emulation_point(config, Strategy("existing", 2))
+        assert result.elapsed == 309.8130703176171
+        assert result.data_locality == 0.859375
+        assert result.durability.summary_row() == {
+            "permanent_failures": 2,
+            "replicas_lost": 11,
+            "blocks_lost": 0,
+            "rereplications_completed": 2,
+            "rereplication_bytes": 167517271.44229978,
+            "rereplication_seconds": 383.2190343340652,
+            "rereplication_failures": 2,
+            "rereplication_retries": 2,
+            "overreplicated_removed": 1,
+            "degraded_read_retries": 0,
+        }
+        assert result.breakdown.rework == 93.04414959031138
+        assert result.breakdown.migration == 1293.2472201912688
+
+    def test_scenario_heartbeat_monitor_block_loss(self):
+        # Heartbeat detection lag + monitor + enough permanent failures to
+        # actually lose blocks (exercises the BlockLost pipeline).
+        config = EmulationConfig(
+            node_count=12,
+            interrupted_ratio=0.5,
+            blocks_per_node=3.0,
+            seed=3,
+            replication_monitor=True,
+            permanent_failure_rate=0.25,
+            permanent_failure_horizon=200.0,
+        )
+        result = run_emulation_point(config, Strategy("adapt", 2))
+        assert result.elapsed == 253.108864
+        assert result.data_locality == 0.8888888888888888
+        assert result.durability.summary_row() == {
+            "permanent_failures": 3,
+            "replicas_lost": 25,
+            "blocks_lost": 4,
+            "rereplications_completed": 1,
+            "rereplication_bytes": 141263056.7742284,
+            "rereplication_seconds": 352.209230248232,
+            "rereplication_failures": 1,
+            "rereplication_retries": 1,
+            "overreplicated_removed": 0,
+            "degraded_read_retries": 2,
+        }
+        assert result.breakdown.rework == 53.78357051589564
+        assert result.breakdown.migration == 665.7965668280153
+        assert result.breakdown.recovery == 1190.5447718717796
+
+
+class TestSameSeedSameResult:
+    def test_two_runs_identical(self):
+        config = EmulationConfig(
+            node_count=8,
+            interrupted_ratio=0.5,
+            blocks_per_node=2.0,
+            seed=42,
+            replication_monitor=True,
+            permanent_failure_rate=0.2,
+            permanent_failure_horizon=150.0,
+        )
+        first = run_emulation_point(config, Strategy("adapt", 2))
+        second = run_emulation_point(config, Strategy("adapt", 2))
+        assert first.elapsed == second.elapsed
+        assert first.data_locality == second.data_locality
+        assert first.breakdown == second.breakdown
+        assert first.durability.summary_row() == second.durability.summary_row()
+        assert first.interruptions == second.interruptions
+        assert first.node_returns == second.node_returns
+
+    def test_different_seed_different_trajectory(self):
+        base = EmulationConfig(node_count=8, interrupted_ratio=0.5, blocks_per_node=2.0, seed=1)
+        other = EmulationConfig(node_count=8, interrupted_ratio=0.5, blocks_per_node=2.0, seed=2)
+        a = run_emulation_point(base, Strategy("adapt", 1))
+        b = run_emulation_point(other, Strategy("adapt", 1))
+        assert a.elapsed != b.elapsed

@@ -1,0 +1,101 @@
+"""Tests for the Service protocol and ServiceRegistry lifecycle kernel."""
+
+import pytest
+
+from repro.runtime.services import Service, ServiceRegistry
+
+
+class FakeService:
+    """Minimal structural Service (no inheritance, by design)."""
+
+    def __init__(self, name, log):
+        self.name = name
+        self._log = log
+
+    def start(self):
+        self._log.append(("start", self.name))
+
+    def stop(self):
+        self._log.append(("stop", self.name))
+
+    def describe(self):
+        return {"service": self.name}
+
+
+class TestProtocol:
+    def test_structural_conformance(self):
+        assert isinstance(FakeService("x", []), Service)
+
+    def test_missing_member_fails_check(self):
+        class NotAService:
+            name = "broken"
+
+            def start(self):
+                pass
+
+        assert not isinstance(NotAService(), Service)
+
+    def test_real_subsystems_conform(self):
+        from repro.hdfs.detection import OracleDetector
+        from repro.hdfs.namenode import NameNode
+        from repro.simulator.engine import Simulator
+        from repro.simulator.network import Network
+
+        sim = Simulator()
+        assert isinstance(Network(sim, uplink_bps=1e6), Service)
+        assert isinstance(OracleDetector(NameNode()), Service)
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = ServiceRegistry()
+        service = FakeService("a", [])
+        registry.register(service)
+        assert registry.get("a") is service
+        assert "a" in registry
+        assert len(registry) == 1
+        assert registry.names == ["a"]
+
+    def test_rejects_non_service(self):
+        registry = ServiceRegistry()
+        with pytest.raises(TypeError, match="Service protocol"):
+            registry.register(object())
+
+    def test_rejects_duplicate_name(self):
+        registry = ServiceRegistry()
+        registry.register(FakeService("a", []))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(FakeService("a", []))
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="no service"):
+            ServiceRegistry().get("ghost")
+
+    def test_start_order_is_registration_stop_order_is_reverse(self):
+        log = []
+        registry = ServiceRegistry()
+        for name in ("producer", "middle", "consumer"):
+            registry.register(FakeService(name, log))
+        registry.start_all()
+        registry.stop_all()
+        assert log == [
+            ("start", "producer"),
+            ("start", "middle"),
+            ("start", "consumer"),
+            ("stop", "consumer"),
+            ("stop", "middle"),
+            ("stop", "producer"),
+        ]
+
+    def test_describe_all_in_registration_order(self):
+        registry = ServiceRegistry()
+        registry.register(FakeService("a", []))
+        registry.register(FakeService("b", []))
+        assert registry.describe_all() == [{"service": "a"}, {"service": "b"}]
+
+    def test_iteration_yields_services(self):
+        registry = ServiceRegistry()
+        a, b = FakeService("a", []), FakeService("b", [])
+        registry.register(a)
+        registry.register(b)
+        assert list(registry) == [a, b]

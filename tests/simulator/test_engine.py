@@ -143,6 +143,70 @@ class TestRunControl:
         assert sim.events_fired == 5
 
 
+class TestHeapHygiene:
+    """Lazy cancellation must not let dead entries accumulate unboundedly."""
+
+    def test_cancelled_pending_tracks_cancellations(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.cancelled_pending == 0
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.cancelled_pending == 4
+        assert sim.pending_events == 10  # lazily cancelled, still in heap
+
+    def test_pop_of_cancelled_entry_decrements_counter(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("live"))
+        dead = sim.schedule(1.0, lambda: fired.append("dead"))
+        dead.cancel()
+        assert sim.cancelled_pending == 1
+        sim.run()
+        assert sim.cancelled_pending == 0
+        assert sim.pending_events == 0
+        assert fired == ["live"]
+
+    def test_heap_stays_bounded_under_rearm_churn(self):
+        # The watchdog/sweep pattern: re-arm by cancelling the previous
+        # event and scheduling a replacement. Without compaction the heap
+        # holds every corpse until its time arrives.
+        sim = Simulator()
+        current = sim.schedule(1e9, lambda: None)
+        for _ in range(10_000):
+            current.cancel()
+            current = sim.schedule(1e9, lambda: None)
+        # One live event plus bounded garbage: compaction keeps the heap
+        # under the size floor plus one round of churn, never 10k corpses.
+        assert sim.pending_events < 200
+        assert sim.cancelled_pending < 64
+
+    def test_small_heaps_never_compact(self):
+        # Below the size floor, compaction is pointless; cancelled entries
+        # just wait for their pop.
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.pending_events == 10
+        assert sim.cancelled_pending == 10
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_compaction_preserves_execution_order(self):
+        sim = Simulator()
+        order = []
+        keep = []
+        for i in range(200):
+            handle = sim.schedule(float(i + 1), lambda i=i: order.append(i))
+            if i % 2:
+                keep.append(i)
+            else:
+                handle.cancel()  # triggers compaction partway through
+        sim.run()
+        assert order == keep
+
+
 class TestDeterminism:
     @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
     @settings(max_examples=50)

@@ -1,0 +1,222 @@
+"""Tests for the typed, phase-ordered event bus."""
+
+import pytest
+
+from repro.simulator.events import (
+    BlockLost,
+    Event,
+    EventBus,
+    NodeDown,
+    NodeEvent,
+    NodeUp,
+    Phase,
+    ReplicaAdded,
+    TaskStateChange,
+)
+
+
+class TestPhaseOrdering:
+    def test_phases_run_in_declared_order_not_subscription_order(self):
+        bus = EventBus()
+        order = []
+        # Subscribe in deliberately scrambled phase order.
+        bus.subscribe(NodeDown, lambda e: order.append("sched"), Phase.SCHEDULING)
+        bus.subscribe(NodeDown, lambda e: order.append("acct"), Phase.ACCOUNTING)
+        bus.subscribe(NodeDown, lambda e: order.append("net"), Phase.NETWORK)
+        bus.subscribe(NodeDown, lambda e: order.append("storage"), Phase.STORAGE)
+        bus.subscribe(NodeDown, lambda e: order.append("detect"), Phase.DETECTION)
+        bus.subscribe(NodeDown, lambda e: order.append("compute"), Phase.COMPUTE)
+        bus.publish(NodeDown(time=1.0, node_id="n1"))
+        assert order == ["acct", "storage", "compute", "net", "detect", "sched"]
+
+    def test_within_phase_subscription_order_preserved(self):
+        bus = EventBus()
+        order = []
+        for tag in "abcd":
+            bus.subscribe(NodeUp, lambda e, t=tag: order.append(t), Phase.STORAGE)
+        bus.publish(NodeUp(time=0.0, node_id="n1"))
+        assert order == list("abcd")
+
+    def test_phase_enum_covers_expected_sequence(self):
+        assert [p.name for p in sorted(Phase)] == [
+            "ACCOUNTING",
+            "STORAGE",
+            "COMPUTE",
+            "NETWORK",
+            "DETECTION",
+            "SCHEDULING",
+        ]
+
+
+class TestTypeMatching:
+    def test_exact_type_only_no_subclass_dispatch(self):
+        bus = EventBus()
+        hits = []
+        bus.subscribe(NodeEvent, lambda e: hits.append("base"), Phase.STORAGE)
+        bus.subscribe(NodeDown, lambda e: hits.append("down"), Phase.STORAGE)
+        bus.publish(NodeDown(time=0.0, node_id="n1"))
+        assert hits == ["down"]
+
+    def test_unrelated_types_not_delivered(self):
+        bus = EventBus()
+        hits = []
+        bus.subscribe(NodeDown, hits.append, Phase.STORAGE)
+        bus.publish(NodeUp(time=0.0, node_id="n1"))
+        assert hits == []
+
+    def test_subscribe_rejects_non_event_type(self):
+        bus = EventBus()
+        with pytest.raises(TypeError):
+            bus.subscribe(str, lambda e: None, Phase.STORAGE)
+        with pytest.raises(TypeError):
+            bus.subscribe(NodeDown(time=0.0, node_id="x"), lambda e: None, Phase.STORAGE)
+
+
+class TestKeyedRouting:
+    def test_keyed_handler_only_sees_its_key(self):
+        bus = EventBus()
+        hits = []
+        bus.subscribe(NodeDown, lambda e: hits.append(e.node_id), Phase.STORAGE, key="n1")
+        bus.publish(NodeDown(time=0.0, node_id="n2"))
+        assert hits == []
+        bus.publish(NodeDown(time=1.0, node_id="n1"))
+        assert hits == ["n1"]
+
+    def test_keyed_and_unkeyed_merge_in_phase_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(NodeDown, lambda e: order.append("keyed-sched"), Phase.SCHEDULING, key="n1")
+        bus.subscribe(NodeDown, lambda e: order.append("global-acct"), Phase.ACCOUNTING)
+        bus.subscribe(NodeDown, lambda e: order.append("keyed-storage"), Phase.STORAGE, key="n1")
+        bus.subscribe(NodeDown, lambda e: order.append("global-net"), Phase.NETWORK)
+        bus.publish(NodeDown(time=0.0, node_id="n1"))
+        assert order == ["global-acct", "keyed-storage", "global-net", "keyed-sched"]
+
+    def test_same_phase_keyed_vs_unkeyed_breaks_by_subscription_seq(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(NodeDown, lambda e: order.append("first"), Phase.STORAGE, key="n1")
+        bus.subscribe(NodeDown, lambda e: order.append("second"), Phase.STORAGE)
+        bus.publish(NodeDown(time=0.0, node_id="n1"))
+        assert order == ["first", "second"]
+
+    def test_block_events_route_by_block_id(self):
+        bus = EventBus()
+        hits = []
+        bus.subscribe(BlockLost, lambda e: hits.append(e.block_id), Phase.SCHEDULING, key="b7")
+        bus.publish(BlockLost(time=0.0, block_id="b3"))
+        bus.publish(BlockLost(time=0.0, block_id="b7"))
+        assert hits == ["b7"]
+        assert ReplicaAdded(time=0.0, block_id="b7", node_id="n1").routing_key == "b7"
+        assert TaskStateChange(time=0.0, task_id="t1", state="RUNNING").routing_key == "t1"
+
+
+class TestNestedPublish:
+    def test_nested_dispatch_completes_before_outer_resumes(self):
+        bus = EventBus()
+        order = []
+
+        def storage_handler(event):
+            order.append("outer-storage")
+            bus.publish(BlockLost(time=event.time, block_id="b1"))
+
+        bus.subscribe(NodeDown, storage_handler, Phase.STORAGE)
+        bus.subscribe(NodeDown, lambda e: order.append("outer-sched"), Phase.SCHEDULING)
+        bus.subscribe(BlockLost, lambda e: order.append("nested"), Phase.SCHEDULING)
+        bus.publish(NodeDown(time=0.0, node_id="n1"))
+        # The nested BlockLost dispatch runs depth-first: its SCHEDULING
+        # handler fires before the outer event reaches its own SCHEDULING.
+        assert order == ["outer-storage", "nested", "outer-sched"]
+
+
+class TestTaps:
+    def test_tap_sees_every_event_before_handlers(self):
+        bus = EventBus()
+        order = []
+        bus.add_tap(lambda e, phases: order.append(("tap", type(e).__name__, phases)))
+        bus.subscribe(NodeDown, lambda e: order.append(("handler",)), Phase.NETWORK)
+        bus.publish(NodeDown(time=0.0, node_id="n1"))
+        bus.publish(NodeUp(time=1.0, node_id="n1"))  # nobody subscribed
+        assert order == [
+            ("tap", "NodeDown", (Phase.NETWORK,)),
+            ("handler",),
+            ("tap", "NodeUp", ()),
+        ]
+
+    def test_tap_phase_tuple_lists_phases_with_handlers(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(NodeDown, lambda e: None, Phase.SCHEDULING)
+        bus.subscribe(NodeDown, lambda e: None, Phase.ACCOUNTING)
+        bus.subscribe(NodeDown, lambda e: None, Phase.ACCOUNTING)
+        bus.add_tap(lambda e, phases: seen.append(phases))
+        bus.publish(NodeDown(time=0.0, node_id="n1"))
+        assert seen == [(Phase.ACCOUNTING, Phase.SCHEDULING)]
+
+
+class TestSubscriptionLifecycle:
+    def test_cancel_detaches_handler(self):
+        bus = EventBus()
+        hits = []
+        sub = bus.subscribe(NodeDown, hits.append, Phase.STORAGE)
+        assert sub.active
+        sub.cancel()
+        assert not sub.active
+        bus.publish(NodeDown(time=0.0, node_id="n1"))
+        assert hits == []
+
+    def test_cancel_is_idempotent(self):
+        bus = EventBus()
+        sub = bus.subscribe(NodeDown, lambda e: None, Phase.STORAGE)
+        sub.cancel()
+        sub.cancel()  # must not raise
+        assert bus.handler_count(NodeDown) == 0
+
+    def test_cancel_leaves_other_subscriptions(self):
+        bus = EventBus()
+        hits = []
+        sub = bus.subscribe(NodeDown, lambda e: hits.append("a"), Phase.STORAGE)
+        bus.subscribe(NodeDown, lambda e: hits.append("b"), Phase.STORAGE)
+        sub.cancel()
+        bus.publish(NodeDown(time=0.0, node_id="n1"))
+        assert hits == ["b"]
+
+
+class TestIntrospection:
+    def test_wants_reflects_subscriptions(self):
+        bus = EventBus()
+        assert not bus.wants(TaskStateChange)
+        sub = bus.subscribe(TaskStateChange, lambda e: None, Phase.SCHEDULING)
+        assert bus.wants(TaskStateChange)
+        assert not bus.wants(NodeDown)
+        sub.cancel()
+        assert not bus.wants(TaskStateChange)
+
+    def test_taps_make_everything_wanted(self):
+        bus = EventBus()
+        bus.add_tap(lambda e, phases: None)
+        assert bus.wants(TaskStateChange)
+        assert bus.wants(NodeDown)
+
+    def test_counts(self):
+        bus = EventBus()
+        bus.subscribe(NodeDown, lambda e: None, Phase.STORAGE)
+        bus.subscribe(NodeDown, lambda e: None, Phase.COMPUTE, key="n1")
+        assert bus.handler_count(NodeDown) == 2
+        assert bus.handler_count(NodeUp) == 0
+        bus.publish(NodeDown(time=0.0, node_id="n1"))
+        bus.publish(NodeDown(time=1.0, node_id="n2"))
+        bus.publish(NodeUp(time=2.0, node_id="n1"))
+        assert bus.published_count == 3
+        # n1's down hits both handlers, n2's only the unkeyed one.
+        assert bus.dispatched_count == 3
+
+    def test_payload_flattens_all_fields(self):
+        event = TaskStateChange(time=2.5, task_id="t1", state="RUNNING", node_id="n1")
+        assert event.payload() == {
+            "time": 2.5,
+            "task_id": "t1",
+            "state": "RUNNING",
+            "node_id": "n1",
+        }
+        assert isinstance(event, Event)
