@@ -16,6 +16,7 @@ from benchmarks.conftest import (
     emulation_node_values,
     emulation_repetitions,
     run_once,
+    sweep_executor,
 )
 from repro.experiments.config import Strategy
 from repro.experiments.emulation import (
@@ -32,7 +33,7 @@ def test_fig3a_interrupted_ratio(benchmark):
         benchmark,
         lambda: sweep_interrupted_ratio(
             emulation_base(), values=(0.25, 0.5, 0.75), strategies=EMULATION_STRATEGIES,
-            repetitions=emulation_repetitions(),
+            repetitions=emulation_repetitions(), executor=sweep_executor(),
         ),
     )
     print()
@@ -50,7 +51,7 @@ def test_fig3b_bandwidth(benchmark):
         benchmark,
         lambda: sweep_bandwidth(
             emulation_base(), values=emulation_bandwidth_values(), strategies=EMULATION_STRATEGIES,
-            repetitions=emulation_repetitions(),
+            repetitions=emulation_repetitions(), executor=sweep_executor(),
         ),
     )
     print()
@@ -73,7 +74,7 @@ def test_fig3c_node_count(benchmark):
         benchmark,
         lambda: sweep_node_count(
             emulation_base(), values=emulation_node_values(), strategies=EMULATION_STRATEGIES,
-            repetitions=emulation_repetitions(),
+            repetitions=emulation_repetitions(), executor=sweep_executor(),
         ),
     )
     print()
@@ -100,8 +101,13 @@ def test_headline_improvement(benchmark):
         existing_total = adapt_total = 0.0
         for rep in range(reps):
             config = emulation_base(seed=100 + rep)
-            existing_total += run_emulation_point(config, Strategy("existing", 1)).elapsed
-            adapt_total += run_emulation_point(config, Strategy("adapt", 1)).elapsed
+            executor = sweep_executor()
+            existing_total += run_emulation_point(
+                config, Strategy("existing", 1), executor=executor
+            ).elapsed
+            adapt_total += run_emulation_point(
+                config, Strategy("adapt", 1), executor=executor
+            ).elapsed
         return existing_total / reps, adapt_total / reps
 
     existing, adapt = run_once(benchmark, run)

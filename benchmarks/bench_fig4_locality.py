@@ -17,6 +17,7 @@ from benchmarks.conftest import (
     emulation_node_values,
     emulation_repetitions,
     run_once,
+    sweep_executor,
 )
 from repro.experiments.emulation import (
     sweep_bandwidth,
@@ -31,7 +32,7 @@ def test_fig4a_interrupted_ratio(benchmark):
         benchmark,
         lambda: sweep_interrupted_ratio(
             emulation_base(), values=(0.25, 0.5, 0.75), strategies=EMULATION_STRATEGIES,
-            repetitions=emulation_repetitions(),
+            repetitions=emulation_repetitions(), executor=sweep_executor(),
         ),
     )
     print()
@@ -52,7 +53,7 @@ def test_fig4b_bandwidth(benchmark):
         benchmark,
         lambda: sweep_bandwidth(
             emulation_base(), values=emulation_bandwidth_values(), strategies=EMULATION_STRATEGIES,
-            repetitions=emulation_repetitions(),
+            repetitions=emulation_repetitions(), executor=sweep_executor(),
         ),
     )
     print()
@@ -67,7 +68,7 @@ def test_fig4c_node_count(benchmark):
         benchmark,
         lambda: sweep_node_count(
             emulation_base(), values=emulation_node_values(), strategies=EMULATION_STRATEGIES,
-            repetitions=emulation_repetitions(),
+            repetitions=emulation_repetitions(), executor=sweep_executor(),
         ),
     )
     print()

@@ -26,6 +26,7 @@ from benchmarks.conftest import (
     simulation_base,
     simulation_block_values,
     simulation_node_values,
+    sweep_executor,
 )
 from repro.experiments.largescale import (
     sweep_sim_bandwidth,
@@ -41,7 +42,7 @@ def test_fig5a_bandwidth(benchmark):
         benchmark,
         lambda: sweep_sim_bandwidth(
             simulation_base(), values=simulation_bandwidth_values(),
-            strategies=SIMULATION_STRATEGIES,
+            strategies=SIMULATION_STRATEGIES, executor=sweep_executor(),
         ),
     )
     print()
@@ -73,7 +74,7 @@ def test_fig5b_block_size(benchmark):
         benchmark,
         lambda: sweep_sim_block_size(
             simulation_base(), values=simulation_block_values(),
-            strategies=SIMULATION_STRATEGIES,
+            strategies=SIMULATION_STRATEGIES, executor=sweep_executor(),
         ),
     )
     print()
@@ -111,7 +112,7 @@ def test_fig5c_node_count(benchmark):
         benchmark,
         lambda: sweep_sim_node_count(
             simulation_base(), values=simulation_node_values(),
-            strategies=SIMULATION_STRATEGIES,
+            strategies=SIMULATION_STRATEGIES, executor=sweep_executor(),
         ),
     )
     print()

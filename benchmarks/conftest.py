@@ -18,8 +18,23 @@ import os
 import pytest
 
 from repro.experiments.config import EmulationConfig, SimulationConfig, Strategy
+from repro.experiments.parallel import SweepExecutor
 
 FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: One executor for the whole benchmark session: REPRO_JOBS worker
+#: processes (default 1 = serial, identical results either way) and an
+#: optional REPRO_CACHE_DIR run cache so re-running the harness after an
+#: unrelated edit skips completed cells.
+_EXECUTOR: SweepExecutor | None = None
+
+
+def sweep_executor() -> SweepExecutor:
+    """The session-shared sweep executor (env-configured, lazily built)."""
+    global _EXECUTOR
+    if _EXECUTOR is None:
+        _EXECUTOR = SweepExecutor(cache_dir=os.environ.get("REPRO_CACHE_DIR") or None)
+    return _EXECUTOR
 
 #: Figure 3/4 series (paper order).
 EMULATION_STRATEGIES = (
@@ -93,5 +108,11 @@ def run_once(benchmark, fn):
 @pytest.fixture(autouse=True)
 def _print_scale_banner(request):
     scale = "FULL (paper scale)" if FULL else "reduced (set REPRO_FULL=1 for paper scale)"
-    print(f"\n[{request.node.name}] scale: {scale}")
+    executor = sweep_executor()
+    print(f"\n[{request.node.name}] scale: {scale} jobs: {executor.jobs}")
     yield
+    if executor.cache_dir is not None:
+        print(
+            f"[{request.node.name}] run cache (session totals): "
+            f"{executor.cache_hits} hits / {executor.cache_misses} misses"
+        )

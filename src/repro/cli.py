@@ -30,7 +30,6 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.availability.generator import build_group_hosts, table2_groups
-from repro.availability.seti import SetiTraceGenerator
 from repro.core.model import expected_attempts, expected_downtime, expected_rework, expected_task_time
 from repro.core.placement import NodeView, make_policy
 from repro.experiments.config import EmulationConfig, SimulationConfig, Strategy
@@ -116,6 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export the run's bus-event stream to PATH as JSON Lines",
     )
+    _add_executor_args(emulate)
 
     simulate = sub.add_parser("simulate", help="run one large-scale point (Fig 5 cell)")
     simulate.add_argument("--policy", default="adapt", choices=["existing", "naive", "adapt"])
@@ -125,6 +125,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--block-size-mb", type=float, default=64.0)
     simulate.add_argument("--tasks-per-node", type=float, default=100.0)
     simulate.add_argument("--seed", type=int, default=0)
+    _add_executor_args(simulate)
 
     table1 = sub.add_parser("table1", help="regenerate Table 1 from synthetic traces")
     table1.add_argument("--nodes", type=int, default=2000)
@@ -133,6 +134,31 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("groups", help="print the Table 2 interruption groups")
     return parser
+
+
+def _add_executor_args(command: argparse.ArgumentParser) -> None:
+    """Sweep-executor knobs shared by the experiment subcommands."""
+    command.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for experiment cells (default: $REPRO_JOBS or 1)",
+    )
+    command.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed run cache: completed cells are skipped on re-runs",
+    )
+
+
+def _make_executor(args: argparse.Namespace):
+    from repro.experiments.parallel import SweepExecutor
+
+    if args.jobs is None and args.cache_dir is None:
+        return None
+    return SweepExecutor(jobs=args.jobs, cache_dir=args.cache_dir)
 
 
 def _cmd_model(args: argparse.Namespace) -> int:
@@ -201,12 +227,18 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
         permanent_failure_horizon=args.permanent_failure_horizon,
         fetch_retries=args.fetch_retries,
     )
+    executor = _make_executor(args)
     result = run_emulation_point(
-        config, Strategy(args.policy, args.replicas), trace_out=args.trace_out
+        config,
+        Strategy(args.policy, args.replicas),
+        trace_out=args.trace_out,
+        executor=executor,
     )
     _print_result(result)
     if args.trace_out is not None:
         print(f"trace written to {args.trace_out}")
+    if executor is not None and executor.cache_hits:
+        print(f"run cache: {executor.cache_hits} hit(s) from {executor.cache_dir}")
     return 0
 
 
@@ -218,8 +250,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         tasks_per_node=args.tasks_per_node,
         seed=args.seed,
     )
-    result = run_simulation_point(config, Strategy(args.policy, args.replicas))
+    executor = _make_executor(args)
+    result = run_simulation_point(
+        config, Strategy(args.policy, args.replicas), executor=executor
+    )
     _print_result(result)
+    if executor is not None and executor.cache_hits:
+        print(f"run cache: {executor.cache_hits} hit(s) from {executor.cache_dir}")
     return 0
 
 

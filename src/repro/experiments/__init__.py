@@ -29,10 +29,14 @@ from repro.experiments.largescale import (
     sweep_sim_node_count,
     table1_statistics,
 )
+from repro.experiments.parallel import CACHE_SALT, CellSpec, SweepExecutor
 from repro.experiments.results import ExperimentRow, SweepResult
 from repro.experiments.reporting import render_sweep
 
 __all__ = [
+    "CACHE_SALT",
+    "CellSpec",
+    "SweepExecutor",
     "Strategy",
     "EmulationConfig",
     "SimulationConfig",

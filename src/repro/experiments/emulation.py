@@ -12,13 +12,19 @@ Every scenario is repeated ``repetitions`` times with derived seeds and
 averaged, mirroring the paper's 10-run means. Within one repetition the
 same seed drives every strategy, so strategies face identical interruption
 realisations (the random streams are keyed per node, not shared).
+
+Cells are independent, so every sweep accepts a
+:class:`~repro.experiments.parallel.SweepExecutor` to fan them out over
+worker processes and/or serve them from the run cache; results are
+reassembled in sweep order, byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.config import EMULATION_STRATEGIES, EmulationConfig, Strategy
+from repro.experiments.parallel import CellSpec, SweepExecutor
 from repro.experiments.results import ExperimentRow, SweepResult
 from repro.runtime.runner import MapPhaseResult, run_map_phase
 from repro.util.rng import derive_seed
@@ -34,12 +40,17 @@ def run_emulation_point(
     strategy: Strategy,
     seed: Optional[int] = None,
     trace_out: Optional[str] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> MapPhaseResult:
     """Run one (configuration, strategy) cell once.
 
-    ``trace_out`` exports the run's bus-event stream as JSON Lines.
+    ``trace_out`` exports the run's bus-event stream as JSON Lines. With
+    an ``executor`` the cell goes through its run cache (tracing always
+    runs live: the event stream is a side effect the cache cannot replay).
     """
     run_seed = config.seed if seed is None else seed
+    if executor is not None and trace_out is None:
+        return executor.run_cell(CellSpec("emulation", config, strategy, run_seed))
     hosts = config.hosts()
     return run_map_phase(
         hosts=hosts,
@@ -59,10 +70,13 @@ def _sweep(
     values: Sequence[float],
     strategies: Sequence[Strategy],
     repetitions: int,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
+    runner = executor if executor is not None else SweepExecutor()
     sweep = SweepResult(name=name, x_label=x_label)
+    cells: List[Tuple[ExperimentRow, CellSpec]] = []
     for value in values:
         config = base.with_(**{field: value})
         for strategy in strategies:
@@ -72,10 +86,13 @@ def _sweep(
                 policy=strategy.policy,
                 replication=strategy.replication,
             )
+            sweep.rows.append(row)
             for rep in range(repetitions):
                 seed = derive_seed(base.seed, name, value, rep)
-                row.add(run_emulation_point(config, strategy, seed=seed))
-            sweep.rows.append(row)
+                cells.append((row, CellSpec("emulation", config, strategy, seed)))
+    results = runner.run_cells([spec for _, spec in cells])
+    for (row, _), result in zip(cells, results):
+        row.add(result)
     return sweep
 
 
@@ -84,6 +101,7 @@ def sweep_interrupted_ratio(
     values: Sequence[float] = RATIO_VALUES,
     strategies: Sequence[Strategy] = tuple(EMULATION_STRATEGIES),
     repetitions: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figures 3(a) / 4(a): vary the ratio of interrupted nodes."""
     return _sweep(
@@ -94,6 +112,7 @@ def sweep_interrupted_ratio(
         values,
         strategies,
         repetitions,
+        executor,
     )
 
 
@@ -102,6 +121,7 @@ def sweep_bandwidth(
     values: Sequence[float] = BANDWIDTH_VALUES,
     strategies: Sequence[Strategy] = tuple(EMULATION_STRATEGIES),
     repetitions: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figures 3(b) / 4(b): vary the network bandwidth."""
     return _sweep(
@@ -112,6 +132,7 @@ def sweep_bandwidth(
         values,
         strategies,
         repetitions,
+        executor,
     )
 
 
@@ -120,6 +141,7 @@ def sweep_node_count(
     values: Sequence[int] = NODE_COUNT_VALUES,
     strategies: Sequence[Strategy] = tuple(EMULATION_STRATEGIES),
     repetitions: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figures 3(c) / 4(c): vary the cluster size."""
     return _sweep(
@@ -130,4 +152,5 @@ def sweep_node_count(
         values,
         strategies,
         repetitions,
+        executor,
     )

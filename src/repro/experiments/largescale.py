@@ -13,15 +13,20 @@ time. We draw hosts from the Table-1-calibrated synthetic SETI model (see
 ``table1_statistics`` regenerates Table 1 itself: pooled MTBI/duration
 statistics of the synthetic traces, to be compared against the paper's
 numbers.
+
+Each sweep accepts a :class:`~repro.experiments.parallel.SweepExecutor`
+— the 16384-node Figure 5(c) points are the slowest cells in the whole
+harness, and they parallelise perfectly (cells share nothing).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.availability.seti import SetiTraceGenerator
 from repro.availability.traces import pooled_summary
 from repro.experiments.config import SIMULATION_STRATEGIES, SimulationConfig, Strategy
+from repro.experiments.parallel import CellSpec, SweepExecutor
 from repro.experiments.results import ExperimentRow, SweepResult
 from repro.runtime.runner import MapPhaseResult, run_map_phase
 from repro.util.rng import RandomSource, derive_seed
@@ -58,9 +63,12 @@ def run_simulation_point(
     config: SimulationConfig,
     strategy: Strategy,
     seed: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> MapPhaseResult:
     """Run one (configuration, strategy) cell of Figure 5 once."""
     run_seed = config.seed if seed is None else seed
+    if executor is not None:
+        return executor.run_cell(CellSpec("simulation", config, strategy, run_seed))
     hosts = config.hosts(seed=run_seed)
     return run_map_phase(
         hosts=hosts,
@@ -79,10 +87,13 @@ def _sweep(
     values: Sequence[float],
     strategies: Sequence[Strategy],
     repetitions: int,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
+    runner = executor if executor is not None else SweepExecutor()
     sweep = SweepResult(name=name, x_label=x_label)
+    cells: List[Tuple[ExperimentRow, CellSpec]] = []
     for value in values:
         config = base.with_(**{field: int(value) if field != "bandwidth_mbps" else value})
         for strategy in strategies:
@@ -92,10 +103,13 @@ def _sweep(
                 policy=strategy.policy,
                 replication=strategy.replication,
             )
+            sweep.rows.append(row)
             for rep in range(repetitions):
                 seed = derive_seed(base.seed, name, value, rep)
-                row.add(run_simulation_point(config, strategy, seed=seed))
-            sweep.rows.append(row)
+                cells.append((row, CellSpec("simulation", config, strategy, seed)))
+    results = runner.run_cells([spec for _, spec in cells])
+    for (row, _), result in zip(cells, results):
+        row.add(result)
     return sweep
 
 
@@ -104,6 +118,7 @@ def sweep_sim_bandwidth(
     values: Sequence[float] = SIM_BANDWIDTH_VALUES,
     strategies: Sequence[Strategy] = tuple(SIMULATION_STRATEGIES),
     repetitions: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figure 5(a): overhead breakdown vs network bandwidth."""
     return _sweep(
@@ -114,6 +129,7 @@ def sweep_sim_bandwidth(
         values,
         strategies,
         repetitions,
+        executor,
     )
 
 
@@ -122,14 +138,19 @@ def sweep_sim_block_size(
     values: Sequence[float] = SIM_BLOCK_SIZE_VALUES,
     strategies: Sequence[Strategy] = tuple(SIMULATION_STRATEGIES),
     repetitions: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figure 5(b): overhead breakdown vs block size.
 
     The number of tasks shrinks as blocks grow (fixed input bytes per
     node), and gamma scales with the block size, as in the paper.
     """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
     base_config = base if base is not None else SimulationConfig()
+    runner = executor if executor is not None else SweepExecutor()
     sweep = SweepResult(name="fig5b", x_label="block_size_mb")
+    cells: List[Tuple[ExperimentRow, CellSpec]] = []
     for value in values:
         block = int(value)
         # Keep per-node input constant: tasks_per_node scales inversely.
@@ -145,10 +166,13 @@ def sweep_sim_block_size(
                 policy=strategy.policy,
                 replication=strategy.replication,
             )
+            sweep.rows.append(row)
             for rep in range(repetitions):
                 seed = derive_seed(base_config.seed, "fig5b", block, rep)
-                row.add(run_simulation_point(config, strategy, seed=seed))
-            sweep.rows.append(row)
+                cells.append((row, CellSpec("simulation", config, strategy, seed)))
+    results = runner.run_cells([spec for _, spec in cells])
+    for (row, _), result in zip(cells, results):
+        row.add(result)
     return sweep
 
 
@@ -157,6 +181,7 @@ def sweep_sim_node_count(
     values: Sequence[int] = SIM_NODE_COUNT_VALUES,
     strategies: Sequence[Strategy] = tuple(SIMULATION_STRATEGIES),
     repetitions: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figure 5(c): overhead breakdown vs cluster size."""
     return _sweep(
@@ -167,4 +192,5 @@ def sweep_sim_node_count(
         values,
         strategies,
         repetitions,
+        executor,
     )

@@ -101,43 +101,52 @@ def run_map_phase(
     chosen_workload = workload if workload is not None else TerasortWorkload()
     gamma = chosen_workload.gamma_seconds(config.block_size_bytes)
     cluster = build_cluster(hosts, config, traces=traces, default_gamma=gamma)
-    # Settle any t=0 transitions (stationary starts put some hosts down at
-    # the window origin) before the NameNode takes its placement snapshot.
-    cluster.sim.run(until=0.0)
-    if warmup_seconds > 0.0:
-        cluster.sim.run(until=warmup_seconds)
+    try:
+        # Settle any t=0 transitions (stationary starts put some hosts down
+        # at the window origin) before the NameNode takes its placement
+        # snapshot.
+        cluster.sim.run(until=0.0)
+        if warmup_seconds > 0.0:
+            cluster.sim.run(until=warmup_seconds)
 
-    m = num_blocks if num_blocks is not None else max(int(round(blocks_per_node * len(hosts))), 1)
-    dfs_file = cluster.client.copy_from_local(
-        name="input",
-        num_blocks=m,
-        replication=replication,
-        policy=policy,
-        gamma=gamma,
-    )
-    conf = job_conf if job_conf is not None else JobConf(name=chosen_workload.name)
-    gammas = chosen_workload.gammas(dfs_file, rng=cluster.rng.substream("workload"))
-    job = MapJob(conf, dfs_file, gammas)
-    cluster.jobtracker.submit(job)
-    cluster.run_until_job_done(max_events=max_events)
+        m = (
+            num_blocks
+            if num_blocks is not None
+            else max(int(round(blocks_per_node * len(hosts))), 1)
+        )
+        dfs_file = cluster.client.copy_from_local(
+            name="input",
+            num_blocks=m,
+            replication=replication,
+            policy=policy,
+            gamma=gamma,
+        )
+        conf = job_conf if job_conf is not None else JobConf(name=chosen_workload.name)
+        gammas = chosen_workload.gammas(dfs_file, rng=cluster.rng.substream("workload"))
+        job = MapJob(conf, dfs_file, gammas)
+        cluster.jobtracker.submit(job)
+        cluster.run_until_job_done(max_events=max_events)
 
-    breakdown = cluster.metrics.breakdown(job.makespan, slots=cluster.total_slots)
-    result = MapPhaseResult(
-        policy=policy.name,
-        replication=replication,
-        node_count=cluster.node_count,
-        num_tasks=job.num_tasks,
-        elapsed=job.makespan,
-        data_locality=cluster.metrics.data_locality,
-        breakdown=breakdown,
-        seed=config.seed,
-        durability=cluster.durability,
-        interruptions=cluster.metrics.interruptions,
-        node_returns=cluster.metrics.node_returns,
-    )
-    # Teardown after every result field is captured: stopping kills live
-    # speculative attempts, which would otherwise perturb the accounting.
-    cluster.stop()
+        breakdown = cluster.metrics.breakdown(job.makespan, slots=cluster.total_slots)
+        result = MapPhaseResult(
+            policy=policy.name,
+            replication=replication,
+            node_count=cluster.node_count,
+            num_tasks=job.num_tasks,
+            elapsed=job.makespan,
+            data_locality=cluster.metrics.data_locality,
+            breakdown=breakdown,
+            seed=config.seed,
+            durability=cluster.durability,
+            interruptions=cluster.metrics.interruptions,
+            node_returns=cluster.metrics.node_returns,
+        )
+    finally:
+        # Teardown after every result field is captured (stopping kills live
+        # speculative attempts, which would otherwise perturb the
+        # accounting) — but also on *failure*, so a cell that dies mid-run
+        # in a sweep worker never strands scheduled events or services.
+        cluster.stop()
     if trace_out is not None and cluster.tracer is not None:
         cluster.tracer.export_jsonl(trace_out)
     return result

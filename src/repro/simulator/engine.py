@@ -165,8 +165,16 @@ class Simulator:
                     break
                 if until is not None and next_time > until:
                     break
-                if self.step():
-                    executed += 1
+                # _peek_time left a live handle at the heap head; pop it
+                # directly instead of letting step() rescan for one.
+                time, _seq, handle = heapq.heappop(self._heap)
+                self._now = time
+                action = handle.action
+                handle._consume()  # mark fired; also drops the closure ref
+                self._events_fired += 1
+                assert action is not None
+                action()
+                executed += 1
         finally:
             self._running = False
         return executed

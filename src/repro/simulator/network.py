@@ -56,6 +56,8 @@ class Transfer:
         "on_complete",
         "on_cancel",
         "_event",
+        "up_key",
+        "down_key",
     )
 
     def __init__(
@@ -82,6 +84,11 @@ class Transfer:
         self.on_complete = on_complete
         self.on_cancel = on_cancel
         self._event: Optional[EventHandle] = None
+        # Link identities, interned once at transfer start: every rate
+        # allocation round indexes capacities/membership by these, so they
+        # must not be rebuilt per round (or per allocation).
+        self.up_key: Tuple[str, str] = ("up", source)
+        self.down_key: Tuple[str, str] = ("down", destination)
 
     @property
     def transferred(self) -> float:
@@ -327,18 +334,36 @@ class Network:
         self._reallocate_and_reschedule()
 
     def _allocate_rates(self) -> None:
-        """Max-min fair (progressive-filling) rate allocation."""
+        """Max-min fair (progressive-filling) rate allocation.
+
+        Each link carries a *live-member counter* maintained as flows get
+        fixed, so a filling round costs O(links) instead of re-scanning
+        every link's membership against the unfixed set — O(flows·links)
+        overall rather than O(flows²·links). The round structure, float
+        arithmetic, and tie-breaking (first minimum in link insertion
+        order) are identical to the naive scan, so allocations are
+        bit-for-bit unchanged (golden-seed tests pin this).
+        """
         if not self._active:
             return
         capacity: Dict[Tuple[str, str], float] = {}
-        members: Dict[Tuple[str, str], List[Transfer]] = defaultdict(list)
+        members: Dict[Tuple[str, str], List[Transfer]] = {}
+        live: Dict[Tuple[str, str], int] = {}
         for transfer in self._active:
-            up = ("up", transfer.source)
-            down = ("down", transfer.destination)
-            capacity.setdefault(up, self.uplink(transfer.source))
-            capacity.setdefault(down, self.downlink(transfer.destination))
+            up = transfer.up_key
+            down = transfer.down_key
+            if up not in capacity:
+                capacity[up] = self.uplink(transfer.source)
+                members[up] = []
+                live[up] = 0
+            if down not in capacity:
+                capacity[down] = self.downlink(transfer.destination)
+                members[down] = []
+                live[down] = 0
             members[up].append(transfer)
+            live[up] += 1
             members[down].append(transfer)
+            live[down] += 1
 
         unfixed: Set[Transfer] = set(self._active)
         rates: Dict[Transfer, float] = {}
@@ -346,24 +371,25 @@ class Network:
             # The bottleneck link is the one with the smallest fair share.
             bottleneck = None
             bottleneck_share = None
-            for link, users in members.items():
-                live = sum(1 for u in users if u in unfixed)
-                if not live:
+            for link, count in live.items():
+                if not count:
                     continue
-                share = max(capacity[link], 0.0) / live
+                share = max(capacity[link], 0.0) / count
                 if bottleneck_share is None or share < bottleneck_share:
                     bottleneck_share = share
                     bottleneck = link
             if bottleneck is None:
                 break
             assert bottleneck_share is not None
-            for transfer in [t for t in members[bottleneck] if t in unfixed]:
+            for transfer in members[bottleneck]:
+                if transfer not in unfixed:
+                    continue
                 rates[transfer] = bottleneck_share
                 unfixed.discard(transfer)
-                # Consume this flow's share on its *other* link.
-                up = ("up", transfer.source)
-                down = ("down", transfer.destination)
-                for link in (up, down):
+                # Consume this flow's share on its *other* link, and retire
+                # it from both links' live counts.
+                for link in (transfer.up_key, transfer.down_key):
+                    live[link] -= 1
                     if link != bottleneck:
                         capacity[link] -= bottleneck_share
             capacity[bottleneck] = 0.0

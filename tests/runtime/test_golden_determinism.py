@@ -13,6 +13,7 @@ import pytest
 
 from repro.experiments.config import EmulationConfig, Strategy
 from repro.experiments.emulation import run_emulation_point
+from repro.experiments.parallel import CellSpec, SweepExecutor
 
 
 @pytest.mark.slow
@@ -93,6 +94,37 @@ class TestGoldenScenarios:
         assert result.breakdown.rework == 53.78357051589564
         assert result.breakdown.migration == 665.7965668280153
         assert result.breakdown.recovery == 1190.5447718717796
+
+
+@pytest.mark.slow
+class TestGoldenAcrossProcesses:
+    """Worker processes and the run cache must hit the same golden values.
+
+    Extends the golden pins to the parallel execution layer: the same
+    scenario dispatched through a 2-worker :class:`SweepExecutor` (and
+    replayed from its cache) reproduces the serial numbers exactly.
+    """
+
+    def test_worker_pool_and_cache_match_golden(self, tmp_path):
+        config = EmulationConfig(
+            node_count=16, interrupted_ratio=0.5, blocks_per_node=4.0, seed=7
+        )
+        cells = [
+            CellSpec("emulation", config, Strategy("adapt", 1), 7),
+            CellSpec("emulation", config, Strategy("existing", 1), 7),
+        ]
+        executor = SweepExecutor(jobs=2, cache_dir=tmp_path)
+        adapt, _existing = executor.run_cells(cells)
+        assert adapt.elapsed == 343.5642303163495
+        assert adapt.data_locality == 0.796875
+        assert adapt.breakdown.rework == 99.20506020196304
+        assert adapt.breakdown.recovery == 1335.170865499867
+        assert adapt.breakdown.migration == 2076.041370867412
+
+        replay = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        cached, _ = replay.run_cells(cells)
+        assert replay.cache_hits == 2
+        assert cached == adapt
 
 
 class TestSameSeedSameResult:

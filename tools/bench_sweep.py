@@ -1,0 +1,113 @@
+"""Benchmark-smoke driver: time one emulation sweep serial vs parallel.
+
+Runs the Figure 3(a)/4(a) interrupted-ratio sweep (3 ratios x 4
+strategies x 1 repetition = 12 cells by default) once with ``jobs=1``
+and once with ``--jobs`` workers, verifies the two produce row-for-row
+identical results, prints the rendered sweep table, and writes a JSON
+timing record (``BENCH_sweep.json``) suitable for CI artifacts::
+
+    PYTHONPATH=src python tools/bench_sweep.py --jobs 4 \
+        --out BENCH_sweep.json --table-out sweep_table.txt
+
+The record includes ``cpu_count`` — interpret the speedup against it:
+a 4-worker run on a 1-core container cannot beat serial.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments.config import EMULATION_STRATEGIES, EmulationConfig
+from repro.experiments.emulation import sweep_interrupted_ratio
+from repro.experiments.parallel import SweepExecutor
+from repro.experiments.reporting import render_sweep
+from repro.experiments.results import SweepResult
+
+
+def _rows(sweep: SweepResult):
+    return [
+        (row.x, row.strategy_key, row.elapsed_values, row.locality_values)
+        for row in sweep.rows
+    ]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="time a sweep serial vs parallel")
+    parser.add_argument("--jobs", type=int, default=4, help="parallel worker count")
+    parser.add_argument("--nodes", type=int, default=24, help="cluster size per cell")
+    parser.add_argument("--blocks-per-node", type=float, default=8.0)
+    parser.add_argument("--repetitions", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cache-dir", default=None, help="optional run cache to exercise")
+    parser.add_argument("--out", default="BENCH_sweep.json", help="timing record path")
+    parser.add_argument("--table-out", default=None, help="also write the rendered table here")
+    args = parser.parse_args(argv)
+
+    base = EmulationConfig(
+        node_count=args.nodes, blocks_per_node=args.blocks_per_node, seed=args.seed
+    )
+    strategies = tuple(EMULATION_STRATEGIES)
+    values = (0.25, 0.5, 0.75)
+    cell_count = len(values) * len(strategies) * args.repetitions
+
+    def timed(executor: SweepExecutor):
+        start = time.perf_counter()
+        sweep = sweep_interrupted_ratio(
+            base,
+            values=values,
+            strategies=strategies,
+            repetitions=args.repetitions,
+            executor=executor,
+        )
+        return sweep, time.perf_counter() - start
+
+    print(f"sweep: fig3a/4a, {cell_count} cells, nodes={args.nodes}")
+    serial_sweep, serial_seconds = timed(SweepExecutor(jobs=1))
+    print(f"serial (jobs=1): {serial_seconds:.2f}s")
+    parallel_exec = SweepExecutor(jobs=args.jobs, cache_dir=args.cache_dir)
+    parallel_sweep, parallel_seconds = timed(parallel_exec)
+    print(f"parallel (jobs={args.jobs}): {parallel_seconds:.2f}s")
+
+    rows_identical = _rows(parallel_sweep) == _rows(serial_sweep)
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+    table = render_sweep(
+        parallel_sweep, "elapsed", title="Figure 3(a): elapsed vs interrupted ratio"
+    )
+    print()
+    print(table)
+    print(f"\nrows identical to serial: {rows_identical}")
+    print(f"speedup: {speedup:.2f}x on {os.cpu_count()} CPU(s)")
+
+    record = {
+        "sweep": "fig3a/4a",
+        "cells": cell_count,
+        "node_count": args.nodes,
+        "blocks_per_node": args.blocks_per_node,
+        "repetitions": args.repetitions,
+        "jobs": args.jobs,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 3),
+        "rows_identical": rows_identical,
+        "cpu_count": os.cpu_count(),
+        "cache_hits": parallel_exec.cache_hits,
+        "cache_misses": parallel_exec.cache_misses,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"timing record written to {args.out}")
+    if args.table_out is not None:
+        with open(args.table_out, "w", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+        print(f"table written to {args.table_out}")
+    return 0 if rows_identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
