@@ -115,6 +115,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export the run's bus-event stream to PATH as JSON Lines",
     )
+    emulate.add_argument(
+        "--audit",
+        choices=["report", "strict"],
+        default=None,
+        help="audit cross-layer invariants during the run "
+        "(strict: raise on the first violation)",
+    )
+    emulate.add_argument(
+        "--audit-out",
+        metavar="PATH",
+        default=None,
+        help="write the audit report to PATH as JSON (implies --audit report)",
+    )
     _add_executor_args(emulate)
 
     simulate = sub.add_parser("simulate", help="run one large-scale point (Fig 5 cell)")
@@ -228,15 +241,23 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
         fetch_retries=args.fetch_retries,
     )
     executor = _make_executor(args)
+    audit = args.audit if args.audit is not None else ("report" if args.audit_out else None)
     result = run_emulation_point(
         config,
         Strategy(args.policy, args.replicas),
         trace_out=args.trace_out,
         executor=executor,
+        audit=audit,
+        audit_out=args.audit_out,
     )
     _print_result(result)
     if args.trace_out is not None:
         print(f"trace written to {args.trace_out}")
+    if audit is not None:
+        if args.audit_out is not None:
+            print(f"audit report ({audit} mode) written to {args.audit_out}")
+        else:
+            print(f"audit ran in {audit} mode; no violations raised")
     if executor is not None and executor.cache_hits:
         print(f"run cache: {executor.cache_hits} hit(s) from {executor.cache_dir}")
     return 0

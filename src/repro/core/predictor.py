@@ -73,13 +73,21 @@ class PerformancePredictor:
     # -- observation feed (called by the heartbeat collector) ------------------
 
     def observe_uptime(self, node_id: str, seconds: float) -> None:
-        """Fold in observed uptime for a node."""
-        self._require(node_id)
+        """Fold in observed uptime for a node.
+
+        Auto-registers unknown nodes: the heartbeat collector may report a
+        host that joined mid-run before anything else introduced it, and
+        the observation feed must never crash the heartbeat service.
+        """
+        self.register_node(node_id)
         self._estimators[node_id].record_uptime(seconds)
 
     def observe_downtime(self, node_id: str, seconds: float) -> None:
-        """Fold in one completed downtime episode for a node."""
-        self._require(node_id)
+        """Fold in one completed downtime episode for a node.
+
+        Auto-registers unknown nodes, like :meth:`observe_uptime`.
+        """
+        self.register_node(node_id)
         self._estimators[node_id].record_downtime(seconds)
 
     def _require(self, node_id: str) -> None:

@@ -64,8 +64,12 @@ def target_counts(
     raw = {node_id: total * share / norm for node_id, share in shares.items()}
     floors = {node_id: int(math.floor(v)) for node_id, v in raw.items()}
     remainder = total - sum(floors.values())
+    # Largest fractional remainder first; equal remainders break ties by
+    # ascending node id (negating the fraction instead of reverse=True,
+    # which would flip the id tie-break too and bias extras toward
+    # lexicographically-later nodes).
     by_fraction = sorted(
-        raw, key=lambda node_id: (raw[node_id] - floors[node_id], node_id), reverse=True
+        raw, key=lambda node_id: (floors[node_id] - raw[node_id], node_id)
     )
     for node_id in by_fraction[:remainder]:
         floors[node_id] += 1

@@ -41,15 +41,19 @@ def run_emulation_point(
     seed: Optional[int] = None,
     trace_out: Optional[str] = None,
     executor: Optional[SweepExecutor] = None,
+    audit: Optional[str] = None,
+    audit_out: Optional[str] = None,
 ) -> MapPhaseResult:
     """Run one (configuration, strategy) cell once.
 
-    ``trace_out`` exports the run's bus-event stream as JSON Lines. With
-    an ``executor`` the cell goes through its run cache (tracing always
-    runs live: the event stream is a side effect the cache cannot replay).
+    ``trace_out`` exports the run's bus-event stream as JSON Lines.
+    ``audit`` / ``audit_out`` enable cross-layer invariant auditing and
+    export its report. With an ``executor`` the cell goes through its run
+    cache; tracing and auditing always run live — the event stream and the
+    audit are side effects the cache cannot replay.
     """
     run_seed = config.seed if seed is None else seed
-    if executor is not None and trace_out is None:
+    if executor is not None and trace_out is None and audit is None and audit_out is None:
         return executor.run_cell(CellSpec("emulation", config, strategy, run_seed))
     hosts = config.hosts()
     return run_map_phase(
@@ -59,6 +63,8 @@ def run_emulation_point(
         replication=strategy.replication,
         blocks_per_node=config.blocks_per_node,
         trace_out=trace_out,
+        audit=audit,
+        audit_out=audit_out,
     )
 
 

@@ -162,6 +162,14 @@ class NameNode:
         self._require_node(node_id)
         return self._datanodes[node_id].block_ids()
 
+    def location_snapshot(self) -> Dict[str, Set[str]]:
+        """Copy of the whole location map (block id -> holder set).
+
+        For auditing: callers get an isolated snapshot they can compare
+        against physical DataNode contents without aliasing live state.
+        """
+        return {block_id: set(holders) for block_id, holders in self._locations.items()}
+
     def block_distribution(self, name: str) -> Dict[str, int]:
         """Replica count per node for one file (the ``df``-style view)."""
         dfs_file = self.file(name)

@@ -75,7 +75,13 @@ class JobTracker(SchedulerContext):
         self._trackers = dict(sorted(trackers.items()))
         self._metrics = metrics
         self._access_down = access_during_downtime
-        self._speculation = speculation if speculation is not None else SpeculationPolicy()
+        if speculation is None:
+            # Default policy: derive the remote-fetch term from the wired
+            # network's uncontended rate. A bare SpeculationPolicy() would
+            # hold remote attempts to the local threshold (zero fetch
+            # allowance) and speculate on every contended fetch.
+            speculation = SpeculationPolicy(fetch_rate_bps=network.nominal_rate_bps)
+        self._speculation = speculation
         self._sweep_interval = check_positive("sweep_interval", sweep_interval)
         self._bus = bus if bus is not None else EventBus()
         self._stopped = False

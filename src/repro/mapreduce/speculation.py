@@ -30,12 +30,21 @@ class SpeculationPolicy:
     time for remote attempts). ``max_per_task`` bounds concurrent
     duplicates. ``enabled=False`` disables speculation entirely (ablation
     A5).
+
+    The remote fetch term comes from ``nominal_fetch_seconds`` when set;
+    otherwise it is derived per task from the block size and
+    ``fetch_rate_bps`` (the uncontended link rate). With both at zero a
+    remote attempt is held to the same threshold as a local one — every
+    ordinary remote fetch under contention then looks like a straggler and
+    triggers spurious duplicates, so wiring code should always provide one
+    of the two.
     """
 
     enabled: bool = True
     slowdown: float = 2.0
     max_per_task: int = 1
     nominal_fetch_seconds: float = 0.0
+    fetch_rate_bps: float = 0.0
 
     def __post_init__(self) -> None:
         if self.slowdown <= 1.0:
@@ -43,10 +52,19 @@ class SpeculationPolicy:
         if self.max_per_task < 0:
             raise ValueError("max_per_task must be >= 0")
         check_non_negative("nominal_fetch_seconds", self.nominal_fetch_seconds)
+        check_non_negative("fetch_rate_bps", self.fetch_rate_bps)
+
+    def fetch_seconds(self, task: MapTask) -> float:
+        """Nominal uncontended fetch time for the task's input block."""
+        if self.nominal_fetch_seconds > 0.0:
+            return self.nominal_fetch_seconds
+        if self.fetch_rate_bps > 0.0:
+            return task.block.size_bytes / self.fetch_rate_bps
+        return 0.0
 
     def expected_duration(self, task: MapTask, remote: bool) -> float:
         """Nominal attempt duration used for the straggler threshold."""
-        return task.gamma + (self.nominal_fetch_seconds if remote else 0.0)
+        return task.gamma + (self.fetch_seconds(task) if remote else 0.0)
 
     def is_straggling(self, task: MapTask, now: float) -> bool:
         """Whether the task's live attempts justify a duplicate.

@@ -106,6 +106,10 @@ class TaskTracker:
     def running_attempts(self) -> int:
         return len(self._live)
 
+    def live_attempts(self) -> "list[TaskAttempt]":
+        """Snapshot of the attempts currently occupying slots (for audits)."""
+        return list(self._live.values())
+
     # -- execution ------------------------------------------------------------------
 
     def execute(self, attempt: TaskAttempt) -> None:

@@ -39,6 +39,7 @@ one loop in reverse registration order.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -71,6 +72,7 @@ from repro.simulator.events import (
     ReplicaAdded,
 )
 from repro.simulator.failures import FailureInjector
+from repro.simulator.invariants import AUDIT_MODES, InvariantAuditor
 from repro.simulator.metrics import DurabilityMetrics, MapPhaseMetrics
 from repro.simulator.network import Network
 from repro.simulator.trace import TraceRecorder
@@ -147,6 +149,14 @@ class ClusterConfig:
     #: Capture every bus event in a TraceRecorder (exportable as JSONL via
     #: ``Cluster.tracer`` / the ``emulate --trace-out`` flag).
     trace_events: bool = False
+    #: Cross-layer invariant auditing: "off", "report" (violations
+    #: accumulate into ``Cluster.auditor.report``), or "strict" (the first
+    #: violating audit raises). The ``REPRO_AUDIT`` environment variable
+    #: overrides this at build time — CI runs the golden and durability
+    #: suites with ``REPRO_AUDIT=strict``.
+    audit: str = "off"
+    #: Simulated seconds between periodic audits (teardown always audits).
+    audit_interval: float = 25.0
     #: Root seed; every random stream in the cluster derives from it.
     seed: int = 0
 
@@ -168,6 +178,9 @@ class ClusterConfig:
             raise ValueError("permanent_failure_rate must be in [0, 1]")
         if self.permanent_failure_rate > 0.0:
             check_positive("permanent_failure_horizon", self.permanent_failure_horizon)
+        if self.audit not in AUDIT_MODES:
+            raise ValueError(f"audit must be one of {AUDIT_MODES}, got {self.audit!r}")
+        check_positive("audit_interval", self.audit_interval)
 
     @property
     def uplink_bps(self) -> float:
@@ -207,6 +220,7 @@ class Cluster:
         services: Optional[ServiceRegistry] = None,
         detector: Optional[OracleDetector] = None,
         tracer: Optional[TraceRecorder] = None,
+        auditor: Optional[InvariantAuditor] = None,
     ) -> None:
         self.config = config
         self.hosts = list(hosts)
@@ -226,6 +240,7 @@ class Cluster:
         self.services = services if services is not None else ServiceRegistry()
         self.detector = detector
         self.tracer = tracer
+        self.auditor = auditor
 
     @property
     def node_ids(self) -> List[str]:
@@ -452,6 +467,28 @@ def build_cluster(
                     at_time=perm_rng.uniform(0.0, config.permanent_failure_horizon),
                 )
 
+    # Cross-layer invariant auditing. The environment variable lets CI (and
+    # local debugging) force strict audits over any existing configuration
+    # without plumbing a flag through every entry point.
+    audit_mode = os.environ.get("REPRO_AUDIT", "").strip().lower() or config.audit
+    if audit_mode not in AUDIT_MODES:
+        raise ValueError(f"REPRO_AUDIT must be one of {AUDIT_MODES}, got {audit_mode!r}")
+    auditor: Optional[InvariantAuditor] = None
+    if audit_mode != "off":
+        auditor = InvariantAuditor(
+            sim,
+            bus,
+            namenode=namenode,
+            injector=injector,
+            network=network,
+            trackers=trackers,
+            metrics=metrics,
+            jobtracker=jobtracker,
+            durability=durability,
+            mode=audit_mode,
+            interval=config.audit_interval,
+        )
+
     # -- service registry (registration order is start order; stop is the
     # reverse, so consumers always stop before the producers they read) ---------
     services = ServiceRegistry()
@@ -469,6 +506,10 @@ def build_cluster(
         services.register(tracker)
     if tracer is not None:
         services.register(tracer)
+    if auditor is not None:
+        # Registered last so it stops FIRST: the final teardown audit must
+        # see live cluster state, before trackers kill their attempts.
+        services.register(auditor)
     services.start_all()
 
     client = DfsClient(
@@ -496,4 +537,5 @@ def build_cluster(
         services=services,
         detector=detector,
         tracer=tracer,
+        auditor=auditor,
     )

@@ -82,6 +82,8 @@ def run_map_phase(
     warmup_seconds: float = 0.0,
     max_events: int = 500_000_000,
     trace_out: Optional[str] = None,
+    audit: Optional[str] = None,
+    audit_out: Optional[str] = None,
 ) -> MapPhaseResult:
     """Run one complete experiment point.
 
@@ -93,11 +95,20 @@ def run_map_phase(
     meaningful with ``config.oracle_estimates=False``. ``trace_out``
     writes the bus-event stream to that path as JSON Lines (implies
     ``config.trace_events``).
+
+    ``audit`` overrides ``config.audit`` ("report" or "strict"); in strict
+    mode the first invariant violation raises. ``audit_out`` writes the
+    final :class:`~repro.simulator.invariants.AuditReport` as JSON (implies
+    ``audit="report"`` when no mode was chosen).
     """
     if isinstance(policy, str):
         policy = make_policy(policy)
     if trace_out is not None and not config.trace_events:
         config = dataclasses.replace(config, trace_events=True)
+    if audit is None and audit_out is not None and config.audit == "off":
+        audit = "report"
+    if audit is not None:
+        config = dataclasses.replace(config, audit=audit)
     chosen_workload = workload if workload is not None else TerasortWorkload()
     gamma = chosen_workload.gamma_seconds(config.block_size_bytes)
     cluster = build_cluster(hosts, config, traces=traces, default_gamma=gamma)
@@ -149,4 +160,6 @@ def run_map_phase(
         cluster.stop()
     if trace_out is not None and cluster.tracer is not None:
         cluster.tracer.export_jsonl(trace_out)
+    if audit_out is not None and cluster.auditor is not None:
+        cluster.auditor.report.export_json(audit_out)
     return result

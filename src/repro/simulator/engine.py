@@ -179,6 +179,14 @@ class Simulator:
             self._running = False
         return executed
 
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next live event, or None when the heap is drained.
+
+        Never earlier than :attr:`now` — the invariant auditor checks this;
+        a violation would mean heap ordering itself broke.
+        """
+        return self._peek_time()
+
     def _peek_time(self) -> Optional[float]:
         """Time of the next live event, discarding cancelled heads."""
         while self._heap:

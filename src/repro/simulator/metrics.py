@@ -103,10 +103,15 @@ class MapPhaseMetrics:
 
     @property
     def data_locality(self) -> float:
-        """Ratio of local tasks to all tasks (the paper's locality metric)."""
+        """Ratio of local tasks to all tasks (the paper's locality metric).
+
+        NaN when no task completed (every task abandoned after total data
+        loss): the ratio is undefined, but reporting must not abort — a
+        data-loss sweep still wants the rest of the breakdown row.
+        """
         total = self.total_tasks
         if total == 0:
-            raise ValueError("no tasks completed; locality undefined")
+            return float("nan")
         return self.local_tasks / total
 
     def breakdown(self, makespan: float, slots: int) -> "OverheadBreakdown":
@@ -221,16 +226,27 @@ class OverheadBreakdown:
     data_locality: float
 
     @property
+    def misc_raw(self) -> float:
+        """Signed slot-time remainder: slot_time - (useful + rework +
+        recovery + migration).
+
+        A remainder materially below zero means some interval was charged
+        to two components at once — the invariant auditor checks it stays
+        within float tolerance of the duplicate + idle share.
+        """
+        return (
+            self.slot_time - self.useful - self.rework - self.recovery - self.migration
+        )
+
+    @property
     def misc(self) -> float:
         """Misc overhead: duplicate speculation + idle + scheduling slack.
 
         Derived as the slot-time remainder so the conservation law holds by
-        construction; clamped at zero against float residue.
+        construction; clamped at zero for display against float residue
+        (see :attr:`misc_raw` for the signed value).
         """
-        remainder = (
-            self.slot_time - self.useful - self.rework - self.recovery - self.migration
-        )
-        return max(remainder, 0.0)
+        return max(self.misc_raw, 0.0)
 
     @property
     def total_overhead(self) -> float:

@@ -163,6 +163,16 @@ class Network:
         return self._downlinks.get(node_id, self._default_down)
 
     @property
+    def fair_sharing(self) -> bool:
+        """Whether flows contend max-min fairly (vs the uncontended model)."""
+        return self._fair
+
+    @property
+    def nominal_rate_bps(self) -> float:
+        """Uncontended streaming rate between two default-link nodes."""
+        return min(self._default_up, self._default_down)
+
+    @property
     def active_transfers(self) -> List[Transfer]:
         return list(self._active)
 

@@ -23,12 +23,19 @@ class TestRegistration:
         p.register_node("x")  # must not reset the estimator
         assert p.estimate("x").observations == 1
 
-    def test_unknown_node_raises(self):
+    def test_unknown_node_raises_on_estimate(self):
         p = PerformancePredictor()
         with pytest.raises(KeyError):
-            p.observe_uptime("ghost", 1.0)
-        with pytest.raises(KeyError):
             p.estimate("ghost")
+
+    def test_observation_auto_registers(self):
+        # A heartbeat collector may report a node that joined mid-run
+        # before anyone registered it; the observation must not be lost.
+        p = PerformancePredictor()
+        p.observe_uptime("joiner", 20.0)
+        p.observe_downtime("joiner", 4.0)
+        assert "joiner" in p.node_ids
+        assert p.estimate("joiner").observations == 1
 
 
 class TestEstimates:

@@ -44,6 +44,22 @@ class TestTargetCounts:
         targets = target_counts(AdaptPlacement(capped=False), nodes, 100, 1, GAMMA)
         assert targets["good"] > targets["bad"]
 
+    def test_remainder_ties_break_by_ascending_id(self):
+        # Regression: 10 replicas over 4 equal nodes leaves every node with
+        # fractional remainder 0.5; the two extras must go to the
+        # lexicographically-first nodes. The old reverse=True sort flipped
+        # the id tie-break too, biasing extras toward later nodes.
+        nodes = [view(n) for n in ("a", "b", "c", "d")]
+        targets = target_counts(RandomPlacement(), nodes, 10, 1, GAMMA)
+        assert targets == {"a": 3, "b": 3, "c": 2, "d": 2}
+
+    def test_remainder_ties_deterministic_under_input_order(self):
+        values = []
+        for order in (("a", "b", "c", "d"), ("d", "c", "b", "a"), ("c", "a", "d", "b")):
+            nodes = [view(n) for n in order]
+            values.append(target_counts(RandomPlacement(), nodes, 10, 1, GAMMA))
+        assert values[0] == values[1] == values[2]
+
 
 class TestPlanRebalance:
     def test_empty_map(self):

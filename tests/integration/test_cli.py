@@ -45,6 +45,44 @@ class TestCli:
         assert "elapsed_s" in out
         assert "locality" in out
 
+    def test_emulate_audit_flag(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "audit.json"
+        code = main(
+            [
+                "emulate",
+                "--policy", "existing",
+                "--nodes", "8",
+                "--blocks-per-node", "3",
+                "--seed", "2",
+                "--audit", "strict",
+                "--audit-out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "audit report (strict mode) written to" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["ok"] is True
+        assert payload["mode"] == "strict"
+
+    def test_emulate_audit_out_implies_report(self, capsys, tmp_path):
+        out_path = tmp_path / "audit.json"
+        code = main(
+            [
+                "emulate",
+                "--policy", "existing",
+                "--nodes", "8",
+                "--blocks-per-node", "3",
+                "--seed", "2",
+                "--audit-out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "report mode" in capsys.readouterr().out
+        assert out_path.exists()
+
     def test_simulate_command(self, capsys):
         code = main(
             [

@@ -87,6 +87,37 @@ class TestRunMapPhase:
         )
         assert result.elapsed > 0
 
+    def test_audit_report_exported(self, tmp_path):
+        import json
+
+        hosts = build_group_hosts(6, 0.5)
+        out = tmp_path / "audit.json"
+        result = run_map_phase(
+            hosts, ClusterConfig(seed=2), "existing", blocks_per_node=3,
+            audit_out=str(out),  # implies report mode
+        )
+        assert result.elapsed > 0
+        payload = json.loads(out.read_text())
+        assert payload["mode"] == "report"
+        assert payload["ok"] is True
+        assert payload["final_audit_run"] is True
+
+    def test_audit_strict_clean_run(self):
+        hosts = build_group_hosts(6, 0.5)
+        result = run_map_phase(
+            hosts, ClusterConfig(seed=2), "existing", blocks_per_node=3, audit="strict"
+        )
+        assert result.elapsed > 0
+
+    def test_audit_does_not_perturb_trajectory(self):
+        hosts = build_group_hosts(6, 0.5)
+        plain = run_map_phase(hosts, ClusterConfig(seed=4), "adapt", blocks_per_node=3)
+        audited = run_map_phase(
+            hosts, ClusterConfig(seed=4), "adapt", blocks_per_node=3, audit="strict"
+        )
+        assert audited.elapsed == plain.elapsed
+        assert audited.data_locality == plain.data_locality
+
     def test_warmup_with_estimated_predictor(self):
         # Estimated mode + warmup: the predictor must learn during warmup
         # that interrupted nodes are flaky, before ingest happens.

@@ -1,5 +1,7 @@
 """Tests for the overhead decomposition accounting."""
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -34,9 +36,10 @@ class TestAccumulation:
         m = full_metrics()
         assert m.data_locality == pytest.approx(2.0 / 3.0)
 
-    def test_locality_without_tasks_raises(self):
-        with pytest.raises(ValueError):
-            _ = MapPhaseMetrics().data_locality
+    def test_locality_without_tasks_is_nan(self):
+        # Zero completions (every task abandoned after total data loss):
+        # the ratio is undefined, but reporting must not abort.
+        assert math.isnan(MapPhaseMetrics().data_locality)
 
     def test_negative_rejected(self):
         m = MapPhaseMetrics()
@@ -71,6 +74,35 @@ class TestBreakdown:
         m.record_completion(local=True)
         b = m.breakdown(makespan=1.0, slots=5)  # slot time < useful: clamp
         assert b.misc == 0.0
+
+    def test_misc_raw_surfaces_clamped_remainder(self):
+        # Regression: the display clamp used to hide a negative remainder
+        # (double-charged slot time). misc_raw keeps the signed value so
+        # audits can see what the clamp swallowed.
+        m = MapPhaseMetrics()
+        m.add_base(10.0)
+        m.add_useful(10.0)
+        m.record_completion(local=True)
+        b = m.breakdown(makespan=1.0, slots=5)  # slot_time 5 < useful 10
+        assert b.misc == 0.0
+        assert b.misc_raw == pytest.approx(-5.0)
+
+    def test_misc_raw_equals_misc_when_positive(self):
+        m = full_metrics()
+        b = m.breakdown(makespan=90.0, slots=2)
+        assert b.misc_raw == pytest.approx(b.misc)
+        assert b.misc_raw == pytest.approx(35.0)
+
+    def test_breakdown_emits_with_all_tasks_abandoned(self):
+        # Total data loss: base work was submitted but nothing completed.
+        # Locality is NaN yet the breakdown must still emit its row.
+        m = MapPhaseMetrics()
+        m.add_base(50.0)
+        m.add_rework(7.0)
+        b = m.breakdown(makespan=20.0, slots=2)
+        assert math.isnan(b.data_locality)
+        assert b.rework == pytest.approx(7.0)
+        assert b.slot_time == pytest.approx(40.0)
 
     def test_requires_base_work(self):
         m = MapPhaseMetrics()
