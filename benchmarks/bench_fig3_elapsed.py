@@ -84,7 +84,7 @@ def test_fig3c_node_count(benchmark):
     # performance across all system sizes").
     adapt = sweep.series("adaptx1", "elapsed")
     existing = sweep.series("existingx1", "elapsed")
-    for a, e in zip(adapt, existing):
+    for a, e in zip(adapt, existing, strict=True):
         assert a < e
     assert max(adapt) / min(adapt) < max(existing) / min(existing) + 1.0
 

@@ -280,5 +280,5 @@ def distribution_from_spec(spec: Mapping[str, object]) -> Distribution:
         builder = _SPEC_BUILDERS[kind]
     except KeyError:
         known = ", ".join(sorted(_SPEC_BUILDERS))
-        raise ValueError(f"unknown distribution kind {kind!r}; known kinds: {known}")
+        raise ValueError(f"unknown distribution kind {kind!r}; known kinds: {known}") from None
     return builder(params)

@@ -54,6 +54,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "table1": _cmd_table1,
         "groups": _cmd_groups,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 
@@ -146,6 +147,14 @@ def _build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("groups", help="print the Table 2 interruption groups")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run simlint (static determinism & event-bus contract checks)",
+    )
+    from repro.devtools.simlint.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(lint)
     return parser
 
 
@@ -299,13 +308,19 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         node_count=args.nodes, horizon=args.horizon_days * 86400.0, seed=args.seed
     )
     rows = [
-        ["MTBI (seconds)"] + stats["mtbi"].as_row(),
-        ["Interruption Duration (seconds)"] + stats["duration"].as_row(),
+        ["MTBI (seconds)", *stats["mtbi"].as_row()],
+        ["Interruption Duration (seconds)", *stats["duration"].as_row()],
     ]
     print(format_table(["", "Mean", "Std Dev", "CoV"], rows, title="Table 1 (synthetic)"))
     print("\nPaper's values: MTBI 160290 / 701419 / 4.376;")
     print("duration 109380 / 807983 / 7.3869")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.simlint.cli import run as run_lint
+
+    return run_lint(args)
 
 
 def _cmd_groups(args: argparse.Namespace) -> int:

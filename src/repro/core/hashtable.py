@@ -143,7 +143,7 @@ class WeightedHashTable:
         omega = sum(weights)
         r1 = rng.random()
         low = 0.0
-        for (index, _overlap), weight in zip(chain, weights):
+        for (index, _overlap), weight in zip(chain, weights, strict=True):
             high = low + weight / omega
             if low <= r1 < high:
                 return self._node_ids[index]
@@ -174,7 +174,7 @@ class WeightedHashTable:
             else:
                 weights = [self._rates[i] for i, _overlap in chain]
             omega = sum(weights)
-            for (index, _overlap), weight in zip(chain, weights):
+            for (index, _overlap), weight in zip(chain, weights, strict=True):
                 probs[self._node_ids[index]] += slot_p * weight / omega
         return probs
 

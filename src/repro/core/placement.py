@@ -342,5 +342,5 @@ def make_policy(name: str, **kwargs: object) -> PlacementPolicy:
         factory = _POLICIES[name.lower()]
     except KeyError:
         known = ", ".join(sorted(_POLICIES))
-        raise ValueError(f"unknown placement policy {name!r}; known: {known}")
+        raise ValueError(f"unknown placement policy {name!r}; known: {known}") from None
     return factory(**kwargs)  # type: ignore[call-arg]

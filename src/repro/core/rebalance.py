@@ -112,7 +112,11 @@ def plan_rebalance(
             current[node_id] += 1
             blocks_on.setdefault(node_id, []).append(block_id)
 
-    surplus = {n: current.get(n, 0) - targets.get(n, 0) for n in set(current) | set(targets)}
+    # sorted(): the union is a set, and surplus's insertion order must not
+    # depend on string hashing (simlint D003).
+    surplus = {
+        n: current.get(n, 0) - targets.get(n, 0) for n in sorted(set(current) | set(targets))
+    }
     donors = sorted((n for n, s in surplus.items() if s > 0), key=lambda n: (-surplus[n], n))
     moves: List[RebalanceMove] = []
 

@@ -1,0 +1,10 @@
+"""Developer tooling that keeps the simulation honest at review time.
+
+The runtime half of the correctness story is the cross-layer
+:class:`~repro.simulator.invariants.InvariantAuditor`, which catches
+violations while they execute. This package holds the static half:
+:mod:`repro.devtools.simlint` analyses the source tree without running it
+and rejects determinism hazards (wall-clock reads, unseeded RNG,
+unordered-set iteration) and event-bus contract drift before they can
+flake a golden-seed trajectory.
+"""

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.devtools.simlint``."""
+
+import sys
+
+from repro.devtools.simlint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,539 @@
+"""Static extraction of the event-bus publisher/subscriber graph.
+
+The runtime contract lives in :mod:`repro.simulator.events` (the event
+types) and ``build_cluster`` (the wiring); this module recovers the same
+graph from the AST alone, so review-time tooling can cross-check it
+against the live :class:`~repro.simulator.events.EventBus` registry and
+reject drift (an event published but never consumed, a handler on an
+unregistered class, a signature that no longer matches the dataclass).
+
+Extraction is deliberately syntactic — no imports are executed:
+
+* **Event types** are classes whose base chain reaches a class named
+  ``Event`` anywhere in the corpus; dataclass fields (``AnnAssign``
+  entries) are collected along the chain.
+* **Publish sites** are ``<anything>.publish(EventType(...))`` calls;
+  a publish whose argument is not a direct constructor call is recorded
+  as *dynamic* (it contributes no graph edge but is counted).
+* **Subscribe sites** are ``<anything>.subscribe(EventType, handler,
+  phase…)`` calls. When the handler is ``var.method`` the owning class
+  is resolved by lightweight local type inference (``var = Class(...)``
+  assignments, ``var: Class`` / ``var: Dict[k, Class]`` annotations and
+  subscripts of such dicts) inside the enclosing function.
+* **Service registrations** are ``services.register(var)`` /
+  ``registry.register(var)`` calls, resolved the same way.
+
+The graph serialises to DOT (``to_dot``) and JSON (``to_json``) for the
+CI artifact and for byte-stable snapshot tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.devtools.simlint.registry import ModuleContext
+
+#: register() receivers treated as a ServiceRegistry.
+_REGISTRY_NAMES = {"services", "registry"}
+
+
+@dataclass
+class EventDef:
+    """One event dataclass, with its (inherited) field schema."""
+
+    name: str
+    module: str
+    line: int
+    bases: List[str]
+    #: field name -> annotation source text, in definition order,
+    #: including fields inherited from base events.
+    fields: Dict[str, str]
+    doc: str = ""
+
+    @property
+    def observability_only(self) -> bool:
+        """Events documented as pure observability need no subscriber."""
+        return "observability" in self.doc.lower()
+
+
+@dataclass(frozen=True)
+class PublishSite:
+    event: Optional[str]  # None = dynamic publish (argument not a constructor)
+    module: str
+    line: int
+    col: int
+    owner: str  # "Class.method" / "function" / "<module>"
+
+
+@dataclass(frozen=True)
+class SubscribeSite:
+    event: Optional[str]
+    module: str
+    line: int
+    col: int
+    #: Class owning the handler method, when resolvable.
+    owner_class: Optional[str]
+    #: Handler method/function name, or a source snippet when dynamic.
+    handler: str
+    phase: str
+    keyed: bool
+
+
+@dataclass(frozen=True)
+class RegisterSite:
+    class_name: str
+    module: str
+    line: int
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module: str
+    line: int
+    node: ast.ClassDef
+    bases: List[str]
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+
+@dataclass
+class BusGraph:
+    """Everything the contract rules and the ``--graph`` export need."""
+
+    events: Dict[str, EventDef] = field(default_factory=dict)
+    publishers: List[PublishSite] = field(default_factory=list)
+    subscribers: List[SubscribeSite] = field(default_factory=list)
+    registrations: List[RegisterSite] = field(default_factory=list)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+    @property
+    def registered_classes(self) -> Set[str]:
+        return {site.class_name for site in self.registrations}
+
+    def published_events(self) -> Set[str]:
+        return {site.event for site in self.publishers if site.event is not None}
+
+    def subscribed_events(self) -> Set[str]:
+        return {site.event for site in self.subscribers if site.event is not None}
+
+    def event_bases(self, name: str) -> Set[str]:
+        """Transitive base-class names of an event (within the corpus)."""
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            event = self.events.get(current)
+            info = self.classes.get(current)
+            bases = event.bases if event is not None else (info.bases if info else [])
+            for base in bases:
+                terminal = base.rsplit(".", 1)[-1]
+                if terminal not in seen:
+                    seen.add(terminal)
+                    stack.append(terminal)
+        return seen
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _terminal(node: ast.AST) -> Optional[str]:
+    dotted = _dotted(node)
+    return dotted.rsplit(".", 1)[-1] if dotted else None
+
+
+def _unwrap_optional(annotation: ast.AST) -> ast.AST:
+    """Peel ``Optional[X]`` / ``X | None`` down to ``X``."""
+    if isinstance(annotation, ast.Subscript) and _terminal(annotation.value) == "Optional":
+        return annotation.slice
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        left, right = annotation.left, annotation.right
+        if isinstance(right, ast.Constant) and right.value is None:
+            return left
+        if isinstance(left, ast.Constant) and left.value is None:
+            return right
+    return annotation
+
+
+def _collect_classes(modules: List[ModuleContext]) -> Dict[str, ClassInfo]:
+    classes: Dict[str, ClassInfo] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = [b for b in (_dotted(base) for base in node.bases) if b is not None]
+            info = ClassInfo(
+                name=node.name, module=module.path, line=node.lineno, node=node, bases=bases
+            )
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.methods[item.name] = item  # type: ignore[assignment]
+            # First definition wins; duplicate class names across the
+            # corpus are rare and any choice is deterministic.
+            classes.setdefault(node.name, info)
+    return classes
+
+
+def _collect_events(classes: Dict[str, ClassInfo]) -> Dict[str, EventDef]:
+    """Classes whose base chain reaches a class named ``Event``."""
+
+    def reaches_event(name: str, seen: Set[str]) -> bool:
+        if name == "Event":
+            return True
+        info = classes.get(name)
+        if info is None or name in seen:
+            return False
+        seen.add(name)
+        return any(reaches_event(base.rsplit(".", 1)[-1], seen) for base in info.bases)
+
+    events: Dict[str, EventDef] = {}
+    for name, info in classes.items():
+        if name != "Event" and not reaches_event(name, set()):
+            continue
+        events[name] = EventDef(
+            name=name,
+            module=info.module,
+            line=info.line,
+            bases=info.bases,
+            fields={},
+            doc=ast.get_docstring(info.node) or "",
+        )
+    # Resolve field schemas root-first so inherited fields come first.
+    for name in sorted(events, key=lambda n: _depth(n, classes)):
+        event = events[name]
+        merged: Dict[str, str] = {}
+        for base in event.bases:
+            base_event = events.get(base.rsplit(".", 1)[-1])
+            if base_event is not None:
+                merged.update(base_event.fields)
+        info = classes[name]
+        for item in info.node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                merged[item.target.id] = ast.unparse(item.annotation)
+        event.fields = merged
+    return events
+
+
+def _depth(name: str, classes: Dict[str, ClassInfo]) -> int:
+    depth = 0
+    seen: Set[str] = set()
+    current = name
+    while current in classes and current not in seen:
+        seen.add(current)
+        bases = classes[current].bases
+        if not bases:
+            break
+        current = bases[0].rsplit(".", 1)[-1]
+        depth += 1
+    return depth
+
+
+class _ScopeTypes:
+    """Lightweight local type inference for one function body."""
+
+    def __init__(self, known_classes: Set[str]) -> None:
+        self._known = known_classes
+        self.var_class: Dict[str, str] = {}
+        #: dict-typed variables -> their value class (``Dict[k, Class]``).
+        self.dict_value_class: Dict[str, str] = {}
+
+    def observe(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            self._bind(target, node.value)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            annotation = _unwrap_optional(node.annotation)
+            if isinstance(annotation, ast.Subscript):
+                base = _terminal(annotation.value)
+                if base in {"Dict", "dict", "Mapping", "MutableMapping"} and isinstance(
+                    annotation.slice, ast.Tuple
+                ):
+                    value_cls = _terminal(annotation.slice.elts[-1])
+                    if value_cls in self._known and isinstance(node.target, ast.Name):
+                        self.dict_value_class[node.target.id] = value_cls
+            else:
+                cls = _terminal(annotation)
+                if cls in self._known:
+                    self.var_class[node.target.id] = cls
+            if node.value is not None:
+                self._bind(node.target, node.value)
+
+    def _bind(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(value, ast.Call):
+            cls = _terminal(value.func)
+            if cls in self._known:
+                if isinstance(target, ast.Name):
+                    self.var_class[target.id] = cls
+                elif isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+                    self.dict_value_class.setdefault(target.value.id, cls)
+        elif isinstance(value, ast.Subscript) and isinstance(value.value, ast.Name):
+            cls = self.dict_value_class.get(value.value.id)
+            if cls is not None and isinstance(target, ast.Name):
+                self.var_class[target.id] = cls
+
+    def resolve(self, var: str) -> Optional[str]:
+        return self.var_class.get(var)
+
+
+def _enclosing_label(stack: List[ast.AST]) -> str:
+    names = [
+        node.name
+        for node in stack
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    return ".".join(names) if names else "<module>"
+
+
+def extract_graph(modules: List[ModuleContext]) -> BusGraph:
+    """Build the static bus graph over the given modules."""
+    classes = _collect_classes(modules)
+    graph = BusGraph(events=_collect_events(classes), classes=classes)
+    known = set(classes)
+
+    for module in modules:
+        _extract_module(module, graph, known)
+    return graph
+
+
+def _scope_nodes(body: List[ast.stmt]) -> Tuple[List[ast.AST], List[ast.AST]]:
+    """All AST nodes of one scope, pruned at nested def boundaries.
+
+    Returns ``(nodes, nested_defs)`` where ``nested_defs`` are the
+    function/class definitions whose bodies form child scopes.
+    """
+    nodes: List[ast.AST] = []
+    nested: List[ast.AST] = []
+    queue: List[ast.AST] = list(body)
+    while queue:
+        node = queue.pop(0)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            nested.append(node)
+            continue
+        nodes.append(node)
+        queue.extend(ast.iter_child_nodes(node))
+    return nodes, nested
+
+
+def _extract_module(module: ModuleContext, graph: BusGraph, known: Set[str]) -> None:
+    def process_scope(body: List[ast.stmt], stack: List[ast.AST], scope: _ScopeTypes) -> None:
+        nodes, nested = _scope_nodes(body)
+        # Pass 1: observe every assignment in this scope, so resolution is
+        # insensitive to statement order (the wiring loop in build_cluster
+        # assigns `tracker = trackers[id]` inside a compound statement).
+        for node in nodes:
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                scope.observe(node)
+        # Pass 2: extract publish/subscribe/register calls.
+        for node in nodes:
+            if isinstance(node, ast.Call):
+                _extract_call(node, module, graph, stack, scope)
+        for definition in nested:
+            if isinstance(definition, ast.ClassDef):
+                process_scope(definition.body, [*stack, definition], _ScopeTypes(known))
+            else:
+                inner = _ScopeTypes(known)
+                func = definition
+                assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+                for arg in list(func.args.args) + list(func.args.kwonlyargs):
+                    if arg.annotation is not None:
+                        cls = _terminal(_unwrap_optional(arg.annotation))
+                        if cls in known:
+                            inner.var_class[arg.arg] = cls
+                process_scope(func.body, [*stack, func], inner)
+
+    process_scope(module.tree.body, [], _ScopeTypes(known))
+
+
+def _extract_call(
+    node: ast.Call,
+    module: ModuleContext,
+    graph: BusGraph,
+    stack: List[ast.AST],
+    scope: _ScopeTypes,
+) -> None:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return
+    if func.attr == "publish" and node.args:
+        arg = node.args[0]
+        event: Optional[str] = None
+        if isinstance(arg, ast.Call):
+            name = _terminal(arg.func)
+            if name in graph.events:
+                event = name
+        graph.publishers.append(
+            PublishSite(
+                event=event,
+                module=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                owner=_enclosing_label(stack),
+            )
+        )
+    elif func.attr == "subscribe" and node.args:
+        event_name = _terminal(node.args[0])
+        event = event_name if event_name in graph.events else None
+        owner_class: Optional[str] = None
+        handler = ""
+        if len(node.args) >= 2:
+            handler_node = node.args[1]
+            if isinstance(handler_node, ast.Attribute):
+                handler = handler_node.attr
+                receiver = handler_node.value
+                if isinstance(receiver, ast.Name):
+                    if receiver.id == "self":
+                        for frame in reversed(stack):
+                            if isinstance(frame, ast.ClassDef):
+                                owner_class = frame.name
+                                break
+                    else:
+                        owner_class = scope.resolve(receiver.id)
+            elif isinstance(handler_node, ast.Name):
+                handler = handler_node.id
+            else:
+                handler = ast.unparse(handler_node)
+        phase = ""
+        if len(node.args) >= 3:
+            phase = _terminal(node.args[2]) or ast.unparse(node.args[2])
+        keyed = False
+        for keyword in node.keywords:
+            if keyword.arg == "phase":
+                phase = _terminal(keyword.value) or ast.unparse(keyword.value)
+            elif keyword.arg == "key":
+                keyed = not (
+                    isinstance(keyword.value, ast.Constant) and keyword.value.value is None
+                )
+        graph.subscribers.append(
+            SubscribeSite(
+                event=event,
+                module=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                owner_class=owner_class,
+                handler=handler,
+                phase=phase,
+                keyed=keyed,
+            )
+        )
+    elif func.attr == "register" and len(node.args) == 1:
+        receiver = _terminal(func.value)
+        if receiver not in _REGISTRY_NAMES:
+            return
+        arg = node.args[0]
+        cls: Optional[str] = None
+        if isinstance(arg, ast.Name):
+            cls = scope.resolve(arg.id)
+        elif isinstance(arg, ast.Call):
+            name = _terminal(arg.func)
+            if name in graph.classes:
+                cls = name
+        elif isinstance(arg, ast.Subscript) and isinstance(arg.value, ast.Name):
+            cls = scope.dict_value_class.get(arg.value.id)
+        if cls is not None:
+            graph.registrations.append(
+                RegisterSite(class_name=cls, module=module.path, line=node.lineno)
+            )
+
+
+# -- serialisation ---------------------------------------------------------------
+
+
+def to_json(graph: BusGraph) -> Dict[str, object]:
+    """Stable JSON view of the graph (sorted keys, sorted site lists)."""
+    return {
+        "events": {
+            name: {
+                "module": event.module,
+                "line": event.line,
+                "fields": event.fields,
+                "observability_only": event.observability_only,
+            }
+            for name, event in sorted(graph.events.items())
+        },
+        "publishers": [
+            {
+                "event": site.event,
+                "module": site.module,
+                "line": site.line,
+                "owner": site.owner,
+            }
+            for site in sorted(
+                graph.publishers, key=lambda s: (s.module, s.line, s.col)
+            )
+        ],
+        "subscribers": [
+            {
+                "event": site.event,
+                "module": site.module,
+                "line": site.line,
+                "owner_class": site.owner_class,
+                "handler": site.handler,
+                "phase": site.phase,
+                "keyed": site.keyed,
+            }
+            for site in sorted(
+                graph.subscribers, key=lambda s: (s.module, s.line, s.col)
+            )
+        ],
+        "registered_services": sorted(graph.registered_classes),
+    }
+
+
+def to_dot(graph: BusGraph) -> str:
+    """Publisher → event → subscriber graph in GraphViz DOT form."""
+    lines = [
+        "digraph simbus {",
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica"];',
+    ]
+    for name in sorted(graph.events):
+        shape = "cds" if graph.events[name].observability_only else "box"
+        lines.append(f'  "{name}" [shape={shape}, style=filled, fillcolor=lightyellow];')
+    publish_edges = sorted(
+        {
+            (site.owner.split(".")[0], site.event)
+            for site in graph.publishers
+            if site.event is not None
+        }
+    )
+    subscribe_edges = sorted(
+        {
+            (site.event, site.owner_class, site.handler, site.phase)
+            for site in graph.subscribers
+            if site.event is not None and site.owner_class is not None
+        }
+    )
+    actors = {edge[0] for edge in publish_edges} | {
+        edge[1] for edge in subscribe_edges if edge[1] is not None
+    }
+    for actor in sorted(actors):
+        lines.append(f'  "{actor}" [shape=ellipse];')
+    for owner, event in publish_edges:
+        lines.append(f'  "{owner}" -> "{event}";')
+    for event, owner_class, handler, phase in subscribe_edges:
+        lines.append(f'  "{event}" -> "{owner_class}" [label="{handler} @{phase}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "BusGraph",
+    "ClassInfo",
+    "EventDef",
+    "PublishSite",
+    "RegisterSite",
+    "SubscribeSite",
+    "extract_graph",
+    "to_dot",
+    "to_json",
+]

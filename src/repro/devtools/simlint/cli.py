@@ -1,0 +1,131 @@
+"""simlint command line: ``python -m repro.devtools.simlint`` / ``repro lint``.
+
+Output is one ``file:line:col CODE message`` line per diagnostic (or a
+stable JSON document under ``--format json``). Exit status is 1 when any
+*error*-severity diagnostic fires — findings in ``src/`` are errors,
+findings elsewhere are warnings unless ``--strict`` promotes them.
+``--graph`` additionally writes the statically-extracted event-bus graph
+(DOT by default, JSON for ``.json`` paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.devtools.simlint.busgraph import to_dot, to_json
+from repro.devtools.simlint.engine import lint_paths
+from repro.devtools.simlint.registry import all_rules
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach simlint's options (shared with the ``repro lint`` subcommand)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="PATH",
+        default=None,
+        help="write the extracted event-bus graph to PATH "
+        "(.json for JSON, anything else for GraphViz DOT)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings (findings outside src/) as errors",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="repository root for display paths and categories (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments; returns the exit code."""
+    if args.list_rules:
+        for code, rule_class in all_rules().items():
+            print(f"{code}  {rule_class.summary}")
+        return 0
+
+    select = None
+    if args.select:
+        select = {code.strip().upper() for code in args.select.split(",") if code.strip()}
+    root = Path(args.root) if args.root else Path.cwd()
+    try:
+        result = lint_paths([Path(p) for p in args.paths], root=root, select=select)
+    except FileNotFoundError as exc:
+        print(f"simlint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.graph is not None:
+        graph_path = Path(args.graph)
+        assert result.graph is not None
+        if graph_path.suffix == ".json":
+            graph_path.write_text(
+                json.dumps(to_json(result.graph), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        else:
+            graph_path.write_text(to_dot(result.graph), encoding="utf-8")
+
+    if args.format == "json":
+        document = {
+            "version": 1,
+            "diagnostics": [d.as_json() for d in result.diagnostics],
+            "counts": {
+                "errors": len(result.errors),
+                "warnings": len(result.warnings),
+                "files": len(result.modules),
+            },
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for diagnostic in result.diagnostics:
+            marker = "" if diagnostic.severity == "error" else " (warning)"
+            print(f"{diagnostic.render()}{marker}")
+        if result.diagnostics:
+            print(
+                f"simlint: {len(result.errors)} error(s), "
+                f"{len(result.warnings)} warning(s) in {len(result.modules)} file(s)"
+            )
+    return result.exit_code(strict=args.strict)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="AST-based determinism & event-bus contract linter",
+    )
+    add_arguments(parser)
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Diagnostic records and severity policy.
+
+A diagnostic is one ``file:line:col CODE message`` finding. Rules yield
+bare :class:`Finding` tuples (position + message); the engine stamps them
+with the rule code, the display path, and a severity derived from where
+the file lives: findings in ``src/`` are errors (they gate CI), findings
+everywhere else are warnings (reported, but only fatal under
+``--strict``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Severity a finding gets by path category. Simulation code must be
+#: clean; tests/benchmarks/tools are surfaced but advisory by default.
+SEVERITY_BY_CATEGORY = {
+    "src": "error",
+    "tests": "warning",
+    "benchmarks": "warning",
+    "tools": "warning",
+    "other": "warning",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A rule's raw output: where, and what is wrong."""
+
+    line: int
+    col: int
+    message: str
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One fully-attributed lint finding."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        """The canonical ``file:line:col CODE message`` line."""
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+    def as_json(self) -> Dict[str, object]:
+        """Stable JSON-ready view (keys sorted by the serializer)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+
+__all__ = ["Diagnostic", "Finding", "SEVERITY_BY_CATEGORY"]

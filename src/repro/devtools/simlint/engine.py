@@ -1,0 +1,291 @@
+"""Lint engine: file discovery, suppression, severity, orchestration.
+
+The engine parses every ``.py`` file under the given paths into
+:class:`~repro.devtools.simlint.registry.ModuleContext` objects, runs the
+per-module rules, extracts the event-bus graph once, runs the project
+rules over it, then applies per-line suppressions and severity policy.
+
+Suppression syntax (per line)::
+
+    hazard()          # simlint: ignore[D001]
+    hazard(); other() # simlint: ignore[D001, D002]
+    anything()        # simlint: ignore
+
+A bare ``ignore`` suppresses every code on the line. Each suppressed code
+must actually fire: a listed code with no matching diagnostic on that
+line is itself reported as ``U001 unused suppression``, so stale
+suppressions cannot accumulate.
+
+Directories named ``fixtures`` are skipped during discovery (the test
+corpus under ``tests/devtools/fixtures/`` is intentionally violating) but
+can still be linted by passing a file inside them explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.devtools.simlint.busgraph import BusGraph, extract_graph
+from repro.devtools.simlint.diagnostics import SEVERITY_BY_CATEGORY, Diagnostic, Finding
+from repro.devtools.simlint.registry import (
+    ModuleContext,
+    iter_module_rules,
+    iter_project_rules,
+)
+
+#: Code for a parse failure; always an error.
+PARSE_ERROR = "P001"
+#: Code for an unused suppression.
+UNUSED_SUPPRESSION = "U001"
+
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+_SKIP_DIRS = {"__pycache__", "fixtures"}
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    modules: List[ModuleContext] = field(default_factory=list)
+    graph: Optional[BusGraph] = None
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+
+def categorize(path: Path, root: Path) -> str:
+    """Path category (controls severity and per-rule exemptions)."""
+    try:
+        parts = path.resolve().relative_to(root.resolve()).parts
+    except ValueError:
+        parts = path.parts
+    for part in parts:
+        if part in ("tests", "benchmarks", "tools"):
+            return part
+        if part == "src":
+            return "src"
+    return "other"
+
+
+def discover_files(paths: Iterable[Path]) -> List[Path]:
+    """All ``.py`` files under ``paths``, sorted, fixture dirs pruned."""
+    found: Set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                found.add(path)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS or part.startswith(".") for part in candidate.parts):
+                continue
+            found.add(candidate)
+    return sorted(found)
+
+
+def load_module(path: Path, root: Path) -> Tuple[Optional[ModuleContext], Optional[Diagnostic]]:
+    """Parse one file; returns (context, parse-error diagnostic)."""
+    display = _display_path(path, root)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, Diagnostic(
+            path=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code=PARSE_ERROR,
+            message=f"cannot parse: {exc.msg}",
+            severity="error",
+        )
+    context = ModuleContext(
+        path=display,
+        category=categorize(path, root),
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    return context, None
+
+
+def _display_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+@dataclass
+class _Suppression:
+    line: int
+    codes: Optional[Tuple[str, ...]]  # None = bare ignore (all codes)
+    used: Set[str] = field(default_factory=set)
+    bare_used: bool = False
+
+
+def _scan_suppressions(module: ModuleContext) -> Dict[int, _Suppression]:
+    """Suppressions from actual COMMENT tokens (not string literals).
+
+    Tokenising instead of regex-scanning raw lines means a docstring that
+    *describes* the suppression syntax never suppresses anything.
+    """
+    suppressions: Dict[int, _Suppression] = {}
+    source = "\n".join(module.lines) + "\n"
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [t for t in tokens if t.type == tokenize.COMMENT]
+    except tokenize.TokenError:  # pragma: no cover - ast.parse succeeded already
+        comments = []
+    for token in comments:
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        raw = match.group(1)
+        codes: Optional[Tuple[str, ...]]
+        if raw is None:
+            codes = None
+        else:
+            codes = tuple(
+                sorted({code.strip().upper() for code in raw.split(",") if code.strip()})
+            )
+        lineno = token.start[0]
+        suppressions[lineno] = _Suppression(line=lineno, codes=codes)
+    return suppressions
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    root: Optional[Path] = None,
+    select: Optional[Set[str]] = None,
+) -> LintResult:
+    """Lint every file under ``paths``; the core API behind the CLI.
+
+    ``select`` restricts reporting to the given rule codes (suppression
+    and parse diagnostics are always active). ``root`` anchors display
+    paths and path categories; defaults to the current directory.
+    """
+    paths = [Path(p) for p in paths]
+    root = Path(root) if root is not None else Path.cwd()
+    result = LintResult()
+    raw: Dict[str, List[Diagnostic]] = {}
+
+    for path in discover_files(paths):
+        module, parse_error = load_module(path, root)
+        if parse_error is not None:
+            result.diagnostics.append(parse_error)
+            continue
+        assert module is not None
+        result.modules.append(module)
+        raw[module.path] = []
+
+    module_by_path = {module.path: module for module in result.modules}
+
+    for rule in iter_module_rules():
+        if select is not None and rule.code not in select:
+            continue
+        for module in result.modules:
+            for finding in rule.check(module):
+                raw[module.path].append(_stamp(module, rule.code, finding))
+
+    result.graph = extract_graph(result.modules)
+    for project_rule in iter_project_rules():
+        if select is not None and project_rule.code not in select:
+            continue
+        for module, finding in project_rule.check_project(result.modules, result.graph):
+            raw[module.path].append(_stamp(module, project_rule.code, finding))
+
+    for path_str, diagnostics in raw.items():
+        module = module_by_path[path_str]
+        result.diagnostics.extend(_apply_suppressions(module, diagnostics))
+
+    result.diagnostics.sort()
+    return result
+
+
+def _stamp(module: ModuleContext, code: str, finding: Finding) -> Diagnostic:
+    return Diagnostic(
+        path=module.path,
+        line=finding.line,
+        col=finding.col,
+        code=code,
+        message=finding.message,
+        severity=SEVERITY_BY_CATEGORY.get(module.category, "warning"),
+    )
+
+
+def _apply_suppressions(
+    module: ModuleContext, diagnostics: List[Diagnostic]
+) -> List[Diagnostic]:
+    suppressions = _scan_suppressions(module)
+    kept: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        suppression = suppressions.get(diagnostic.line)
+        if suppression is None:
+            kept.append(diagnostic)
+            continue
+        if suppression.codes is None:
+            suppression.bare_used = True
+        elif diagnostic.code in suppression.codes:
+            suppression.used.add(diagnostic.code)
+        else:
+            kept.append(diagnostic)
+    severity = SEVERITY_BY_CATEGORY.get(module.category, "warning")
+    for lineno in sorted(suppressions):
+        suppression = suppressions[lineno]
+        if suppression.codes is None:
+            if not suppression.bare_used:
+                kept.append(
+                    Diagnostic(
+                        path=module.path,
+                        line=lineno,
+                        col=0,
+                        code=UNUSED_SUPPRESSION,
+                        message="unused suppression: no diagnostic fires on this line",
+                        severity=severity,
+                    )
+                )
+            continue
+        for code in suppression.codes:
+            if code not in suppression.used:
+                kept.append(
+                    Diagnostic(
+                        path=module.path,
+                        line=lineno,
+                        col=0,
+                        code=UNUSED_SUPPRESSION,
+                        message=f"unused suppression for {code}: "
+                        "no such diagnostic fires on this line",
+                        severity=severity,
+                    )
+                )
+    return kept
+
+
+__all__ = [
+    "LintResult",
+    "PARSE_ERROR",
+    "UNUSED_SUPPRESSION",
+    "categorize",
+    "discover_files",
+    "lint_paths",
+    "load_module",
+]

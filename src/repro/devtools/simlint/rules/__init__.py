@@ -1,0 +1,3 @@
+"""Rule modules; importing this package populates the registry."""
+
+from repro.devtools.simlint.rules import contracts, determinism  # noqa: F401

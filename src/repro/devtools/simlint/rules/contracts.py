@@ -1,0 +1,279 @@
+"""Event-bus contract rules (C-family).
+
+These rules consume the statically-extracted publisher/subscriber graph
+(:mod:`repro.devtools.simlint.busgraph`) and reject drift between the
+three places the bus contract lives: the event dataclasses, the wiring in
+``build_cluster``, and the handler implementations. The same graph is
+cross-checked against the *runtime* ``build_cluster()`` registry in
+``tests/devtools/test_busgraph_crosscheck.py``, so the static picture can
+never silently diverge from what actually executes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.simlint.busgraph import BusGraph, ClassInfo
+from repro.devtools.simlint.diagnostics import Finding
+from repro.devtools.simlint.registry import ModuleContext, ProjectRule, register
+
+
+def _module_by_path(modules: List[ModuleContext], path: str) -> Optional[ModuleContext]:
+    for module in modules:
+        if module.path == path:
+            return module
+    return None
+
+
+def _event_roots(graph: BusGraph) -> Set[str]:
+    """Abstract event bases (classes some other event inherits from)."""
+    roots: Set[str] = set()
+    for event in graph.events.values():
+        for base in event.bases:
+            roots.add(base.rsplit(".", 1)[-1])
+    return roots
+
+
+@register
+class OrphanEvent(ProjectRule):
+    """C001: an event type with no subscriber, or no publisher."""
+
+    code = "C001"
+    summary = "event type published but never subscribed (or vice versa)"
+
+    def check_project(
+        self, modules: List[ModuleContext], graph: BusGraph
+    ) -> Iterator[Tuple[ModuleContext, Finding]]:
+        roots = _event_roots(graph)
+        subscribed = graph.subscribed_events()
+        published = graph.published_events()
+        for name in sorted(graph.events):
+            event = graph.events[name]
+            if name in roots:
+                continue  # abstract bases are never carried directly
+            module = _module_by_path(modules, event.module)
+            if module is None:
+                continue
+            if name not in subscribed and not event.observability_only:
+                yield (
+                    module,
+                    Finding(
+                        event.line,
+                        0,
+                        f"event {name} is never subscribed anywhere in the "
+                        "corpus; mark it observability-only in its docstring "
+                        "or wire a handler",
+                    ),
+                )
+            if name not in published:
+                yield (
+                    module,
+                    Finding(
+                        event.line,
+                        0,
+                        f"event {name} is never published anywhere in the "
+                        "corpus; dead event types hide wiring regressions",
+                    ),
+                )
+
+
+@register
+class UnregisteredSubscriber(ProjectRule):
+    """C002: a subscribe() handler owned by a class never registered as a Service."""
+
+    code = "C002"
+    summary = "subscribe() from a class not registered as a Service"
+
+    def check_project(
+        self, modules: List[ModuleContext], graph: BusGraph
+    ) -> Iterator[Tuple[ModuleContext, Finding]]:
+        if not graph.registrations:
+            return  # corpus has no registry wiring to check against
+        registered = graph.registered_classes
+        seen: Set[Tuple[str, int, str]] = set()
+        for site in graph.subscribers:
+            if site.owner_class is None or site.event is None:
+                continue
+            if site.owner_class in registered:
+                continue
+            key = (site.module, site.line, site.owner_class)
+            if key in seen:
+                continue
+            seen.add(key)
+            module = _module_by_path(modules, site.module)
+            if module is None:
+                continue
+            yield (
+                module,
+                Finding(
+                    site.line,
+                    site.col,
+                    f"handler {site.owner_class}.{site.handler} subscribes to "
+                    f"{site.event} but {site.owner_class} is never registered "
+                    "as a Service — its lifecycle (start/stop) is unmanaged",
+                ),
+            )
+
+
+@register
+class HalfLifecycle(ProjectRule):
+    """C003: a class defining start without stop (or stop without start)."""
+
+    code = "C003"
+    summary = "Service defines start without stop (or stop without start)"
+
+    def check_project(
+        self, modules: List[ModuleContext], graph: BusGraph
+    ) -> Iterator[Tuple[ModuleContext, Finding]]:
+        for name in sorted(graph.classes):
+            info = graph.classes[name]
+            has_start = "start" in info.methods
+            has_stop = "stop" in info.methods
+            if has_start == has_stop:
+                continue
+            # Only plain lifecycle methods count: start(self)/stop(self).
+            method = info.methods["start" if has_start else "stop"]
+            if len(method.args.args) != 1 or method.args.vararg or method.args.kwonlyargs:
+                continue
+            module = _module_by_path(modules, info.module)
+            if module is None:
+                continue
+            present, missing = ("start", "stop") if has_start else ("stop", "start")
+            yield (
+                module,
+                Finding(
+                    info.line,
+                    0,
+                    f"class {name} defines {present}() but not {missing}(); "
+                    "a half-implemented lifecycle leaks scheduled events at "
+                    "teardown (see runtime/services.py)",
+                ),
+            )
+
+
+@register
+class HandlerSignatureMismatch(ProjectRule):
+    """C004: handler signature incompatible with the subscribed event."""
+
+    code = "C004"
+    summary = "handler signature mismatch vs the event dataclass"
+
+    def check_project(
+        self, modules: List[ModuleContext], graph: BusGraph
+    ) -> Iterator[Tuple[ModuleContext, Finding]]:
+        functions = _module_functions(modules)
+        for site in graph.subscribers:
+            if site.event is None or not site.handler:
+                continue
+            handler = self._resolve_handler(site, graph, functions)
+            if handler is None:
+                continue
+            func, is_method = handler
+            module = _module_by_path(modules, site.module)
+            if module is None:
+                continue
+            problem = _signature_problem(func, is_method, site.event, graph)
+            if problem is not None:
+                owner = f"{site.owner_class}." if site.owner_class else ""
+                yield (
+                    module,
+                    Finding(
+                        site.line,
+                        site.col,
+                        f"handler {owner}{site.handler} subscribed for "
+                        f"{site.event} {problem}",
+                    ),
+                )
+
+    @staticmethod
+    def _resolve_handler(
+        site: "object",
+        graph: BusGraph,
+        functions: Dict[Tuple[str, str], ast.FunctionDef],
+    ) -> Optional[Tuple[ast.FunctionDef, bool]]:
+        owner_class = getattr(site, "owner_class", None)
+        handler_name = getattr(site, "handler", "")
+        if owner_class is not None:
+            info: Optional[ClassInfo] = graph.classes.get(owner_class)
+            if info is None:
+                return None
+            method = _find_method(info, graph)
+            func = method.get(handler_name)
+            return (func, True) if func is not None else None
+        func = functions.get((getattr(site, "module", ""), handler_name))
+        return (func, False) if func is not None else None
+
+
+def _find_method(info: ClassInfo, graph: BusGraph) -> Dict[str, ast.FunctionDef]:
+    """The class's methods, including ones inherited within the corpus."""
+    merged: Dict[str, ast.FunctionDef] = {}
+    stack = [info]
+    seen: Set[str] = set()
+    while stack:
+        current = stack.pop()
+        if current.name in seen:
+            continue
+        seen.add(current.name)
+        for name, func in current.methods.items():
+            merged.setdefault(name, func)
+        for base in current.bases:
+            base_info = graph.classes.get(base.rsplit(".", 1)[-1])
+            if base_info is not None:
+                stack.append(base_info)
+    return merged
+
+
+def _module_functions(
+    modules: List[ModuleContext],
+) -> Dict[Tuple[str, str], ast.FunctionDef]:
+    functions: Dict[Tuple[str, str], ast.FunctionDef] = {}
+    for module in modules:
+        for node in module.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                functions[(module.path, node.name)] = node
+    return functions
+
+
+def _signature_problem(
+    func: ast.FunctionDef, is_method: bool, event: str, graph: BusGraph
+) -> Optional[str]:
+    args = list(func.args.args)
+    if is_method:
+        args = args[1:]  # drop self
+    required = [a for a in args[: len(args) - len(func.args.defaults)]]
+    if len(required) > 1:
+        extras = ", ".join(a.arg for a in required[1:])
+        return (
+            f"takes extra required parameter(s) {extras}; bus handlers "
+            "receive exactly one event argument"
+        )
+    if not args and not func.args.vararg:
+        return "takes no event parameter; bus handlers receive the event"
+    if args:
+        annotation = args[0].annotation
+        if annotation is not None:
+            declared = _annotation_name(annotation)
+            if declared is not None and declared != event:
+                compatible = declared in graph.event_bases(event) or declared == "Event"
+                if not compatible:
+                    return (
+                        f"annotates its event parameter as {declared}, which "
+                        f"is not {event} or one of its bases"
+                    )
+    return None
+
+
+def _annotation_name(annotation: ast.AST) -> Optional[str]:
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.rsplit(".", 1)[-1].strip()
+    if isinstance(annotation, (ast.Name, ast.Attribute)):
+        parts: List[str] = []
+        node: ast.AST = annotation
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return parts[0]
+    return None

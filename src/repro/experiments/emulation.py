@@ -97,7 +97,7 @@ def _sweep(
                 seed = derive_seed(base.seed, name, value, rep)
                 cells.append((row, CellSpec("emulation", config, strategy, seed)))
     results = runner.run_cells([spec for _, spec in cells])
-    for (row, _), result in zip(cells, results):
+    for (row, _), result in zip(cells, results, strict=True):
         row.add(result)
     return sweep
 

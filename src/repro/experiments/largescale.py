@@ -108,7 +108,7 @@ def _sweep(
                 seed = derive_seed(base.seed, name, value, rep)
                 cells.append((row, CellSpec("simulation", config, strategy, seed)))
     results = runner.run_cells([spec for _, spec in cells])
-    for (row, _), result in zip(cells, results):
+    for (row, _), result in zip(cells, results, strict=True):
         row.add(result)
     return sweep
 
@@ -171,7 +171,7 @@ def sweep_sim_block_size(
                 seed = derive_seed(base_config.seed, "fig5b", block, rep)
                 cells.append((row, CellSpec("simulation", config, strategy, seed)))
     results = runner.run_cells([spec for _, spec in cells])
-    for (row, _), result in zip(cells, results):
+    for (row, _), result in zip(cells, results, strict=True):
         row.add(result)
     return sweep
 

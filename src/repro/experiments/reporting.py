@@ -22,7 +22,7 @@ def render_sweep(
 ) -> str:
     """One figure panel as an ASCII table (columns = strategies)."""
     strategies = sweep.strategy_keys()
-    headers = [sweep.x_label] + strategies
+    headers = [sweep.x_label, *strategies]
     rows: List[List[object]] = []
     for x in sweep.x_values():
         cells: List[object] = [_fmt_x(x)]
@@ -40,7 +40,7 @@ def render_sweep(
 
 def render_overhead_breakdown(sweep: SweepResult, title: str = "") -> str:
     """Figure 5 style: per (x, strategy) the full component breakdown."""
-    headers = [sweep.x_label, "strategy"] + [f"{c}%" for c in _COMPONENTS]
+    headers = [sweep.x_label, "strategy", *(f"{c}%" for c in _COMPONENTS)]
     rows: List[List[object]] = []
     for x in sweep.x_values():
         for key in sweep.strategy_keys():

@@ -17,13 +17,37 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class DataNode:
-    """Storage state of one host."""
+    """Storage state of one host.
+
+    Satisfies the :class:`~repro.runtime.services.Service` protocol so the
+    cluster's registry owns its lifecycle alongside the other per-node
+    agents (simlint C002: every bus subscriber is a registered service).
+    Storage is passive — it schedules nothing — so start/stop are no-ops.
+    """
 
     def __init__(self, node_id: str, capacity_bytes: Optional[int] = None) -> None:
+        self.name = f"datanode:{node_id}"
         self._node_id = node_id
         self._capacity = capacity_bytes
         self._blocks: Dict[str, Block] = {}
         self._is_up = True
+
+    def start(self) -> None:
+        """Service lifecycle: nothing to arm (storage is event-driven)."""
+
+    def stop(self) -> None:
+        """Service lifecycle: nothing to disarm."""
+
+    def describe(self) -> Dict[str, object]:
+        """Structured snapshot (Service protocol)."""
+        return {
+            "service": "datanode",
+            "node_id": self._node_id,
+            "is_up": self._is_up,
+            "blocks": len(self._blocks),
+            "used_bytes": self.used_bytes,
+            "capacity_bytes": self._capacity,
+        }
 
     @property
     def node_id(self) -> str:
@@ -84,7 +108,7 @@ class DataNode:
         try:
             return self._blocks.pop(block_id)
         except KeyError:
-            raise KeyError(f"{self._node_id} does not store {block_id}")
+            raise KeyError(f"{self._node_id} does not store {block_id}") from None
 
     def wipe(self) -> List[str]:
         """Destroy every stored replica (permanent failure: disk gone).

@@ -97,13 +97,13 @@ class NameNode:
         try:
             return self._files[name]
         except KeyError:
-            raise KeyError(f"no such file {name!r}")
+            raise KeyError(f"no such file {name!r}") from None
 
     def block(self, block_id: str) -> Block:
         try:
             return self._blocks[block_id]
         except KeyError:
-            raise KeyError(f"no such block {block_id!r}")
+            raise KeyError(f"no such block {block_id!r}") from None
 
     def create_file(
         self,

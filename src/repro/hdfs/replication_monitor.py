@@ -182,8 +182,9 @@ class ReplicationMonitor:
             # Drop the returned node's copy first (it is the stale one),
             # then believed-live holders in reverse lexical order.
             if excess > 0:
-                victims = [node_id] + [
-                    h for h in sorted(holders, reverse=True) if h != node_id
+                victims = [
+                    node_id,
+                    *(h for h in sorted(holders, reverse=True) if h != node_id),
                 ]
                 for victim in victims[:excess]:
                     self._namenode.remove_replica(block_id, victim)

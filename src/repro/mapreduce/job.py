@@ -188,7 +188,7 @@ class MapJob:
         self._file = input_file
         self._tasks = [
             MapTask(task_id=f"{conf.name}_m{block.index:06d}", block=block, gamma=gamma)
-            for block, gamma in zip(input_file.blocks, gammas)
+            for block, gamma in zip(input_file.blocks, gammas, strict=True)
         ]
         self._by_id: Dict[str, MapTask] = {t.task_id: t for t in self._tasks}
         self.submitted_at: Optional[float] = None

@@ -33,7 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.predictor import PerformancePredictor
 from repro.hdfs.namenode import NameNode
-from repro.mapreduce.job import AttemptState, MapJob, MapTask, TaskState
+from repro.mapreduce.job import AttemptState, MapJob, MapTask, TaskAttempt, TaskState
 from repro.mapreduce.scheduler import SchedulerContext, TaskScheduler, make_scheduler
 from repro.mapreduce.speculation import SpeculationPolicy
 from repro.mapreduce.tasktracker import TaskTracker
@@ -275,7 +275,9 @@ class JobTracker(SchedulerContext):
         cached list (picked tasks are removed from it eagerly).
         """
         now = self._sim.now
-        if self._spec_cache_time != now:
+        # Monotonic clock: "cache stale" is "clock advanced", not float
+        # identity (simlint D004).
+        if self._spec_cache_time < now:
             scored: List[Tuple[int, float, MapTask]] = []
             for task in self._running:
                 if not self._speculation.is_straggling(task, now):
@@ -314,7 +316,7 @@ class JobTracker(SchedulerContext):
 
     # -- attempt outcomes ---------------------------------------------------------------
 
-    def on_attempt_succeeded(self, attempt) -> None:
+    def on_attempt_succeeded(self, attempt: TaskAttempt) -> None:
         """A TaskTracker finished an attempt."""
         task: MapTask = attempt.task
         if task.is_completed:
@@ -336,7 +338,7 @@ class JobTracker(SchedulerContext):
         for node_id in freed:
             self.try_assign(node_id)
 
-    def on_attempt_failed(self, attempt) -> None:
+    def on_attempt_failed(self, attempt: TaskAttempt) -> None:
         """A TaskTracker reports an attempt died (accounting already done)."""
         if self._job is None or self.is_done:
             return

@@ -177,5 +177,5 @@ def make_scheduler(name: str) -> TaskScheduler:
         factory = _SCHEDULERS[name.lower()]
     except KeyError:
         known = ", ".join(sorted(_SCHEDULERS))
-        raise ValueError(f"unknown scheduler {name!r}; known: {known}")
+        raise ValueError(f"unknown scheduler {name!r}; known: {known}") from None
     return factory()

@@ -16,17 +16,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.placement import NodeView
 from repro.simulator.engine import Simulator
 from repro.simulator.network import Network, Transfer
+from repro.util.rng import RandomSource
 from repro.util.validation import check_non_negative, check_positive
 
 
 def select_reducer_nodes(
-    views,
+    views: Sequence[NodeView],
     count: int,
-    rng,
+    rng: RandomSource,
     availability_aware: bool = True,
-):
+) -> List[str]:
     """Choose the nodes to host reduce tasks (future-work extension).
 
     A reducer holds all of its partition's intermediate data for the whole
@@ -46,7 +48,7 @@ def select_reducer_nodes(
     if not availability_aware:
         return sorted(rng.sample([v.node_id for v in up], count))
 
-    def dependability(view) -> float:
+    def dependability(view: NodeView) -> float:
         return view.estimate.steady_state_availability
 
     ranked = sorted(up, key=lambda v: (-dependability(v), v.node_id))

@@ -254,6 +254,14 @@ class Cluster:
     def total_slots(self) -> int:
         return sum(t.slots for t in self.trackers.values())
 
+    def start(self) -> None:
+        """Start every registered service, in registration order.
+
+        ``build_cluster`` calls this once after wiring; Service.start is
+        idempotent by contract, so calling it again is harmless.
+        """
+        self.services.start_all()
+
     def run_until_job_done(self, max_events: int = 500_000_000) -> None:
         """Advance the simulation until the submitted job finishes.
 
@@ -495,6 +503,8 @@ def build_cluster(
     services.register(network)
     services.register(injector)
     services.register(pipeline)
+    for host in hosts:
+        services.register(datanodes[host.host_id])
     if heartbeats is not None:
         services.register(heartbeats)
     if detector is not None:
@@ -510,7 +520,6 @@ def build_cluster(
         # Registered last so it stops FIRST: the final teardown audit must
         # see live cluster state, before trackers kill their attempts.
         services.register(auditor)
-    services.start_all()
 
     client = DfsClient(
         namenode,
@@ -518,7 +527,7 @@ def build_cluster(
         default_block_size=config.block_size_bytes,
         default_gamma=default_gamma,
     )
-    return Cluster(
+    cluster = Cluster(
         config=config,
         hosts=hosts,
         sim=sim,
@@ -539,3 +548,5 @@ def build_cluster(
         tracer=tracer,
         auditor=auditor,
     )
+    cluster.start()
+    return cluster

@@ -121,7 +121,7 @@ class RandomSource:
             raise ValueError("weights must sum to a positive value")
         point = self.random() * total
         cumulative = 0.0
-        for item, weight in zip(items, weights):
+        for item, weight in zip(items, weights, strict=True):
             cumulative += weight
             if point < cumulative:
                 return item

@@ -29,7 +29,7 @@ def format_table(
             widths[i] = max(widths[i], len(cell))
 
     def line(cells: Sequence[str]) -> str:
-        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths, strict=True)) + " |"
 
     rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
     out: List[str] = []

@@ -35,5 +35,5 @@ def make_workload(name: str, **kwargs: object) -> Workload:
         factory = registry[name.lower()]
     except KeyError:
         known = ", ".join(sorted(registry))
-        raise ValueError(f"unknown workload {name!r}; known: {known}")
+        raise ValueError(f"unknown workload {name!r}; known: {known}") from None
     return factory(**kwargs)  # type: ignore[arg-type]

@@ -27,7 +27,7 @@ class TestEpisodeInvariants:
     def test_episodes_sorted_and_disjoint(self):
         episodes = _process().episodes_list(horizon=5000.0)
         assert episodes, "expected at least one episode"
-        for prev, cur in zip(episodes, episodes[1:]):
+        for prev, cur in zip(episodes, episodes[1:], strict=False):
             assert prev.end <= cur.start
         assert all(e.start < 5000.0 for e in episodes)
 
@@ -54,7 +54,7 @@ class TestEpisodeInvariants:
         for episode in episodes:
             assert episode.duration >= 0
             assert episode.interruption_count >= 1
-        for prev, cur in zip(episodes, episodes[1:]):
+        for prev, cur in zip(episodes, episodes[1:], strict=False):
             assert prev.end <= cur.start
 
 

@@ -20,7 +20,7 @@ class TestRoundTrip:
         assert events == 3
         loaded = read_traces(path, host_ids=["h0", "h1", "h2"])
         assert [t.host_id for t in loaded] == ["h0", "h1", "h2"]
-        for original, restored in zip(traces, loaded):
+        for original, restored in zip(traces, loaded, strict=True):
             assert restored.horizon == original.horizon
             assert restored.down_windows == original.down_windows
 

@@ -131,7 +131,7 @@ class TestPlacement:
         # all the nodes share the same availability pattern" (Sec III.C).
         t = table([1.0] * 8, slots=80)
         probs = t.selection_probabilities()
-        for node_id, p in probs.items():
+        for _node_id, p in probs.items():
             assert p == pytest.approx(1.0 / 8.0, abs=1e-9)
 
     def test_single_node(self):

@@ -52,7 +52,7 @@ class TestRandomPlacement:
         nodes = [view(f"n{i}") for i in range(8)]
         plan = run_plan(RandomPlacement(), nodes, 4000)
         counts = plan.allocations()
-        for node_id, count in counts.items():
+        for _node_id, count in counts.items():
             assert count == pytest.approx(500, abs=100)
 
     def test_replicas_distinct(self):
@@ -100,13 +100,13 @@ class TestAdaptPlacement:
 
     def test_threshold_cap_enforced(self):
         # m(k+1)/n cap: with m=100, k=1, n=5 -> max 40 per node.
-        nodes = [view("fast")] + [view(f"slow{i}", mtbi=10.0, mu=8.0) for i in range(4)]
+        nodes = [view("fast"), *(view(f"slow{i}", mtbi=10.0, mu=8.0) for i in range(4))]
         plan = run_plan(AdaptPlacement(capped=True), nodes, 100)
         cap = math.ceil(100 * 2 / 5)
         assert plan.allocation("fast") <= cap
 
     def test_uncapped_exceeds_threshold(self):
-        nodes = [view("fast")] + [view(f"slow{i}", mtbi=10.0, mu=8.0) for i in range(4)]
+        nodes = [view("fast"), *(view(f"slow{i}", mtbi=10.0, mu=8.0) for i in range(4))]
         plan = run_plan(AdaptPlacement(capped=False), nodes, 100, seed=3)
         assert plan.allocation("fast") > math.ceil(100 * 2 / 5)
 

@@ -76,11 +76,11 @@ class TestMassConservation:
             plan.choose_replicas(rng)
         allocations = plan.allocations()
         best = max(
-            (v for v, s in zip(views, specs) if s[0] is None),
+            (v for v, s in zip(views, specs, strict=True) if s[0] is None),
             key=lambda v: allocations[v.node_id],
         )
         worst = min(
-            (v for v, s in zip(views, specs) if s[0] == 10.0),
+            (v for v, s in zip(views, specs, strict=True) if s[0] == 10.0),
             key=lambda v: allocations[v.node_id],
         )
         # A dedicated node never gets fewer blocks than the flakiest node
@@ -100,5 +100,5 @@ class TestMassConservation:
         import math
 
         cap = max(int(math.ceil(blocks * (k + 1) / len(views))), 1)
-        for node_id, count in plan.allocations().items():
+        for _node_id, count in plan.allocations().items():
             assert count <= cap

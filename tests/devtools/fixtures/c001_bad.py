@@ -1,0 +1,28 @@
+"""C001 fixture: one event is published but never subscribed, another is
+subscribed but never published."""
+
+ACCOUNTING = 0
+
+
+class Event:
+    """Base class for the fixture's bus events."""
+
+    def __init__(self, time):
+        self.time = time
+
+
+class BlockMoved(Event):
+    """Published below, but nothing ever subscribes."""
+
+
+class QueueDrained(Event):
+    """Subscribed below, but nothing ever publishes."""
+
+
+def on_queue_drained(event):
+    return event
+
+
+def wire(bus):
+    bus.subscribe(QueueDrained, on_queue_drained, ACCOUNTING)
+    bus.publish(BlockMoved(0.0))

@@ -1,0 +1,23 @@
+"""C001 clean fixture: every concrete event is both published and subscribed."""
+
+ACCOUNTING = 0
+
+
+class Event:
+    """Base class for the fixture's bus events."""
+
+    def __init__(self, time):
+        self.time = time
+
+
+class BlockMoved(Event):
+    """Carried end to end: published and handled."""
+
+
+def on_block_moved(event):
+    return event
+
+
+def wire(bus):
+    bus.subscribe(BlockMoved, on_block_moved, ACCOUNTING)
+    bus.publish(BlockMoved(0.0))

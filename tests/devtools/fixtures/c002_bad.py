@@ -1,0 +1,47 @@
+"""C002 fixture: Watcher subscribes to the bus but is never registered."""
+
+ACCOUNTING = 0
+
+
+class Event:
+    def __init__(self, time):
+        self.time = time
+
+
+class NodeDown(Event):
+    pass
+
+
+class Tracker:
+    name = "tracker"
+
+    def start(self):
+        pass
+
+    def stop(self):
+        pass
+
+    def handle_node_down(self, event):
+        return event
+
+
+class Watcher:
+    name = "watcher"
+
+    def start(self):
+        pass
+
+    def stop(self):
+        pass
+
+    def handle_node_down(self, event):
+        return event
+
+
+def wire(bus, services):
+    tracker = Tracker()
+    services.register(tracker)
+    bus.subscribe(NodeDown, tracker.handle_node_down, ACCOUNTING)
+    watcher = Watcher()
+    bus.subscribe(NodeDown, watcher.handle_node_down, ACCOUNTING)
+    bus.publish(NodeDown(0.0))

@@ -1,0 +1,32 @@
+"""C002 clean fixture: every subscriber class is registered as a Service."""
+
+ACCOUNTING = 0
+
+
+class Event:
+    def __init__(self, time):
+        self.time = time
+
+
+class NodeDown(Event):
+    pass
+
+
+class Tracker:
+    name = "tracker"
+
+    def start(self):
+        pass
+
+    def stop(self):
+        pass
+
+    def handle_node_down(self, event):
+        return event
+
+
+def wire(bus, services):
+    tracker = Tracker()
+    services.register(tracker)
+    bus.subscribe(NodeDown, tracker.handle_node_down, ACCOUNTING)
+    bus.publish(NodeDown(0.0))

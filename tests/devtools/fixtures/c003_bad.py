@@ -1,0 +1,8 @@
+"""C003 fixture: a lifecycle half — start() defined without stop()."""
+
+
+class Pump:
+    name = "pump"
+
+    def start(self):
+        self._armed = True

@@ -1,0 +1,11 @@
+"""C003 clean fixture: start() and stop() both defined."""
+
+
+class Pump:
+    name = "pump"
+
+    def start(self):
+        self._armed = True
+
+    def stop(self):
+        self._armed = False

@@ -1,0 +1,31 @@
+"""C004 fixture: handler takes an extra required parameter."""
+
+ACCOUNTING = 0
+
+
+class Event:
+    def __init__(self, time):
+        self.time = time
+
+
+class NodeDown(Event):
+    pass
+
+
+class Tracker:
+    name = "tracker"
+
+    def start(self):
+        pass
+
+    def stop(self):
+        pass
+
+    def handle_node_down(self, event, retries):
+        return event, retries
+
+
+def wire(bus):
+    tracker = Tracker()
+    bus.subscribe(NodeDown, tracker.handle_node_down, ACCOUNTING)
+    bus.publish(NodeDown(0.0))

@@ -1,0 +1,11 @@
+"""D001 fixture: ambient global-state randomness."""
+
+import random
+
+
+def jitter(base):
+    return base + random.uniform(0.0, 1.0)
+
+
+def fresh_generator():
+    return random.Random()

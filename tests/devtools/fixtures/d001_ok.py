@@ -1,0 +1,11 @@
+"""D001 clean fixture: every generator is explicitly seeded."""
+
+import random
+
+
+def jitter(base, stream):
+    return base + stream.uniform(0.0, 1.0)
+
+
+def fresh_generator(seed):
+    return random.Random(seed)

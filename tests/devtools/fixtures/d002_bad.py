@@ -1,0 +1,8 @@
+"""D002 fixture: wall-clock read inside simulation code."""
+
+import time
+
+
+def stamp(record):
+    record["at"] = time.time()
+    return record

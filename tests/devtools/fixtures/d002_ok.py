@@ -1,0 +1,6 @@
+"""D002 clean fixture: simulated time flows in as a parameter."""
+
+
+def stamp(record, now):
+    record["at"] = now
+    return record

@@ -1,0 +1,9 @@
+"""D003 fixture: iteration order leaks out of an unordered set."""
+
+
+def drain(pending, done):
+    remaining = set(pending) - set(done)
+    order = []
+    for node_id in remaining:
+        order.append(node_id)
+    return order

@@ -1,0 +1,13 @@
+"""D003 clean fixture: set iteration goes through sorted()."""
+
+
+def drain(pending, done):
+    remaining = set(pending) - set(done)
+    order = []
+    for node_id in sorted(remaining):
+        order.append(node_id)
+    return order
+
+
+def count(pending):
+    return len(set(pending))

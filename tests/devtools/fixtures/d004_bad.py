@@ -1,0 +1,7 @@
+"""D004 fixture: float identity between two simulated times."""
+
+
+def is_stale(cache_time, now):
+    if cache_time != now:
+        return True
+    return False

@@ -1,0 +1,7 @@
+"""D004 clean fixture: monotonic comparison instead of float identity."""
+
+
+def is_stale(cache_time, now):
+    if cache_time < now:
+        return True
+    return False

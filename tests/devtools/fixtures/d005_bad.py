@@ -1,0 +1,6 @@
+"""D005 fixture: mutable default shared across calls."""
+
+
+def record(value, sink=[]):
+    sink.append(value)
+    return sink

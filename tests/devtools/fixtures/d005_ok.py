@@ -1,0 +1,8 @@
+"""D005 clean fixture: allocate the default inside the body."""
+
+
+def record(value, sink=None):
+    if sink is None:
+        sink = []
+    sink.append(value)
+    return sink

@@ -1,0 +1,96 @@
+"""The statically-extracted bus graph must match the wiring that runs.
+
+simlint's contract rules (C001-C004) are only as good as its graph
+extraction, so this suite builds real clusters and compares
+:meth:`EventBus.registry_snapshot` — the live registry — against the
+graph extracted from ``src/``. Every runtime subscription must appear as
+a static subscribe site with the same (event, owner class, handler,
+phase), and every static site in ``cluster.py`` must be reachable by
+some supported configuration.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.availability.generator import build_group_hosts
+from repro.devtools.simlint.busgraph import to_dot, to_json
+from repro.devtools.simlint.engine import lint_paths
+from repro.runtime.cluster import ClusterConfig, build_cluster
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Exercises heartbeat detection, the replication monitor, tracing, the
+#: auditor, permanent failures, and hard-downtime reads.
+CONFIG_FULL = ClusterConfig(
+    seed=3,
+    detection="heartbeat",
+    replication_monitor=True,
+    access_during_downtime=False,
+    trace_events=True,
+    audit="report",
+    permanent_failure_rate=0.2,
+)
+#: Exercises the oracle-detection wiring instead of heartbeats.
+CONFIG_ORACLE = ClusterConfig(seed=3, detection="oracle")
+
+
+@pytest.fixture(scope="module")
+def static_graph():
+    result = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    assert result.graph is not None
+    return result.graph
+
+
+def _static_tuples(graph):
+    return {
+        (site.event, site.owner_class, site.handler, site.phase)
+        for site in graph.subscribers
+        if site.event is not None
+    }
+
+
+def _runtime_tuples(config):
+    cluster = build_cluster(build_group_hosts(6, 0.5), config)
+    return {
+        (entry["event"], entry["owner"], entry["handler"], entry["phase"])
+        for entry in cluster.bus.registry_snapshot()
+    }
+
+
+class TestRuntimeSubsetOfStatic:
+    @pytest.mark.parametrize("config", [CONFIG_FULL, CONFIG_ORACLE], ids=["full", "oracle"])
+    def test_every_live_subscription_was_extracted(self, static_graph, config):
+        static = _static_tuples(static_graph)
+        missing = _runtime_tuples(config) - static
+        assert not missing, (
+            "live subscriptions the static graph failed to extract: "
+            f"{sorted(missing, key=str)}"
+        )
+
+
+class TestStaticSubsetOfRuntime:
+    def test_every_cluster_wiring_site_is_reachable(self, static_graph):
+        """Each subscribe() in cluster.py fires under some supported config."""
+        wiring = {
+            (site.event, site.owner_class, site.handler, site.phase)
+            for site in static_graph.subscribers
+            if site.event is not None and site.module.endswith("runtime/cluster.py")
+        }
+        live = _runtime_tuples(CONFIG_FULL) | _runtime_tuples(CONFIG_ORACLE)
+        dead = wiring - live
+        assert not dead, f"static subscribe sites no configuration wires: {sorted(dead, key=str)}"
+
+
+class TestGraphOutputs:
+    def test_known_wiring_appears_in_graph(self, static_graph):
+        events = set(static_graph.events)
+        assert {"NodeDown", "NodeUp", "PermanentFailure", "BlockLost"} <= events
+        publishers = {site.event for site in static_graph.publishers}
+        assert "NodeDown" in publishers
+
+    def test_json_and_dot_are_deterministic(self, static_graph):
+        assert to_json(static_graph) == to_json(static_graph)
+        dot = to_dot(static_graph)
+        assert dot == to_dot(static_graph)
+        assert "NodeDown" in dot

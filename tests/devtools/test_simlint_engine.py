@@ -1,0 +1,185 @@
+"""Engine behaviours: suppression, severity policy, discovery, CLI output."""
+
+import json
+
+import pytest
+
+from repro.devtools.simlint.cli import main as simlint_main
+from repro.devtools.simlint.engine import lint_paths
+
+
+def write(tmp_path, rel, text):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+WALL_CLOCK = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+class TestSuppression:
+    def test_targeted_suppression_silences_the_finding(self, tmp_path):
+        write(
+            tmp_path,
+            "src/mod.py",
+            "import time\n\n\ndef stamp():\n"
+            "    return time.time()  # simlint: ignore[D002]\n",
+        )
+        result = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert result.diagnostics == []
+
+    def test_bare_suppression_silences_every_code_on_the_line(self, tmp_path):
+        write(
+            tmp_path,
+            "src/mod.py",
+            "import time\n\n\ndef stamp(sink=[]):  # simlint: ignore\n"
+            "    sink.append(time.time())  # simlint: ignore\n"
+            "    return sink\n",
+        )
+        result = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert result.diagnostics == []
+
+    def test_unused_suppression_is_its_own_diagnostic(self, tmp_path):
+        write(tmp_path, "src/mod.py", "VALUE = 1  # simlint: ignore[D002]\n")
+        result = lint_paths([tmp_path / "src"], root=tmp_path)
+        (diag,) = result.diagnostics
+        assert diag.code == "U001"
+        assert "D002" in diag.message
+
+    def test_wrong_code_suppresses_nothing_and_is_unused(self, tmp_path):
+        write(
+            tmp_path,
+            "src/mod.py",
+            "import time\n\n\ndef stamp():\n"
+            "    return time.time()  # simlint: ignore[D001]\n",
+        )
+        result = lint_paths([tmp_path / "src"], root=tmp_path)
+        codes = sorted(d.code for d in result.diagnostics)
+        assert codes == ["D002", "U001"]
+
+    def test_docstring_mention_is_not_a_suppression(self, tmp_path):
+        write(
+            tmp_path,
+            "src/mod.py",
+            '"""Docs quoting `# simlint: ignore[D001]` verbatim."""\n\nVALUE = 1\n',
+        )
+        result = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert result.diagnostics == []
+
+
+class TestSeverityAndSelect:
+    def test_src_findings_are_errors(self, tmp_path):
+        write(tmp_path, "src/mod.py", WALL_CLOCK)
+        result = lint_paths([tmp_path / "src"], root=tmp_path)
+        (diag,) = result.diagnostics
+        assert diag.severity == "error"
+        assert result.exit_code(strict=False) == 1
+
+    def test_tests_findings_are_warnings_unless_strict(self, tmp_path):
+        write(tmp_path, "tests/test_mod.py", WALL_CLOCK)
+        result = lint_paths([tmp_path / "tests"], root=tmp_path)
+        (diag,) = result.diagnostics
+        assert diag.severity == "warning"
+        assert result.exit_code(strict=False) == 0
+        assert result.exit_code(strict=True) == 1
+
+    def test_select_restricts_reported_rules(self, tmp_path):
+        write(
+            tmp_path,
+            "src/mod.py",
+            "import time\n\n\ndef stamp(sink=[]):\n"
+            "    sink.append(time.time())\n    return sink\n",
+        )
+        result = lint_paths([tmp_path / "src"], root=tmp_path, select={"D005"})
+        assert [d.code for d in result.diagnostics] == ["D005"]
+
+
+class TestDiscovery:
+    def test_fixture_directories_are_pruned(self, tmp_path):
+        write(tmp_path, "src/fixtures/broken.py", WALL_CLOCK)
+        write(tmp_path, "src/mod.py", "VALUE = 1\n")
+        result = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert result.diagnostics == []
+        assert len(result.modules) == 1
+
+    def test_explicit_fixture_file_is_still_lintable(self, tmp_path):
+        path = write(tmp_path, "src/fixtures/broken.py", WALL_CLOCK)
+        result = lint_paths([path], root=tmp_path)
+        assert [d.code for d in result.diagnostics] == ["D002"]
+
+    def test_syntax_error_yields_p001(self, tmp_path):
+        write(tmp_path, "src/mod.py", "def broken(:\n")
+        result = lint_paths([tmp_path / "src"], root=tmp_path)
+        (diag,) = result.diagnostics
+        assert diag.code == "P001"
+        assert result.exit_code(strict=False) == 1
+
+
+class TestCli:
+    def test_text_output_and_exit_code(self, tmp_path, capsys):
+        write(tmp_path, "src/mod.py", WALL_CLOCK)
+        code = simlint_main([str(tmp_path / "src"), "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "D002" in out
+        assert "1 error(s)" in out
+
+    def test_json_output_is_stable_across_runs(self, tmp_path, capsys):
+        write(tmp_path, "src/mod.py", WALL_CLOCK)
+        argv = [str(tmp_path / "src"), "--root", str(tmp_path), "--format", "json"]
+        simlint_main(argv)
+        first = capsys.readouterr().out
+        simlint_main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+        document = json.loads(first)
+        assert document["version"] == 1
+        assert document["counts"] == {"errors": 1, "warnings": 0, "files": 1}
+        (diag,) = document["diagnostics"]
+        assert diag["code"] == "D002"
+
+    def test_graph_artifacts_dot_and_json(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "src/mod.py",
+            "ACCOUNTING = 0\n\n\n"
+            "class Event:\n    def __init__(self, time):\n        self.time = time\n\n\n"
+            "class Ping(Event):\n    pass\n\n\n"
+            "def on_ping(event):\n    return event\n\n\n"
+            "def wire(bus):\n"
+            "    bus.subscribe(Ping, on_ping, ACCOUNTING)\n"
+            "    bus.publish(Ping(0.0))\n",
+        )
+        dot_path = tmp_path / "bus.dot"
+        json_path = tmp_path / "bus.json"
+        for target in (dot_path, json_path):
+            code = simlint_main(
+                [str(tmp_path / "src"), "--root", str(tmp_path), "--graph", str(target)]
+            )
+            capsys.readouterr()
+            assert code == 0
+        assert "Ping" in dot_path.read_text()
+        graph = json.loads(json_path.read_text())
+        assert "Ping" in graph["events"]
+
+    def test_list_rules_names_every_code(self, tmp_path, capsys):
+        code = simlint_main(["--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for expected in ("D001", "D002", "D003", "D004", "D005", "C001", "C002", "C003", "C004"):
+            assert expected in out
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        code = simlint_main([str(tmp_path / "nope"), "--root", str(tmp_path)])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_repro_lint_subcommand_delegates(self, tmp_path, capsys):
+        from repro.cli import main as repro_main
+
+        write(tmp_path, "src/mod.py", WALL_CLOCK)
+        code = repro_main(["lint", str(tmp_path / "src"), "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "D002" in out

@@ -31,7 +31,7 @@ def relocate(nn, block_id, holders):
     for h in holders:
         if h not in current:
             nn.add_replica(block_id, h)
-    for h in current - set(holders):
+    for h in sorted(current - set(holders)):
         nn.remove_replica(block_id, h)
 
 

@@ -27,7 +27,7 @@ class TestProtocol:
         assert isinstance(FakeService("x", []), Service)
 
     def test_missing_member_fails_check(self):
-        class NotAService:
+        class NotAService:  # simlint: ignore[C003] — half a lifecycle on purpose
             name = "broken"
 
             def start(self):

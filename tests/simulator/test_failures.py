@@ -63,7 +63,7 @@ class TestAttachment:
         injector.attach_host(interrupted_host())
         sim.run(until=300.0)
         kinds = [e[0] for e in rec.events]
-        for a, b in zip(kinds, kinds[1:]):
+        for a, b in zip(kinds, kinds[1:], strict=False):
             assert a != b, "down/up must alternate"
 
     def test_double_attach_rejected(self):
@@ -141,7 +141,7 @@ class TestBurnIn:
         times = [t for _k, _n, t in rec.events]
         assert times == sorted(times)
         kinds = [k for k, _n, _t in rec.events]
-        for a, b in zip(kinds, kinds[1:]):
+        for a, b in zip(kinds, kinds[1:], strict=False):
             assert a != b
 
     def test_negative_burn_in_rejected(self):
