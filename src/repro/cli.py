@@ -52,6 +52,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "placement": _cmd_placement,
         "emulate": _cmd_emulate,
         "simulate": _cmd_simulate,
+        "chaos": _cmd_chaos,
         "table1": _cmd_table1,
         "groups": _cmd_groups,
         "lint": _cmd_lint,
@@ -129,6 +130,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the audit report to PATH as JSON (implies --audit report)",
     )
+    emulate.add_argument(
+        "--chaos",
+        metavar="FILE",
+        default=None,
+        help="layer a scripted chaos campaign (JSON file) on the run",
+    )
     _add_executor_args(emulate)
 
     simulate = sub.add_parser("simulate", help="run one large-scale point (Fig 5 cell)")
@@ -140,6 +147,54 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--tasks-per-node", type=float, default=100.0)
     simulate.add_argument("--seed", type=int, default=0)
     _add_executor_args(simulate)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a scripted chaos campaign and report resilience metrics",
+    )
+    chaos.add_argument(
+        "--campaign",
+        metavar="FILE",
+        required=True,
+        help="JSON campaign file (see DESIGN.md, 'Chaos campaigns')",
+    )
+    chaos.add_argument("--policy", default="adapt", choices=["existing", "naive", "adapt"])
+    chaos.add_argument("--replicas", type=int, default=1)
+    chaos.add_argument("--nodes", type=int, default=128)
+    chaos.add_argument("--ratio", type=float, default=0.5)
+    chaos.add_argument("--bandwidth", type=float, default=8.0)
+    chaos.add_argument("--blocks-per-node", type=float, default=20.0)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--replication-monitor",
+        action="store_true",
+        help="heal under-replicated blocks by re-replicating over the network",
+    )
+    chaos.add_argument(
+        "--audit",
+        choices=["report", "strict"],
+        default=None,
+        help="audit cross-layer invariants during the chaos run "
+        "(strict: raise on the first violation)",
+    )
+    chaos.add_argument(
+        "--baseline",
+        choices=["fault-free", "no-chaos"],
+        default="fault-free",
+        help="reference run for makespan inflation and SLO attainment",
+    )
+    chaos.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the ResilienceReport to PATH as JSON",
+    )
+    chaos.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="export the chaos run's bus-event stream to PATH as JSON Lines",
+    )
 
     table1 = sub.add_parser("table1", help="regenerate Table 1 from synthetic traces")
     table1.add_argument("--nodes", type=int, default=2000)
@@ -251,6 +306,11 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
     )
     executor = _make_executor(args)
     audit = args.audit if args.audit is not None else ("report" if args.audit_out else None)
+    campaign = None
+    if args.chaos is not None:
+        from repro.simulator.scenarios import ChaosCampaign
+
+        campaign = ChaosCampaign.load(args.chaos)
     result = run_emulation_point(
         config,
         Strategy(args.policy, args.replicas),
@@ -258,8 +318,11 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
         executor=executor,
         audit=audit,
         audit_out=args.audit_out,
+        chaos=campaign,
     )
     _print_result(result)
+    if result.resilience is not None:
+        _print_resilience(result.resilience)
     if args.trace_out is not None:
         print(f"trace written to {args.trace_out}")
     if audit is not None:
@@ -288,6 +351,53 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if executor is not None and executor.cache_hits:
         print(f"run cache: {executor.cache_hits} hit(s) from {executor.cache_dir}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaosrun import run_chaos_point
+    from repro.simulator.scenarios import ChaosCampaign
+
+    campaign = ChaosCampaign.load(args.campaign)
+    config = EmulationConfig(
+        node_count=args.nodes,
+        interrupted_ratio=args.ratio,
+        bandwidth_mbps=args.bandwidth,
+        blocks_per_node=args.blocks_per_node,
+        seed=args.seed,
+        replication_monitor=args.replication_monitor,
+    )
+    outcome = run_chaos_point(
+        config,
+        Strategy(args.policy, args.replicas),
+        campaign,
+        audit=args.audit,
+        trace_out=args.trace_out,
+        baseline_mode=args.baseline,
+    )
+    _print_result(outcome.result)
+    _print_resilience(outcome.report)
+    if args.audit is not None:
+        print(f"audit ran in {args.audit} mode; no violations raised")
+    if args.trace_out is not None:
+        print(f"trace written to {args.trace_out}")
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(outcome.report.to_json())
+            handle.write("\n")
+        print(f"resilience report written to {args.report}")
+    return 0
+
+
+def _print_resilience(report) -> None:
+    rows: List[List[object]] = []
+    for key, value in report.to_jsonable().items():
+        if key == "activations":
+            rows.append(["scenarios", len(value)])
+        elif isinstance(value, float):
+            rows.append([key, f"{value:.4f}"])
+        else:
+            rows.append([key, value])
+    print(format_table(["metric", "value"], rows, title="Resilience report"))
 
 
 def _print_result(result) -> None:

@@ -1,0 +1,81 @@
+"""Chaos campaign experiment: one run under fire, one baseline, one report.
+
+``run_chaos_point`` executes a (configuration, strategy) cell twice:
+once with a :class:`~repro.simulator.scenarios.ChaosCampaign` layered on
+the cluster, and once as the baseline the campaign's SLO is judged
+against. The chaos run's :class:`~repro.simulator.chaos.ResilienceReport`
+then gets the baseline makespan folded in (makespan inflation, SLO
+attainment). Both runs share the seed, so the stochastic interruption
+realisation — where the baseline keeps it — is identical and the delta
+isolates the campaign's effect.
+
+Baseline modes:
+
+* ``"fault-free"`` (default) — no stochastic interruptions and no
+  campaign: the paper's dedicated-cluster reference point. Inflation
+  then reads as "total price of the failure environment".
+* ``"no-chaos"`` — same stochastic interruptions, campaign removed:
+  inflation isolates the scripted scenarios alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.config import EmulationConfig, Strategy
+from repro.experiments.emulation import run_emulation_point
+from repro.runtime.runner import MapPhaseResult
+from repro.simulator.chaos import ResilienceReport
+from repro.simulator.scenarios import ChaosCampaign
+
+BASELINE_MODES = ("fault-free", "no-chaos")
+
+__all__ = ["BASELINE_MODES", "ChaosRunOutcome", "run_chaos_point"]
+
+
+@dataclass(frozen=True)
+class ChaosRunOutcome:
+    """Both runs of a chaos cell plus the baseline-aware report."""
+
+    result: MapPhaseResult
+    baseline: MapPhaseResult
+    report: ResilienceReport
+
+
+def run_chaos_point(
+    config: EmulationConfig,
+    strategy: Strategy,
+    campaign: ChaosCampaign,
+    seed: Optional[int] = None,
+    audit: Optional[str] = None,
+    trace_out: Optional[str] = None,
+    baseline_mode: str = "fault-free",
+) -> ChaosRunOutcome:
+    """Run one chaos cell and its baseline; return the folded report."""
+    if baseline_mode not in BASELINE_MODES:
+        raise ValueError(
+            f"baseline_mode must be one of {BASELINE_MODES}, got {baseline_mode!r}"
+        )
+    chaos_result = run_emulation_point(
+        config,
+        strategy,
+        seed=seed,
+        audit=audit,
+        trace_out=trace_out,
+        chaos=campaign,
+    )
+    if chaos_result.resilience is None:  # pragma: no cover - runner contract
+        raise RuntimeError("chaos run produced no ResilienceReport")
+    baseline_config = (
+        config.with_(interrupted_ratio=0.0)
+        if baseline_mode == "fault-free"
+        else config
+    )
+    baseline_result = run_emulation_point(
+        baseline_config, strategy, seed=seed, audit=audit
+    )
+    report = chaos_result.resilience.with_baseline(baseline_result.elapsed)
+    return ChaosRunOutcome(
+        result=chaos_result, baseline=baseline_result, report=report
+    )

@@ -27,6 +27,7 @@ from repro.experiments.config import EMULATION_STRATEGIES, EmulationConfig, Stra
 from repro.experiments.parallel import CellSpec, SweepExecutor
 from repro.experiments.results import ExperimentRow, SweepResult
 from repro.runtime.runner import MapPhaseResult, run_map_phase
+from repro.simulator.scenarios import ChaosCampaign
 from repro.util.rng import derive_seed
 
 #: Paper sweep values.
@@ -43,17 +44,25 @@ def run_emulation_point(
     executor: Optional[SweepExecutor] = None,
     audit: Optional[str] = None,
     audit_out: Optional[str] = None,
+    chaos: Optional[ChaosCampaign] = None,
 ) -> MapPhaseResult:
     """Run one (configuration, strategy) cell once.
 
     ``trace_out`` exports the run's bus-event stream as JSON Lines.
     ``audit`` / ``audit_out`` enable cross-layer invariant auditing and
-    export its report. With an ``executor`` the cell goes through its run
-    cache; tracing and auditing always run live — the event stream and the
-    audit are side effects the cache cannot replay.
+    export its report. ``chaos`` layers a scripted campaign on the run.
+    With an ``executor`` the cell goes through its run cache; tracing,
+    auditing and chaos always run live — they are side effects (or extra
+    result surface) the cache key does not cover.
     """
     run_seed = config.seed if seed is None else seed
-    if executor is not None and trace_out is None and audit is None and audit_out is None:
+    if (
+        executor is not None
+        and trace_out is None
+        and audit is None
+        and audit_out is None
+        and chaos is None
+    ):
         return executor.run_cell(CellSpec("emulation", config, strategy, run_seed))
     hosts = config.hosts()
     return run_map_phase(
@@ -65,6 +74,7 @@ def run_emulation_point(
         trace_out=trace_out,
         audit=audit,
         audit_out=audit_out,
+        chaos=chaos,
     )
 
 

@@ -42,13 +42,24 @@ class OracleDetector:
         self._returns = 0
 
     def handle_node_down(self, event: NodeDown) -> None:
-        """Bus handler (DETECTION phase): declare the node dead now."""
+        """Bus handler (DETECTION phase): declare the node dead now.
+
+        Idempotent: a duplicate down for a node already believed dead
+        (overlapping chaos outages) publishes nothing.
+        """
+        if not self._namenode.is_live(event.node_id):
+            return
         self._namenode.mark_dead(event.node_id)
         self._deaths += 1
         self._bus.publish(NodeDeclaredDead(time=event.time, node_id=event.node_id))
 
     def handle_node_up(self, event: NodeUp) -> None:
-        """Bus handler (DETECTION phase): believe the return now."""
+        """Bus handler (DETECTION phase): believe the return now.
+
+        Idempotent: an up for a node already believed live is a no-op.
+        """
+        if self._namenode.is_live(event.node_id):
+            return
         self._namenode.mark_alive(event.node_id)
         self._returns += 1
         self._bus.publish(NodeReturned(time=event.time, node_id=event.node_id))

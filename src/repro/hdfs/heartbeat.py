@@ -31,6 +31,8 @@ from repro.simulator.events import (
     NodePurged,
     NodeReturned,
     NodeUp,
+    PartitionHealed,
+    PartitionStarted,
 )
 from repro.util.validation import check_positive
 
@@ -60,6 +62,9 @@ class HeartbeatService:
         self._watchdogs: Dict[str, Optional[EventHandle]] = {}
         self._down_since: Dict[str, Optional[float]] = {}
         self._is_up: Dict[str, bool] = {}
+        #: Nodes whose beats are lost in transit (chaos partitions with
+        #: heartbeats blocked); counted so overlapping partitions nest.
+        self._suppress_counts: Dict[str, int] = {}
         self._on_dead: List[Callable[[str, float], None]] = []
         self._on_returned: List[Callable[[str, float], None]] = []
 
@@ -116,6 +121,7 @@ class HeartbeatService:
         del self._is_up[node_id]
         del self._down_since[node_id]
         del self._last_beat[node_id]
+        self._suppress_counts.pop(node_id, None)
 
     def start(self) -> None:
         """No startup work; beats are armed per node by :meth:`track`."""
@@ -158,8 +164,13 @@ class HeartbeatService:
         self.untrack(event.node_id)
 
     def node_down(self, node_id: str, time: float) -> None:
-        """Physical interruption: beats stop (injector callback)."""
-        if node_id not in self._is_up:
+        """Physical interruption: beats stop (injector callback).
+
+        Idempotent: a second down for an already-down node (overlapping
+        chaos outages) keeps the original ``down_since``, so the beat-gap
+        downtime observation spans the whole silent window.
+        """
+        if node_id not in self._is_up or not self._is_up[node_id]:
             return
         self._is_up[node_id] = False
         self._down_since[node_id] = time
@@ -169,11 +180,61 @@ class HeartbeatService:
             self._beat_events[node_id] = None
 
     def node_up(self, node_id: str, time: float) -> None:
-        """Physical return: beat immediately, then resume the cadence."""
-        if node_id not in self._is_up:
+        """Physical return: beat immediately, then resume the cadence.
+
+        Idempotent: an up for an already-up node is ignored instead of
+        injecting an off-cadence beat.
+        """
+        if node_id not in self._is_up or self._is_up[node_id]:
             return
         self._is_up[node_id] = True
         self._beat(node_id, returning=True)
+
+    # -- chaos partitions ---------------------------------------------------------
+
+    def handle_partition_started(self, event: PartitionStarted) -> None:
+        """Bus handler (DETECTION phase): a heartbeat-blocking partition
+        swallows its members' beats — the watchdog then declares them dead
+        even though they are physically up (belief diverges from truth)."""
+        if not event.heartbeats_blocked:
+            return
+        for node_id in event.members:
+            self.suppress(node_id)
+
+    def handle_partition_healed(self, event: PartitionHealed) -> None:
+        """Bus handler (DETECTION phase): beats flow again."""
+        for node_id in event.members:
+            self.unsuppress(node_id)
+
+    def suppress(self, node_id: str) -> None:
+        """Drop the node's beats in transit (it keeps running)."""
+        if node_id not in self._is_up:
+            return
+        count = self._suppress_counts.get(node_id, 0)
+        self._suppress_counts[node_id] = count + 1
+        if count:
+            return
+        event = self._beat_events.get(node_id)
+        if event is not None:
+            event.cancel()
+            self._beat_events[node_id] = None
+
+    def unsuppress(self, node_id: str) -> None:
+        """Let the node's beats through again (idempotent).
+
+        If the node is physically up, it beats immediately — the collector
+        sees one long gap, observed as downtime only if the node actually
+        crashed somewhere inside it.
+        """
+        count = self._suppress_counts.get(node_id, 0)
+        if count == 0:
+            return
+        if count > 1:
+            self._suppress_counts[node_id] = count - 1
+            return
+        del self._suppress_counts[node_id]
+        if self._is_up.get(node_id, False):
+            self._beat(node_id, returning=self._down_since[node_id] is not None)
 
     # -- internals ------------------------------------------------------------------
 
@@ -185,6 +246,8 @@ class HeartbeatService:
     def _beat(self, node_id: str, returning: bool = False) -> None:
         if not self._is_up.get(node_id, False):
             return
+        if self._suppress_counts.get(node_id):
+            return  # beat lost in transit (partitioned); watchdog runs on
         now = self._sim.now
         predictor = self._namenode.predictor
         down_since = self._down_since[node_id]

@@ -33,7 +33,7 @@ from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mapreduce.jobtracker import JobTracker
-    from repro.simulator.events import NodeDown, NodeUp
+    from repro.simulator.events import NodeDegraded, NodeDown, NodeRestored, NodeUp
 
 
 class TaskTracker:
@@ -73,6 +73,14 @@ class TaskTracker:
         self._retry_events: Dict[str, EventHandle] = {}
         self._retries_used: Dict[str, int] = {}
         self._busy_seconds = 0.0
+        #: Gray-node execution slowdown (1.0 = nominal). Applies to
+        #: attempts *starting* execution while degraded.
+        self._exec_factor = 1.0
+        #: Scheduled execution length per live attempt — useful time must
+        #: match the slot time actually occupied, so a slowed attempt's
+        #: completion credits its stretched duration, keeping the
+        #: conservation law exact.
+        self._exec_durations: Dict[str, float] = {}
 
     def bind(self, jobtracker: "JobTracker") -> None:
         """Attach the JobTracker (after construction, to break the cycle)."""
@@ -143,16 +151,19 @@ class TaskTracker:
     def _start_exec(self, attempt: TaskAttempt) -> None:
         attempt.state = AttemptState.RUNNING
         attempt.exec_started = self._sim.now
+        duration = attempt.task.gamma * self._exec_factor
+        self._exec_durations[attempt.attempt_id] = duration
         self._exec_events[attempt.attempt_id] = self._sim.schedule(
-            attempt.task.gamma,
+            duration,
             lambda: self._on_exec_done(attempt),
             label=f"exec:{attempt.attempt_id}",
         )
 
     def _on_exec_done(self, attempt: TaskAttempt) -> None:
         self._exec_events.pop(attempt.attempt_id, None)
+        duration = self._exec_durations.get(attempt.attempt_id, attempt.task.gamma)
         self._retire(attempt, AttemptState.SUCCEEDED)
-        self._metrics.add_useful(attempt.task.gamma)
+        self._metrics.add_useful(duration)
         assert self._jobtracker is not None
         self._jobtracker.on_attempt_succeeded(attempt)
 
@@ -231,6 +242,25 @@ class TaskTracker:
         node asks for work only after storage and detection have settled."""
         self.on_node_up(event.time)
 
+    def handle_node_degraded(self, event: "NodeDegraded") -> None:
+        """Bus handler (COMPUTE phase, keyed): enter the gray regime."""
+        self.set_exec_factor(event.exec_factor)
+
+    def handle_node_restored(self, event: "NodeRestored") -> None:
+        """Bus handler (COMPUTE phase, keyed): back to nominal speed."""
+        self.set_exec_factor(1.0)
+
+    def set_exec_factor(self, factor: float) -> None:
+        """Scale execution time for attempts that start while in force.
+
+        Attempts already running keep their scheduled completion; their
+        useful-time credit was fixed at start, so accounting stays exact
+        whichever side of a window boundary they straddle.
+        """
+        if factor < 1.0:
+            raise ValueError(f"exec factor must be >= 1, got {factor}")
+        self._exec_factor = factor
+
     def on_node_down(self, time: float) -> None:
         """The host was interrupted: every live attempt dies right now."""
         self._is_up = False
@@ -294,6 +324,7 @@ class TaskTracker:
             "up": self._is_up,
             "live_attempts": len(self._live),
             "busy_seconds": self._busy_seconds,
+            "exec_factor": self._exec_factor,
         }
 
     # -- internals -----------------------------------------------------------------------
@@ -302,6 +333,7 @@ class TaskTracker:
         attempt.retire(state, self._sim.now)
         self._live.pop(attempt.attempt_id, None)
         self._retries_used.pop(attempt.attempt_id, None)
+        self._exec_durations.pop(attempt.attempt_id, None)
         retry = self._retry_events.pop(attempt.attempt_id, None)
         if retry is not None:
             retry.cancel()

@@ -58,15 +58,20 @@ from repro.mapreduce.jobtracker import JobTracker
 from repro.mapreduce.speculation import SpeculationPolicy
 from repro.mapreduce.tasktracker import TaskTracker
 from repro.runtime.services import ServiceRegistry
+from repro.simulator.chaos import ChaosEngine
 from repro.simulator.engine import Simulator
 from repro.simulator.events import (
     BlockLost,
     EventBus,
     NodeDeclaredDead,
+    NodeDegraded,
     NodeDown,
     NodePurged,
+    NodeRestored,
     NodeReturned,
     NodeUp,
+    PartitionHealed,
+    PartitionStarted,
     PermanentFailure,
     Phase,
     ReplicaAdded,
@@ -75,6 +80,7 @@ from repro.simulator.failures import FailureInjector
 from repro.simulator.invariants import AUDIT_MODES, InvariantAuditor
 from repro.simulator.metrics import DurabilityMetrics, MapPhaseMetrics
 from repro.simulator.network import Network
+from repro.simulator.scenarios import ChaosCampaign
 from repro.simulator.trace import TraceRecorder
 from repro.util.rng import RandomSource
 from repro.util.units import MB, mbit_per_s
@@ -157,6 +163,9 @@ class ClusterConfig:
     audit: str = "off"
     #: Simulated seconds between periodic audits (teardown always audits).
     audit_interval: float = 25.0
+    #: Scripted chaos campaign layered on the stochastic injector (see
+    #: repro.simulator.scenarios / repro.simulator.chaos). None = off.
+    chaos: Optional[ChaosCampaign] = None
     #: Root seed; every random stream in the cluster derives from it.
     seed: int = 0
 
@@ -181,6 +190,8 @@ class ClusterConfig:
         if self.audit not in AUDIT_MODES:
             raise ValueError(f"audit must be one of {AUDIT_MODES}, got {self.audit!r}")
         check_positive("audit_interval", self.audit_interval)
+        if self.chaos is not None and not isinstance(self.chaos, ChaosCampaign):
+            raise TypeError(f"chaos must be a ChaosCampaign, got {type(self.chaos)}")
 
     @property
     def uplink_bps(self) -> float:
@@ -221,6 +232,7 @@ class Cluster:
         detector: Optional[OracleDetector] = None,
         tracer: Optional[TraceRecorder] = None,
         auditor: Optional[InvariantAuditor] = None,
+        chaos: Optional[ChaosEngine] = None,
     ) -> None:
         self.config = config
         self.hosts = list(hosts)
@@ -241,6 +253,7 @@ class Cluster:
         self.detector = detector
         self.tracer = tracer
         self.auditor = auditor
+        self.chaos = chaos
 
     @property
     def node_ids(self) -> List[str]:
@@ -454,6 +467,47 @@ def build_cluster(
     bus.subscribe(NodeDeclaredDead, jobtracker.handle_node_dead, Phase.SCHEDULING)
     bus.subscribe(ReplicaAdded, jobtracker.handle_replica_added, Phase.SCHEDULING)
 
+    # Chaos campaign: scripted scenarios injected through the same bus the
+    # cluster already reacts to. Partition and gray events stall/throttle
+    # flows in NETWORK phase and stretch execution per-node in COMPUTE
+    # phase; heartbeat-blocking partitions suppress beats in DETECTION
+    # phase. The engine itself measures in ACCOUNTING phase, observing raw
+    # transitions before any reaction mutates state.
+    chaos: Optional[ChaosEngine] = None
+    if config.chaos is not None:
+        chaos = ChaosEngine(
+            sim,
+            bus,
+            config.chaos,
+            rng,
+            injector,
+            namenode=namenode,
+        )
+        bus.subscribe(PartitionStarted, network.handle_partition_started, Phase.NETWORK)
+        bus.subscribe(PartitionHealed, network.handle_partition_healed, Phase.NETWORK)
+        bus.subscribe(NodeDegraded, network.handle_node_degraded, Phase.NETWORK)
+        bus.subscribe(NodeRestored, network.handle_node_restored, Phase.NETWORK)
+        for host in hosts:
+            tracker = trackers[host.host_id]
+            bus.subscribe(
+                NodeDegraded, tracker.handle_node_degraded, Phase.COMPUTE, key=host.host_id
+            )
+            bus.subscribe(
+                NodeRestored, tracker.handle_node_restored, Phase.COMPUTE, key=host.host_id
+            )
+        if heartbeats is not None:
+            bus.subscribe(
+                PartitionStarted, heartbeats.handle_partition_started, Phase.DETECTION
+            )
+            bus.subscribe(
+                PartitionHealed, heartbeats.handle_partition_healed, Phase.DETECTION
+            )
+        bus.subscribe(NodeDown, chaos.handle_node_down, Phase.ACCOUNTING)
+        bus.subscribe(NodeUp, chaos.handle_node_up, Phase.ACCOUNTING)
+        bus.subscribe(NodeDeclaredDead, chaos.handle_declared_dead, Phase.ACCOUNTING)
+        bus.subscribe(NodeReturned, chaos.handle_node_returned, Phase.ACCOUNTING)
+        bus.subscribe(ReplicaAdded, chaos.handle_replica_added, Phase.ACCOUNTING)
+
     if traces is not None:
         trace_ids = [trace.host_id for trace in traces]
         if trace_ids != ids:
@@ -514,6 +568,10 @@ def build_cluster(
     services.register(jobtracker)
     for tracker in trackers.values():
         services.register(tracker)
+    if chaos is not None:
+        # After the injector and every reactor: starting the engine arms
+        # the campaign against a fully attached node population.
+        services.register(chaos)
     if tracer is not None:
         services.register(tracer)
     if auditor is not None:
@@ -547,6 +605,7 @@ def build_cluster(
         detector=detector,
         tracer=tracer,
         auditor=auditor,
+        chaos=chaos,
     )
     cluster.start()
     return cluster

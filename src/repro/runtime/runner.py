@@ -22,7 +22,9 @@ from repro.availability.traces import AvailabilityTrace
 from repro.core.placement import PlacementPolicy, make_policy
 from repro.mapreduce.job import JobConf, MapJob
 from repro.runtime.cluster import Cluster, ClusterConfig, build_cluster
+from repro.simulator.chaos import ResilienceReport
 from repro.simulator.metrics import DurabilityMetrics, OverheadBreakdown
+from repro.simulator.scenarios import ChaosCampaign
 from repro.workloads.base import Workload
 from repro.workloads.terasort import TerasortWorkload
 
@@ -48,6 +50,8 @@ class MapPhaseResult:
     #: record counts.
     interruptions: int = 0
     node_returns: int = 0
+    #: Chaos-campaign resilience metrics (None unless a campaign ran).
+    resilience: Optional[ResilienceReport] = None
 
     @property
     def overhead_ratios(self) -> Dict[str, float]:
@@ -84,6 +88,7 @@ def run_map_phase(
     trace_out: Optional[str] = None,
     audit: Optional[str] = None,
     audit_out: Optional[str] = None,
+    chaos: Optional[ChaosCampaign] = None,
 ) -> MapPhaseResult:
     """Run one complete experiment point.
 
@@ -100,11 +105,17 @@ def run_map_phase(
     mode the first invariant violation raises. ``audit_out`` writes the
     final :class:`~repro.simulator.invariants.AuditReport` as JSON (implies
     ``audit="report"`` when no mode was chosen).
+
+    ``chaos`` layers a scripted campaign on the run; the result then
+    carries a :class:`~repro.simulator.chaos.ResilienceReport` in
+    ``resilience``.
     """
     if isinstance(policy, str):
         policy = make_policy(policy)
     if trace_out is not None and not config.trace_events:
         config = dataclasses.replace(config, trace_events=True)
+    if chaos is not None:
+        config = dataclasses.replace(config, chaos=chaos)
     if audit is None and audit_out is not None and config.audit == "off":
         audit = "report"
     if audit is not None:
@@ -151,6 +162,11 @@ def run_map_phase(
             durability=cluster.durability,
             interruptions=cluster.metrics.interruptions,
             node_returns=cluster.metrics.node_returns,
+            resilience=(
+                cluster.chaos.report(makespan=job.makespan)
+                if cluster.chaos is not None
+                else None
+            ),
         )
     finally:
         # Teardown after every result field is captured (stopping kills live

@@ -171,6 +171,60 @@ class TaskStateChange(Event):
         return self.task_id
 
 
+@dataclass(frozen=True)
+class NodeDegraded(NodeEvent):
+    """The node entered a gray state: alive and beating, but its links
+    and/or task execution run at a fraction of nominal speed."""
+
+    link_factor: float = 1.0
+    exec_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class NodeRestored(NodeEvent):
+    """A previously gray node runs at nominal speed again."""
+
+
+@dataclass(frozen=True)
+class PartitionStarted(Event):
+    """A network partition began: transfers crossing the boundary between
+    ``members`` and the rest of the cluster stall until healed. When
+    ``heartbeats_blocked`` is true, detection loses heartbeats from the
+    members too; otherwise belief and storage see different truths."""
+
+    partition_id: str
+    members: Tuple[str, ...]
+    heartbeats_blocked: bool = False
+
+
+@dataclass(frozen=True)
+class PartitionHealed(Event):
+    """The partition identified by ``partition_id`` healed; stalled
+    transfers resume from their drained progress."""
+
+    partition_id: str
+    members: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ChaosScenarioStarted(Event):
+    """A chaos scenario became active (observability; carries the full
+    declarative spec so a recorded trace replays the campaign exactly)."""
+
+    kind: str
+    index: int
+    targets: Tuple[str, ...]
+    spec: str
+
+
+@dataclass(frozen=True)
+class ChaosScenarioEnded(Event):
+    """A chaos scenario's window closed (observability)."""
+
+    kind: str
+    index: int
+
+
 E = TypeVar("E", bound=Event)
 Handler = Callable[[E], None]
 #: A tap sees (event, phases that have at least one handler registered).
@@ -342,6 +396,12 @@ __all__ = [
     "BlockLost",
     "ReplicaAdded",
     "TaskStateChange",
+    "NodeDegraded",
+    "NodeRestored",
+    "PartitionStarted",
+    "PartitionHealed",
+    "ChaosScenarioStarted",
+    "ChaosScenarioEnded",
     "EventBus",
     "Subscription",
 ]

@@ -83,6 +83,11 @@ class FailureInjector:
         self._episode_counts: Dict[str, int] = {}
         self._downtime_totals: Dict[str, float] = {}
         self._permanent: Dict[str, bool] = {}
+        #: When each currently-down node went down (downtime accounting).
+        self._down_since: Dict[str, Optional[float]] = {}
+        #: Chaos delayed-recovery: per-node multiplier applied to the
+        #: remaining downtime of episodes that *begin* while it is set.
+        self._recovery_stretch: Dict[str, float] = {}
         #: The one armed stream event per node (next begin, or current end).
         self._stream_events: Dict[str, Optional[EventHandle]] = {}
         #: Armed events from schedule_outage / schedule_permanent_failure.
@@ -196,6 +201,7 @@ class FailureInjector:
         self._episode_counts[node_id] = 0
         self._downtime_totals[node_id] = 0.0
         self._permanent[node_id] = False
+        self._down_since[node_id] = None
         self._stream_events[node_id] = None
 
     # -- injected failures ---------------------------------------------------------
@@ -241,6 +247,24 @@ class FailureInjector:
             )
             self._injected_events.append(handle)
 
+    def set_recovery_stretch(self, node_id: str, stretch: float) -> None:
+        """Stretch remaining downtime of episodes beginning from now on.
+
+        Chaos delayed-recovery hook: while set, any episode of ``node_id``
+        that *begins* lasts ``stretch`` times its remaining sampled
+        duration — return times drift past the predictor's fitted
+        distribution. Episodes already in progress are unaffected.
+        """
+        self._require_node(node_id)
+        if stretch < 1.0:
+            raise ValueError(f"stretch must be >= 1, got {stretch}")
+        self._recovery_stretch[node_id] = stretch
+
+    def clear_recovery_stretch(self, node_id: str) -> None:
+        """Remove a delayed-recovery stretch (idempotent)."""
+        self._require_node(node_id)
+        self._recovery_stretch.pop(node_id, None)
+
     def _begin_injected(self, node_id: str, episode: DowntimeEpisode) -> None:
         if self._stopped or self._permanent[node_id] or self._is_down[node_id]:
             return
@@ -266,6 +290,7 @@ class FailureInjector:
         if not self._is_down[node_id]:
             self._is_down[node_id] = True
             self._episode_counts[node_id] += 1
+            self._down_since[node_id] = now
             self._bus.publish(NodeDown(time=now, node_id=node_id))
 
     # -- lifecycle --------------------------------------------------------------------
@@ -357,8 +382,15 @@ class FailureInjector:
         self._is_down[node_id] = True
         self._episode_counts[node_id] += 1
         now = self._sim.now
+        self._down_since[node_id] = now
         self._bus.publish(NodeDown(time=now, node_id=node_id))
         end = max(episode.end, now)
+        stretch = self._recovery_stretch.get(node_id)
+        if stretch is not None:
+            # Delayed-recovery chaos: the remaining downtime of an episode
+            # beginning inside the window lasts ``stretch`` times as long.
+            # Guarded so the untouched path stays float-identical.
+            end = now + (end - now) * stretch
         handle = self._sim.schedule_at(
             end,
             lambda: self._end_episode(node_id, episode, from_stream),
@@ -374,9 +406,23 @@ class FailureInjector:
     ) -> None:
         if self._stopped or self._permanent[node_id]:
             return
+        if not self._is_down[node_id]:
+            # Idempotent up transition: a concurrent end (overlapping
+            # injected outage, or a chaos cycle racing the stream) already
+            # brought the node back — don't double-publish or double-count.
+            if from_stream:
+                self._schedule_next(node_id)
+            return
         self._is_down[node_id] = False
-        self._downtime_totals[node_id] += episode.duration
         now = self._sim.now
+        down_since = self._down_since[node_id]
+        self._down_since[node_id] = None
+        # Account the downtime actually served: a stretched or clipped
+        # episode's wall window, not the sampled episode length.
+        if down_since is not None:
+            self._downtime_totals[node_id] += now - down_since
+        else:  # pragma: no cover - begin always records down_since
+            self._downtime_totals[node_id] += episode.duration
         self._bus.publish(NodeUp(time=now, node_id=node_id))
         if from_stream:
             self._schedule_next(node_id)

@@ -24,7 +24,14 @@ from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.simulator.engine import EventHandle, Simulator
-from repro.simulator.events import NodeDown, PermanentFailure
+from repro.simulator.events import (
+    NodeDegraded,
+    NodeDown,
+    NodeRestored,
+    PartitionHealed,
+    PartitionStarted,
+    PermanentFailure,
+)
 from repro.util.validation import check_positive
 
 #: Remaining-bytes tolerance under which a transfer counts as finished.
@@ -50,6 +57,7 @@ class Transfer:
         "remaining",
         "rate",
         "started_at",
+        "anchor",
         "finished_at",
         "state",
         "label",
@@ -78,6 +86,9 @@ class Transfer:
         self.remaining = float(size)
         self.rate = 0.0
         self.started_at = started_at
+        #: Time the current constant-rate segment began (simple mode).
+        #: Equals ``started_at`` until a stall or re-rate moves it.
+        self.anchor = started_at
         self.finished_at: Optional[float] = None
         self.state = TransferState.ACTIVE
         self.label = label
@@ -139,6 +150,12 @@ class Network:
         self._ids = itertools.count()
         self._last_update = sim.now
         self._sweep: Optional[EventHandle] = None
+        #: Active partitions: id -> member set. A transfer crossing any
+        #: partition boundary is stalled (rate 0) until the cut heals.
+        self._partitions: Dict[str, frozenset] = {}
+        #: Gray-node throttles: node -> the (uplink, downlink) override
+        #: entries in force before the throttle (None = defaulted).
+        self._throttled: Dict[str, Tuple[Optional[float], Optional[float]]] = {}
 
     # -- configuration ----------------------------------------------------------
 
@@ -218,11 +235,10 @@ class Network:
             self._reallocate_and_reschedule()
         else:
             self._active[transfer] = None
-            transfer.rate = min(self.uplink(source), self.downlink(destination))
-            eta = transfer.remaining / transfer.rate if transfer.remaining > 0 else 0.0
-            transfer._event = self._sim.schedule(
-                eta, lambda: self._complete_simple(transfer), label=f"xfer-{transfer.transfer_id}"
-            )
+            if self._partitions and self._is_stalled(transfer):
+                transfer.rate = 0.0  # born into a partition; thawed on heal
+            else:
+                self._thaw_simple(transfer)
         return transfer
 
     def cancel(self, transfer: Transfer) -> None:
@@ -237,8 +253,9 @@ class Network:
         else:
             if transfer._event is not None:
                 transfer._event.cancel()
-            # Record partial progress for accounting.
-            elapsed = self._sim.now - transfer.started_at
+            # Record partial progress for accounting (since the last
+            # constant-rate anchor; == started_at unless a stall moved it).
+            elapsed = self._sim.now - transfer.anchor
             transfer.remaining = max(transfer.remaining - transfer.rate * elapsed, 0.0)
             self._active.pop(transfer, None)
             self._finalize(transfer, TransferState.CANCELLED)
@@ -268,6 +285,137 @@ class Network:
         direction — tear down every flow touching the node."""
         self.cancel_involving(event.node_id)
 
+    def handle_partition_started(self, event: PartitionStarted) -> None:
+        """Chaos partition (NETWORK phase): stall boundary-crossing flows."""
+        self.begin_partition(event.partition_id, event.members)
+
+    def handle_partition_healed(self, event: PartitionHealed) -> None:
+        """Partition healed (NETWORK phase): resume stalled flows."""
+        self.end_partition(event.partition_id)
+
+    def handle_node_degraded(self, event: NodeDegraded) -> None:
+        """Gray node (NETWORK phase): throttle its links mid-flight."""
+        self.throttle_node(event.node_id, event.link_factor)
+
+    def handle_node_restored(self, event: NodeRestored) -> None:
+        """Gray node recovered (NETWORK phase): lift the throttle."""
+        self.restore_node(event.node_id)
+
+    # -- chaos: partitions and gray throttles ------------------------------------------
+
+    def begin_partition(self, partition_id: str, members: Tuple[str, ...]) -> None:
+        """Cut ``members`` off: transfers crossing the boundary stall.
+
+        Stalled transfers keep their progress and resume from it at
+        :meth:`end_partition`; intra-partition and outside flows are
+        untouched (and, under fair sharing, inherit the freed capacity).
+        """
+        if partition_id in self._partitions:
+            raise ValueError(f"partition {partition_id!r} already active")
+        if self._fair:
+            self._advance()
+            self._partitions[partition_id] = frozenset(members)
+            self._reallocate_and_reschedule()
+        else:
+            self._partitions[partition_id] = frozenset(members)
+            for transfer in list(self._active):
+                if transfer._event is not None and self._is_stalled(transfer):
+                    self._freeze_simple(transfer)
+
+    def end_partition(self, partition_id: str) -> None:
+        """Heal a partition; flows it stalled resume from their progress."""
+        if partition_id not in self._partitions:
+            raise ValueError(f"partition {partition_id!r} is not active")
+        del self._partitions[partition_id]
+        if self._fair:
+            self._advance()
+            self._reallocate_and_reschedule()
+        else:
+            for transfer in list(self._active):
+                if transfer._event is None and not (
+                    self._partitions and self._is_stalled(transfer)
+                ):
+                    self._thaw_simple(transfer)
+
+    def throttle_node(self, node_id: str, link_factor: float) -> None:
+        """Scale one node's link capacities by ``link_factor`` (gray node).
+
+        The pre-throttle override entries are saved so
+        :meth:`restore_node` recovers the exact prior configuration.
+        Idempotent per node: a second throttle before restore is ignored
+        (scenario windows never nest a node inside itself).
+        """
+        check_positive("link_factor", link_factor)
+        if node_id in self._throttled:
+            return
+        self._throttled[node_id] = (
+            self._uplinks.get(node_id),
+            self._downlinks.get(node_id),
+        )
+        self._uplinks[node_id] = self.uplink(node_id) * link_factor
+        self._downlinks[node_id] = self.downlink(node_id) * link_factor
+        self._rerate_node(node_id)
+
+    def restore_node(self, node_id: str) -> None:
+        """Lift a gray-node throttle, restoring the saved link config."""
+        saved = self._throttled.pop(node_id, None)
+        if saved is None:
+            return
+        up, down = saved
+        if up is None:
+            self._uplinks.pop(node_id, None)
+        else:
+            self._uplinks[node_id] = up
+        if down is None:
+            self._downlinks.pop(node_id, None)
+        else:
+            self._downlinks[node_id] = down
+        self._rerate_node(node_id)
+
+    def _rerate_node(self, node_id: str) -> None:
+        """Re-rate in-flight transfers after a capacity change on a node."""
+        if self._fair:
+            self._advance()
+            self._reallocate_and_reschedule()
+        else:
+            for transfer in list(self._active):
+                if transfer._event is None:
+                    continue  # stalled; heal-time thaw reads new capacities
+                if transfer.source == node_id or transfer.destination == node_id:
+                    self._freeze_simple(transfer)
+                    self._thaw_simple(transfer)
+
+    def _is_stalled(self, transfer: Transfer) -> bool:
+        """Whether the transfer crosses any active partition boundary."""
+        for partition_members in self._partitions.values():
+            inside = transfer.source in partition_members
+            if inside != (transfer.destination in partition_members):
+                return True
+        return False
+
+    def _freeze_simple(self, transfer: Transfer) -> None:
+        """Stop a simple-mode transfer, banking progress at its old rate."""
+        if transfer._event is not None:
+            transfer._event.cancel()
+            transfer._event = None
+        elapsed = self._sim.now - transfer.anchor
+        transfer.remaining = max(transfer.remaining - transfer.rate * elapsed, 0.0)
+        transfer.anchor = self._sim.now
+        transfer.rate = 0.0
+
+    def _thaw_simple(self, transfer: Transfer) -> None:
+        """(Re)start a simple-mode transfer at current link capacities."""
+        transfer.rate = min(
+            self.uplink(transfer.source), self.downlink(transfer.destination)
+        )
+        transfer.anchor = self._sim.now
+        eta = transfer.remaining / transfer.rate if transfer.remaining > 0 else 0.0
+        transfer._event = self._sim.schedule(
+            eta,
+            lambda: self._complete_simple(transfer),
+            label=f"xfer-{transfer.transfer_id}",
+        )
+
     # -- service lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
@@ -288,6 +436,8 @@ class Network:
             "fair_sharing": self._fair,
             "uplink_bps": self._default_up,
             "downlink_bps": self._default_down,
+            "partitions": len(self._partitions),
+            "throttled_nodes": len(self._throttled),
         }
 
     # -- internals: simple mode ----------------------------------------------------
@@ -315,8 +465,14 @@ class Network:
         if self._sweep is not None:
             self._sweep.cancel()
             self._sweep = None
-        # Complete anything already drained before looking for the next ETA.
-        finished = [t for t in self._active if t.remaining <= _DONE_EPSILON]
+        # Complete anything already drained before looking for the next ETA
+        # (stalled transfers hold their residue until the partition heals).
+        finished = [
+            t
+            for t in self._active
+            if t.remaining <= _DONE_EPSILON
+            and not (self._partitions and self._is_stalled(t))
+        ]
         for transfer in finished:
             if transfer.state is not TransferState.ACTIVE:
                 # A completion callback re-entered the network (started or
@@ -360,6 +516,10 @@ class Network:
         members: Dict[Tuple[str, str], List[Transfer]] = {}
         live: Dict[Tuple[str, str], int] = {}
         for transfer in self._active:
+            # Stalled flows join no links: they take no rate (the final
+            # loop zeroes them) and free their capacity for the rest.
+            if self._partitions and self._is_stalled(transfer):
+                continue
             up = transfer.up_key
             down = transfer.down_key
             if up not in capacity:

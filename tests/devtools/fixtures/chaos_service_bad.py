@@ -1,0 +1,56 @@
+"""Chaos fixture: an engine wired onto the bus but never registered
+(C002), whose lifecycle is half-implemented — start() without stop()
+(C003). Mirrors the real chaos-engine wiring shape in cluster.py.
+"""
+
+ACCOUNTING = 0
+
+
+class Event:
+    def __init__(self, time):
+        self.time = time
+
+
+class NodeDown(Event):
+    pass
+
+
+class ChaosScenarioStarted(Event):
+    pass
+
+
+class Recorder:
+    name = "recorder"
+
+    def start(self):
+        pass
+
+    def stop(self):
+        pass
+
+    def handle_node_down(self, event):
+        return event
+
+
+class ChaosEngine:
+    name = "chaos-engine"
+
+    def start(self):
+        self._armed = True
+
+    def handle_node_down(self, event):
+        return event
+
+    def handle_scenario_started(self, event):
+        return event
+
+
+def wire(bus, services):
+    recorder = Recorder()
+    services.register(recorder)
+    bus.subscribe(NodeDown, recorder.handle_node_down, ACCOUNTING)
+    chaos = ChaosEngine()
+    bus.subscribe(NodeDown, chaos.handle_node_down, ACCOUNTING)
+    bus.subscribe(ChaosScenarioStarted, chaos.handle_scenario_started, ACCOUNTING)
+    bus.publish(NodeDown(0.0))
+    bus.publish(ChaosScenarioStarted(0.0))

@@ -1,0 +1,42 @@
+"""Chaos clean fixture: the engine is registered and owns a full
+start()/stop() lifecycle, matching the real cluster.py wiring."""
+
+ACCOUNTING = 0
+
+
+class Event:
+    def __init__(self, time):
+        self.time = time
+
+
+class NodeDown(Event):
+    pass
+
+
+class ChaosScenarioStarted(Event):
+    pass
+
+
+class ChaosEngine:
+    name = "chaos-engine"
+
+    def start(self):
+        self._armed = True
+
+    def stop(self):
+        self._armed = False
+
+    def handle_node_down(self, event):
+        return event
+
+    def handle_scenario_started(self, event):
+        return event
+
+
+def wire(bus, services):
+    chaos = ChaosEngine()
+    services.register(chaos)
+    bus.subscribe(NodeDown, chaos.handle_node_down, ACCOUNTING)
+    bus.subscribe(ChaosScenarioStarted, chaos.handle_scenario_started, ACCOUNTING)
+    bus.publish(NodeDown(0.0))
+    bus.publish(ChaosScenarioStarted(0.0))

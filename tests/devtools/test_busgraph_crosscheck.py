@@ -17,6 +17,7 @@ from repro.availability.generator import build_group_hosts
 from repro.devtools.simlint.busgraph import to_dot, to_json
 from repro.devtools.simlint.engine import lint_paths
 from repro.runtime.cluster import ClusterConfig, build_cluster
+from repro.simulator.scenarios import ChaosCampaign, NetworkPartition
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -33,6 +34,15 @@ CONFIG_FULL = ClusterConfig(
 )
 #: Exercises the oracle-detection wiring instead of heartbeats.
 CONFIG_ORACLE = ClusterConfig(seed=3, detection="oracle")
+#: Exercises the chaos-engine wiring (partitions, degradation, metrics).
+CONFIG_CHAOS = ClusterConfig(
+    seed=3,
+    detection="heartbeat",
+    chaos=ChaosCampaign(
+        name="wiring",
+        scenarios=(NetworkPartition(start=10.0, duration=5.0, count=1),),
+    ),
+)
 
 
 @pytest.fixture(scope="module")
@@ -59,7 +69,9 @@ def _runtime_tuples(config):
 
 
 class TestRuntimeSubsetOfStatic:
-    @pytest.mark.parametrize("config", [CONFIG_FULL, CONFIG_ORACLE], ids=["full", "oracle"])
+    @pytest.mark.parametrize(
+        "config", [CONFIG_FULL, CONFIG_ORACLE, CONFIG_CHAOS], ids=["full", "oracle", "chaos"]
+    )
     def test_every_live_subscription_was_extracted(self, static_graph, config):
         static = _static_tuples(static_graph)
         missing = _runtime_tuples(config) - static
@@ -77,7 +89,11 @@ class TestStaticSubsetOfRuntime:
             for site in static_graph.subscribers
             if site.event is not None and site.module.endswith("runtime/cluster.py")
         }
-        live = _runtime_tuples(CONFIG_FULL) | _runtime_tuples(CONFIG_ORACLE)
+        live = (
+            _runtime_tuples(CONFIG_FULL)
+            | _runtime_tuples(CONFIG_ORACLE)
+            | _runtime_tuples(CONFIG_CHAOS)
+        )
         dead = wiring - live
         assert not dead, f"static subscribe sites no configuration wires: {sorted(dead, key=str)}"
 

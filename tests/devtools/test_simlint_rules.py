@@ -41,6 +41,24 @@ class TestFixturePairs:
         assert result.exit_code(strict=False) == 0
 
 
+class TestChaosServicePair:
+    """A chaos-engine-shaped service tripping two rules at once: wired
+    onto the bus without registration (C002) and missing stop() (C003).
+    """
+
+    def test_bad_fixture_flags_both_rules(self, tmp_path):
+        result = lint_fixture(tmp_path, "chaos_service_bad")
+        codes = {d.code for d in result.diagnostics}
+        assert codes == {"C002", "C003"}, [d.render() for d in result.diagnostics]
+        assert all(d.severity == "error" for d in result.diagnostics)
+        assert result.exit_code(strict=False) == 1
+
+    def test_clean_fixture_produces_no_diagnostics(self, tmp_path):
+        result = lint_fixture(tmp_path, "chaos_service_ok")
+        assert result.diagnostics == [], [d.render() for d in result.diagnostics]
+        assert result.exit_code(strict=False) == 0
+
+
 class TestDiagnosticShape:
     def test_positions_point_into_the_fixture(self, tmp_path):
         result = lint_fixture(tmp_path, "d005_bad")

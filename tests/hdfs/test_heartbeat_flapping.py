@@ -71,3 +71,83 @@ class TestFlapping:
         assert not nn.is_live("n0")
         hb.node_up("n0", sim.now)
         assert nn.is_live("n0")
+
+
+class TestIdempotentTransitions:
+    def test_double_down_keeps_original_down_since(self):
+        # Overlapping chaos outages deliver two downs; the downtime
+        # observation must span from the *first* one.
+        sim, nn, hb = setup()
+        sim.schedule_at(10.0, lambda: hb.node_down("n0", 10.0))
+        sim.schedule_at(15.0, lambda: hb.node_down("n0", 15.0))
+        sim.schedule_at(30.0, lambda: hb.node_up("n0", 30.0))
+        sim.run(until=50.0)
+        est = nn.predictor.estimate("n0")
+        assert est.recovery_mean == pytest.approx(20.0, rel=1e-3)
+
+    def test_double_up_publishes_one_return(self):
+        sim, nn, hb = setup()
+        returns = []
+        hb.subscribe(on_returned=lambda n, t: returns.append(t))
+        sim.schedule_at(10.0, lambda: hb.node_down("n0", 10.0))
+        sim.schedule_at(25.0, lambda: hb.node_up("n0", 25.0))
+        sim.schedule_at(25.0, lambda: hb.node_up("n0", 25.0))
+        sim.run(until=40.0)
+        assert returns == [25.0]
+        assert nn.is_live("n0")
+
+
+class TestSuppression:
+    """Beats lost in transit: the collector's belief diverges from truth."""
+
+    def test_suppressed_node_declared_dead_while_physically_up(self):
+        sim, nn, hb = setup()
+        transitions = []
+        hb.subscribe(
+            on_dead=lambda n, t: transitions.append(("dead", t)),
+            on_returned=lambda n, t: transitions.append(("back", t)),
+        )
+        sim.schedule_at(5.0, lambda: hb.suppress("n0"))
+        sim.schedule_at(20.0, lambda: hb.unsuppress("n0"))
+        sim.run(until=40.0)
+        # Last beat lands at t=3; silence crosses the 9s timeout at t=12.
+        # The node never physically went down — unsuppressing beats
+        # immediately and belief snaps back.
+        assert transitions == [("dead", 12.0), ("back", 20.0)]
+
+    def test_overlapping_suppressions_nest(self):
+        sim, nn, hb = setup()
+        transitions = []
+        hb.subscribe(
+            on_dead=lambda n, t: transitions.append(("dead", t)),
+            on_returned=lambda n, t: transitions.append(("back", t)),
+        )
+        sim.schedule_at(5.0, lambda: hb.suppress("n0"))
+        sim.schedule_at(6.0, lambda: hb.suppress("n0"))
+        sim.schedule_at(20.0, lambda: hb.unsuppress("n0"))
+        sim.schedule_at(30.0, lambda: hb.unsuppress("n0"))
+        sim.run(until=40.0)
+        assert transitions == [("dead", 12.0), ("back", 30.0)]
+
+    def test_unsuppress_while_physically_down_waits_for_return(self):
+        sim, nn, hb = setup()
+        transitions = []
+        hb.subscribe(
+            on_dead=lambda n, t: transitions.append(("dead", t)),
+            on_returned=lambda n, t: transitions.append(("back", t)),
+        )
+        sim.schedule_at(5.0, lambda: hb.suppress("n0"))
+        sim.schedule_at(8.0, lambda: hb.node_down("n0", 8.0))
+        sim.schedule_at(20.0, lambda: hb.unsuppress("n0"))
+        sim.schedule_at(25.0, lambda: hb.node_up("n0", 25.0))
+        sim.run(until=40.0)
+        assert transitions == [("dead", 12.0), ("back", 25.0)]
+        # The beat gap reveals the physical downtime only.
+        assert nn.predictor.estimate("n0").recovery_mean == pytest.approx(17.0, rel=1e-3)
+
+    def test_suppress_untracked_node_is_noop(self):
+        sim, nn, hb = setup()
+        hb.suppress("ghost")
+        hb.unsuppress("ghost")
+        sim.run(until=10.0)
+        assert nn.is_live("n0")

@@ -1,0 +1,111 @@
+"""The CI smoke campaign: three scenarios, strict audit, golden report.
+
+``examples/chaos_smoke.json`` is the checked-in campaign the CI
+``chaos-smoke`` job replays. The pinned :class:`ResilienceReport`
+numbers are golden — exact ``==`` on floats — so any trajectory drift
+under the composed gray+partition+storm load fails loudly here before
+it reaches a benchmark.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.chaosrun import run_chaos_point
+from repro.experiments.config import EmulationConfig, Strategy
+from repro.simulator.scenarios import ChaosCampaign
+
+CAMPAIGN_PATH = Path(__file__).parents[2] / "examples" / "chaos_smoke.json"
+
+CONFIG = EmulationConfig(
+    node_count=8,
+    interrupted_ratio=0.5,
+    blocks_per_node=2.0,
+    seed=11,
+    replication_monitor=True,
+)
+
+
+def run_smoke():
+    campaign = ChaosCampaign.load(str(CAMPAIGN_PATH))
+    return run_chaos_point(CONFIG, Strategy("adapt", 2), campaign, audit="strict")
+
+
+@pytest.mark.slow
+class TestSmokeCampaign:
+    def test_campaign_file_parses_to_three_scenarios(self):
+        campaign = ChaosCampaign.load(str(CAMPAIGN_PATH))
+        assert campaign.name == "smoke"
+        assert [s.kind for s in campaign.scenarios] == ["gray", "partition", "storm"]
+
+    def test_golden_resilience_report(self):
+        outcome = run_smoke()
+        r = outcome.report
+        assert [(a.kind, a.targets) for a in r.activations] == [
+            ("gray", ("node-00001",)),
+            ("partition", ("node-00003", "node-00007")),
+            ("storm", ("node-00004", "node-00005")),
+        ]
+        assert r.makespan == 290.8236927387871
+        assert r.baseline_makespan == 103.108864
+        assert r.makespan_inflation == 2.8205498679413936
+        assert r.slo_attained is True
+        assert (r.interruptions, r.node_returns) == (41, 39)
+        assert r.detections == 14
+        assert r.mean_time_to_detect == 6.8841695076413885
+        assert r.max_time_to_detect == 8.342203736183308
+        assert r.undetected_downs == 1
+        assert r.rereplications == 1
+        assert r.mean_time_to_rereplicate == 112.02940228941435
+        assert r.unrecovered_blocks == 0
+
+    def test_report_is_seed_stable(self):
+        first = run_smoke()
+        second = run_smoke()
+        assert first.report == second.report
+        assert first.report.to_json() == second.report.to_json()
+
+
+@pytest.mark.slow
+class TestChaosCli:
+    ARGS = [
+        "chaos",
+        "--campaign", str(CAMPAIGN_PATH),
+        "--policy", "adapt",
+        "--replicas", "2",
+        "--nodes", "8",
+        "--ratio", "0.5",
+        "--blocks-per-node", "2",
+        "--seed", "11",
+        "--replication-monitor",
+        "--audit", "strict",
+    ]
+
+    def test_cli_matches_the_library_run(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main(self.ARGS + ["--report", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Resilience report" in out
+        written = json.loads(report_path.read_text())
+        assert written == run_smoke().report.to_jsonable()
+
+    def test_emulate_accepts_a_chaos_campaign(self, capsys):
+        code = main(
+            [
+                "emulate",
+                "--policy", "adapt",
+                "--nodes", "8",
+                "--ratio", "0.5",
+                "--blocks-per-node", "2",
+                "--seed", "11",
+                "--chaos", str(CAMPAIGN_PATH),
+                "--audit", "strict",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "elapsed_s" in out
+        assert "Resilience report" in out

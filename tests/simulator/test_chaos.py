@@ -1,0 +1,231 @@
+"""Chaos engine: golden primitive runs, seed stability, trace replay.
+
+Each of the five scenario primitives runs end-to-end under
+``audit="strict"`` — the cross-layer invariant auditor raises on the
+first violation, so a passing test certifies the injection paths keep
+every accounting and replica-map invariant intact. The pinned
+:class:`~repro.simulator.chaos.ResilienceReport` numbers are golden:
+exact ``==`` on floats, like the golden-determinism suite, so any
+trajectory change under chaos shows up as a failure, not a wobble.
+"""
+
+import json
+
+import pytest
+
+from repro.availability.generator import HostAvailability
+from repro.experiments.config import EmulationConfig, Strategy
+from repro.experiments.emulation import run_emulation_point
+from repro.runtime.cluster import ClusterConfig, build_cluster
+from repro.simulator.scenarios import (
+    ChaosCampaign,
+    DelayedRecovery,
+    FailureStorm,
+    FlappingNode,
+    GrayNode,
+    NetworkPartition,
+)
+
+#: node-00000..3 are the Table 2 interruption groups; 4..7 are dedicated.
+DEDICATED = ("node-00004", "node-00005", "node-00006")
+
+
+def run_primitive(scenario, replicas=1, monitor=False, seed=7, **kw):
+    campaign = ChaosCampaign(name=f"golden-{scenario.kind}", scenarios=(scenario,))
+    config = EmulationConfig(
+        node_count=8,
+        interrupted_ratio=0.5,
+        blocks_per_node=2.0,
+        seed=seed,
+        replication_monitor=monitor,
+    )
+    return run_emulation_point(
+        config, Strategy("adapt", replicas), audit="strict", chaos=campaign, **kw
+    )
+
+
+@pytest.mark.slow
+class TestGoldenPrimitives:
+    def test_failure_storm(self):
+        # Storm on the dedicated nodes (the interrupted groups are often
+        # already down, which would fold the outage away): 250s of
+        # correlated loss, replication 2 + monitor, so the re-replication
+        # lag metrics are exercised end to end.
+        result = run_primitive(
+            FailureStorm(start=40.0, duration=250.0, stagger=1.0, nodes=DEDICATED),
+            replicas=2,
+            monitor=True,
+        )
+        r = result.resilience
+        assert r.activations[0].targets == DEDICATED
+        assert r.makespan == 323.2957425730663
+        assert (r.interruptions, r.node_returns) == (52, 51)
+        assert r.detections == 17
+        assert r.mean_time_to_detect == 7.766668779619971
+        assert r.max_time_to_detect == 8.920292277198907
+        assert r.undetected_downs == 0
+        assert r.rereplications == 3
+        assert r.mean_time_to_rereplicate == 171.5031874307551
+        assert r.max_time_to_rereplicate == 241.1212714383978
+        assert r.unrecovered_blocks == 0
+
+    def test_flapping_node(self):
+        result = run_primitive(
+            FlappingNode(start=30.0, cycles=4, down_time=4.0, up_time=4.0, count=2)
+        )
+        r = result.resilience
+        assert r.activations[0].targets == ("node-00000", "node-00003")
+        assert r.makespan == 158.21772800000002
+        assert (r.interruptions, r.node_returns) == (31, 29)
+        assert r.detections == 9
+        assert r.mean_time_to_detect == 7.688210000206122
+        # 4s flaps sit under the 9s heartbeat timeout: at least one down
+        # was never detected before the run ended.
+        assert r.undetected_downs == 1
+
+    def test_network_partition(self):
+        result = run_primitive(
+            NetworkPartition(start=30.0, duration=50.0, isolate_heartbeats=True, count=2)
+        )
+        r = result.resilience
+        assert r.activations[0].targets == ("node-00000", "node-00003")
+        assert r.makespan == 167.626241028512
+        assert (r.interruptions, r.node_returns) == (29, 28)
+        assert r.detections == 10
+        assert r.mean_time_to_detect == 7.767146027273313
+        assert r.undetected_downs == 0
+
+    def test_gray_node(self):
+        result = run_primitive(
+            GrayNode(start=20.0, duration=120.0, link_factor=0.5, exec_factor=4.0, count=2)
+        )
+        r = result.resilience
+        assert r.activations[0].targets == ("node-00000", "node-00003")
+        assert r.makespan == 364.9591250239302
+        assert (r.interruptions, r.node_returns) == (58, 56)
+        assert r.detections == 17
+        assert r.mean_time_to_detect == 7.7090639122168225
+        assert r.undetected_downs == 1
+
+    def test_delayed_recovery(self):
+        result = run_primitive(
+            DelayedRecovery(start=0.0, duration=200.0, stretch=4.0, count=4)
+        )
+        r = result.resilience
+        assert r.activations[0].targets == (
+            "node-00000",
+            "node-00003",
+            "node-00001",
+            "node-00004",
+        )
+        assert r.makespan == 298.25196798601576
+        assert (r.interruptions, r.node_returns) == (40, 38)
+        assert r.detections == 9
+        assert r.mean_time_to_detect == 7.861459081604518
+        assert r.max_time_to_detect == 9.0
+        assert r.undetected_downs == 0
+
+
+class TestSeedStability:
+    def test_two_runs_produce_identical_reports(self):
+        scenario = NetworkPartition(
+            start=30.0, duration=50.0, isolate_heartbeats=True, count=2
+        )
+        first = run_primitive(scenario)
+        second = run_primitive(scenario)
+        assert first.resilience == second.resilience
+        assert first.resilience.to_json() == second.resilience.to_json()
+        assert first.elapsed == second.elapsed
+
+    def test_chaos_does_not_perturb_the_chaos_free_trajectory(self):
+        # A campaign armed entirely after the job finishes must leave the
+        # trajectory byte-identical to a run with no campaign at all: the
+        # chaos machinery adds no hidden RNG draws or event reorderings.
+        config = EmulationConfig(
+            node_count=8, interrupted_ratio=0.5, blocks_per_node=2.0, seed=7
+        )
+        plain = run_emulation_point(config, Strategy("adapt", 1))
+        idle = ChaosCampaign(
+            name="after-the-fact",
+            scenarios=(FailureStorm(start=1e7, duration=10.0, nodes=DEDICATED),),
+        )
+        shadowed = run_emulation_point(
+            config, Strategy("adapt", 1), audit="strict", chaos=idle
+        )
+        assert shadowed.elapsed == plain.elapsed
+        assert shadowed.breakdown == plain.breakdown
+        assert shadowed.data_locality == plain.data_locality
+
+
+class TestTraceReplay:
+    def test_campaign_runs_are_trace_byte_identical(self, tmp_path):
+        scenario = GrayNode(
+            start=20.0, duration=60.0, link_factor=0.5, exec_factor=4.0, count=2
+        )
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        run_primitive(scenario, trace_out=str(first))
+        run_primitive(scenario, trace_out=str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_trace_carries_scenario_specs(self, tmp_path):
+        scenario = NetworkPartition(
+            start=30.0, duration=50.0, isolate_heartbeats=True, count=2
+        )
+        out = tmp_path / "trace.jsonl"
+        run_primitive(scenario, trace_out=str(out))
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        started = [r for r in records if r["type"] == "ChaosScenarioStarted"]
+        ended = [r for r in records if r["type"] == "ChaosScenarioEnded"]
+        assert len(started) == 1 and len(ended) == 1
+        assert started[0]["payload"]["kind"] == "partition"
+        spec = json.loads(started[0]["payload"]["spec"])
+        assert spec == scenario.to_jsonable()
+        partitions = [r for r in records if r["type"] == "PartitionStarted"]
+        assert partitions and partitions[0]["payload"]["heartbeats_blocked"] is True
+
+
+class TestEngineLifecycle:
+    def build(self, campaign):
+        hosts = [HostAvailability(host_id=f"n{i}") for i in range(3)]
+        config = ClusterConfig(seed=1, chaos=campaign)
+        return build_cluster(hosts, config, default_gamma=10.0)
+
+    def test_start_is_idempotent(self):
+        campaign = ChaosCampaign(
+            name="idem", scenarios=(FailureStorm(start=5.0, duration=10.0, nodes=("n0",)),)
+        )
+        cluster = self.build(campaign)
+        assert len(cluster.chaos.activations) == 1
+        cluster.chaos.start()
+        assert len(cluster.chaos.activations) == 1
+        cluster.stop()
+
+    def test_stop_disarms_pending_scenarios(self):
+        campaign = ChaosCampaign(
+            name="disarm",
+            scenarios=(FailureStorm(start=50.0, duration=10.0, nodes=("n0",)),),
+        )
+        cluster = self.build(campaign)
+        cluster.sim.run(until=10.0)
+        cluster.stop()
+        cluster.sim.run(until=100.0)
+        assert not cluster.injector.is_down("n0")
+
+    def test_report_baseline_folding(self):
+        campaign = ChaosCampaign(
+            name="slo",
+            scenarios=(FailureStorm(start=5.0, duration=10.0, nodes=("n0",)),),
+            slo_factor=1.5,
+        )
+        cluster = self.build(campaign)
+        cluster.sim.run(until=30.0)
+        report = cluster.chaos.report(makespan=120.0)
+        folded = report.with_baseline(100.0)
+        assert folded.makespan_inflation == pytest.approx(1.2)
+        assert folded.slo_attained is True
+        blown = report.with_baseline(60.0)
+        assert blown.slo_attained is False
+        with pytest.raises(ValueError):
+            report.with_baseline(0.0)
+        cluster.stop()

@@ -254,3 +254,88 @@ class TestInjectorTeardown:
         sim.run(until=5000.0)
         assert len(rec.events) == fired_before
         assert not injector.is_permanently_failed("h0")
+
+
+class TestIdempotentTransitions:
+    """Overlapping injected outages must not double-publish or double-count."""
+
+    def test_overlapping_outages_publish_one_down_up_pair(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        injector.attach_host(HostAvailability(host_id="h0"))
+        injector.schedule_outage(["h0"], start=10.0, duration=20.0)
+        injector.schedule_outage(["h0"], start=15.0, duration=30.0)
+        sim.run(until=100.0)
+        # The second outage folds into the first (the node was already
+        # down); its end event is never armed, so exactly one pair fires.
+        assert rec.events == [("down", "h0", 10.0), ("up", "h0", 30.0)]
+        assert injector.episode_count("h0") == 1
+        assert injector.downtime_total("h0") == pytest.approx(20.0)
+
+    def test_outage_overlapping_stream_episode_keeps_stream_alive(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        trace = AvailabilityTrace("t0", 1000.0, [(10.0, 30.0), (60.0, 70.0)])
+        injector.attach_trace(trace)
+        injector.schedule_outage(["t0"], start=5.0, duration=10.0)
+        sim.run(until=1000.0)
+        downs = [e for e in rec.events if e[0] == "down"]
+        ups = [e for e in rec.events if e[0] == "up"]
+        # The stream's (10,30) episode folds into the injected (5,15)
+        # outage, yet the stream keeps advancing to its (60,70) episode.
+        assert downs == [("down", "t0", 5.0), ("down", "t0", 60.0)]
+        assert ups == [("up", "t0", 15.0), ("up", "t0", 70.0)]
+        assert not injector.is_down("t0")
+
+    def test_downtime_accounts_actual_elapsed_window(self):
+        sim, injector = make_injector()
+        injector.attach_trace(AvailabilityTrace("t0", 1000.0, [(10.0, 30.0)]))
+        sim.run(until=1000.0)
+        assert injector.downtime_total("t0") == pytest.approx(20.0)
+
+
+class TestRecoveryStretch:
+    def test_stretch_applies_to_episodes_beginning_inside_window(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        injector.attach_trace(AvailabilityTrace("t0", 1000.0, [(10.0, 20.0)]))
+        injector.set_recovery_stretch("t0", 3.0)
+        sim.run(until=1000.0)
+        # Sampled 10s of downtime, served 30s.
+        assert rec.events == [("down", "t0", 10.0), ("up", "t0", 40.0)]
+        assert injector.downtime_total("t0") == pytest.approx(30.0)
+
+    def test_stretch_spares_episode_already_in_progress(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        injector.attach_trace(AvailabilityTrace("t0", 1000.0, [(10.0, 20.0)]))
+        sim.schedule_at(15.0, lambda: injector.set_recovery_stretch("t0", 5.0))
+        sim.run(until=1000.0)
+        assert rec.events == [("down", "t0", 10.0), ("up", "t0", 20.0)]
+
+    def test_cleared_stretch_restores_sampled_durations(self):
+        sim, injector = make_injector()
+        rec = Recorder()
+        injector.subscribe(rec.down, rec.up)
+        injector.attach_trace(
+            AvailabilityTrace("t0", 1000.0, [(10.0, 20.0), (100.0, 110.0)])
+        )
+        injector.set_recovery_stretch("t0", 2.0)
+        sim.schedule_at(50.0, lambda: injector.clear_recovery_stretch("t0"))
+        sim.run(until=1000.0)
+        ups = [e for e in rec.events if e[0] == "up"]
+        assert ups == [("up", "t0", 30.0), ("up", "t0", 110.0)]
+
+    def test_stretch_validation(self):
+        _, injector = make_injector()
+        injector.attach_host(HostAvailability(host_id="h0"))
+        with pytest.raises(ValueError):
+            injector.set_recovery_stretch("h0", 0.5)
+        with pytest.raises(KeyError):
+            injector.set_recovery_stretch("ghost", 2.0)
+        # Clearing an unset stretch is a no-op.
+        injector.clear_recovery_stretch("h0")
