@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Sequence, Tuple
 
+from repro.core.ids import NodeId
 from repro.util.rng import RandomSource
 
 _CHAIN_WEIGHTINGS = ("rate", "overlap")
@@ -48,7 +49,7 @@ class WeightedHashTable:
 
     def __init__(
         self,
-        node_ids: Sequence[str],
+        node_ids: Sequence[NodeId],
         rates: Sequence[float],
         num_slots: int,
         chain_weighting: str = "rate",
@@ -109,18 +110,18 @@ class WeightedHashTable:
         return self._num_slots
 
     @property
-    def node_ids(self) -> List[str]:
+    def node_ids(self) -> List[NodeId]:
         return list(self._node_ids)
 
-    def rate(self, node_id: str) -> float:
+    def rate(self, node_id: NodeId) -> float:
         """The normalised placement rate of a node."""
         return self._rates[self._node_ids.index(node_id)]
 
-    def expected_blocks(self, node_id: str) -> float:
+    def expected_blocks(self, node_id: NodeId) -> float:
         """``w_i = m * rate_i``: expected blocks allocated to the node."""
         return self.rate(node_id) * self._num_slots
 
-    def chain(self, slot: int) -> List[str]:
+    def chain(self, slot: int) -> List[NodeId]:
         """The node chain stored at a hash-table key (collision list)."""
         return [self._node_ids[i] for i, _overlap in self._slots[slot]]
 
@@ -130,7 +131,7 @@ class WeightedHashTable:
 
     # -- dataPlacement ----------------------------------------------------------
 
-    def place(self, rng: RandomSource) -> str:
+    def place(self, rng: RandomSource) -> NodeId:
         """One ``dataPlacement`` draw: returns the selected node id."""
         r = rng.randrange(self._num_slots)
         chain = self._slots[r]
@@ -151,11 +152,11 @@ class WeightedHashTable:
         # r1 landed on the floating-point residue past the last boundary.
         return self._node_ids[chain[-1][0]]
 
-    def place_many(self, rng: RandomSource, count: int) -> List[str]:
+    def place_many(self, rng: RandomSource, count: int) -> List[NodeId]:
         """Draw ``count`` placements."""
         return [self.place(rng) for _ in range(count)]
 
-    def selection_probabilities(self) -> Dict[str, float]:
+    def selection_probabilities(self) -> Dict[NodeId, float]:
         """Exact per-node selection probability of :meth:`place`.
 
         Computed by summing, over slots, P(slot) * P(node | chain). With
@@ -181,7 +182,7 @@ class WeightedHashTable:
     @classmethod
     def from_expected_times(
         cls,
-        node_ids: Sequence[str],
+        node_ids: Sequence[NodeId],
         expected_times: Sequence[float],
         num_blocks: int,
         chain_weighting: str = "rate",

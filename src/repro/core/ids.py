@@ -1,0 +1,69 @@
+"""Dense integer node identities.
+
+The scale kernel keys every hot structure — event routing, failure
+streams, replica maps, scheduler tables — by a dense ``int`` node id
+instead of the host-name string. Integers hash and compare faster than
+strings, dedupe per-event allocations (small ints are interned by
+CPython), and make per-node arrays possible; names survive only at the
+reporting/CLI boundary, translated through the cluster's
+:class:`NodeIds` table.
+
+Determinism note: ids are assigned in host registration order, and every
+generated population names hosts with zero-padded indices
+(``node-00042``, ``seti-000042``), so sorting by int id and sorting by
+name agree everywhere a golden trajectory depends on ordering. RNG
+substreams stay keyed by *name* (``("failures", "seti-000042")``) —
+identical draws whatever the in-memory identity representation is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+#: A dense node identity. Plain ``int`` (no NewType): node ids flow
+#: through dict keys, event fields, and sort calls at very high volume,
+#: and a wrapper would cost exactly the indirection this layer removes.
+NodeId = int
+
+
+class NodeIds:
+    """Bidirectional name <-> dense-id table (ids assigned in intern order)."""
+
+    __slots__ = ("_by_name", "_names")
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, NodeId] = {}
+        self._names: List[str] = []
+
+    def intern(self, name: str) -> NodeId:
+        """Return the id for ``name``, assigning the next dense id if new."""
+        node_id = self._by_name.get(name)
+        if node_id is None:
+            node_id = len(self._names)
+            self._by_name[name] = node_id
+            self._names.append(name)
+        return node_id
+
+    def id_of(self, name: str) -> NodeId:
+        """The id of an interned name; KeyError if never interned."""
+        return self._by_name[name]
+
+    def name_of(self, node_id: NodeId) -> str:
+        """The name behind an id; IndexError for unassigned ids."""
+        return self._names[node_id]
+
+    def names(self) -> List[str]:
+        """All interned names, in id order (a copy)."""
+        return list(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(range(len(self._names)))
+
+    def __repr__(self) -> str:
+        return f"NodeIds({len(self._names)} nodes)"

@@ -26,6 +26,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.ids import NodeId
 from repro.availability.estimators import AvailabilityEstimate
 from repro.core.hashtable import WeightedHashTable
 from repro.core.model import UnstableHostError, expected_task_time
@@ -45,7 +46,7 @@ class NodeView:
     receiving new blocks (they cannot accept a transfer).
     """
 
-    node_id: str
+    node_id: NodeId
     estimate: AvailabilityEstimate
     is_up: bool = True
 
@@ -70,7 +71,7 @@ class PlacementPlan(ABC):
             )
         self._num_blocks = int(num_blocks)
         self._replication = replication
-        self._allocated: Dict[str, int] = {n.node_id: 0 for n in self._nodes}
+        self._allocated: Dict[NodeId, int] = {n.node_id: 0 for n in self._nodes}
 
     @property
     def num_blocks(self) -> int:
@@ -81,23 +82,23 @@ class PlacementPlan(ABC):
         return self._replication
 
     @property
-    def eligible_nodes(self) -> List[str]:
+    def eligible_nodes(self) -> List[NodeId]:
         """Nodes the plan may still place blocks on."""
         return [n.node_id for n in self._nodes if not self._at_capacity(n.node_id)]
 
-    def allocation(self, node_id: str) -> int:
+    def allocation(self, node_id: NodeId) -> int:
         """Blocks (replica-inclusive) placed on the node by this plan."""
         return self._allocated.get(node_id, 0)
 
-    def allocations(self) -> Dict[str, int]:
+    def allocations(self) -> Dict[NodeId, int]:
         """Copy of all allocation counters."""
         return dict(self._allocated)
 
-    def _at_capacity(self, node_id: str) -> bool:
+    def _at_capacity(self, node_id: NodeId) -> bool:
         cap = self._capacity(node_id)
         return cap is not None and self._allocated[node_id] >= cap
 
-    def _capacity(self, node_id: str) -> Optional[int]:
+    def _capacity(self, node_id: NodeId) -> Optional[int]:
         """Per-node block cap, or None for uncapped plans."""
         return None
 
@@ -105,7 +106,7 @@ class PlacementPlan(ABC):
     def _draw(self, rng: RandomSource) -> str:
         """Draw one candidate node (may be repeated/capped; caller filters)."""
 
-    def choose_replicas(self, rng: RandomSource, count: Optional[int] = None) -> List[str]:
+    def choose_replicas(self, rng: RandomSource, count: Optional[int] = None) -> List[NodeId]:
         """Choose ``count`` distinct nodes for one block and record them.
 
         Rejection-samples the policy's distribution, skipping duplicates
@@ -114,7 +115,7 @@ class PlacementPlan(ABC):
         nodes, so ingest always completes.
         """
         k = self._replication if count is None else count
-        chosen: List[str] = []
+        chosen: List[NodeId] = []
         draws = 0
         while len(chosen) < k and draws < _MAX_DRAWS:
             draws += 1
@@ -176,7 +177,7 @@ class _WeightedPlan(PlacementPlan):
         self._table_nodes: List[NodeView] = []
         self._rebuild_table()
 
-    def _capacity(self, node_id: str) -> Optional[int]:
+    def _capacity(self, node_id: NodeId) -> Optional[int]:
         if not self._capped:
             return None
         # Threshold m(k+1)/n over the *original* population size n.
@@ -202,7 +203,7 @@ class _WeightedPlan(PlacementPlan):
         )
         self._table_nodes = members
 
-    def expected_share(self, node_id: str) -> float:
+    def expected_share(self, node_id: NodeId) -> float:
         """Current expected fraction of placements going to ``node_id``."""
         if self._table is None or node_id not in [n.node_id for n in self._table_nodes]:
             return 0.0
@@ -214,7 +215,7 @@ class _WeightedPlan(PlacementPlan):
             return self._nodes[rng.randrange(len(self._nodes))].node_id
         return self._table.place(rng)
 
-    def choose_replicas(self, rng: RandomSource, count: Optional[int] = None) -> List[str]:
+    def choose_replicas(self, rng: RandomSource, count: Optional[int] = None) -> List[NodeId]:
         chosen = super().choose_replicas(rng, count)
         if self._capped and any(self._at_capacity(n.node_id) for n in self._table_nodes):
             self._rebuild_table()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from repro.core.ids import NodeId
 from repro.availability.estimators import (
     AvailabilityEstimate,
     InterruptionStatsEstimator,
@@ -43,12 +44,12 @@ class PerformancePredictor:
         self._prior_mtbi = prior_mtbi
         self._prior_recovery = prior_recovery
         self._prior_weight = prior_weight
-        self._estimators: Dict[str, InterruptionStatsEstimator] = {}
-        self._oracle: Dict[str, AvailabilityEstimate] = {}
+        self._estimators: Dict[NodeId, InterruptionStatsEstimator] = {}
+        self._oracle: Dict[NodeId, AvailabilityEstimate] = {}
 
     # -- registration ---------------------------------------------------------
 
-    def register_node(self, node_id: str) -> None:
+    def register_node(self, node_id: NodeId) -> None:
         """Start tracking a node (idempotent)."""
         if node_id not in self._estimators:
             self._estimators[node_id] = InterruptionStatsEstimator(
@@ -57,22 +58,22 @@ class PerformancePredictor:
                 prior_weight=self._prior_weight,
             )
 
-    def pin_oracle(self, node_id: str, estimate: AvailabilityEstimate) -> None:
+    def pin_oracle(self, node_id: NodeId, estimate: AvailabilityEstimate) -> None:
         """Pin the true parameters for a node (oracle mode for that node)."""
         self.register_node(node_id)
         self._oracle[node_id] = estimate
 
-    def unpin_oracle(self, node_id: str) -> None:
+    def unpin_oracle(self, node_id: NodeId) -> None:
         """Return a node to estimated mode."""
         self._oracle.pop(node_id, None)
 
     @property
-    def node_ids(self) -> List[str]:
+    def node_ids(self) -> List[NodeId]:
         return sorted(self._estimators)
 
     # -- observation feed (called by the heartbeat collector) ------------------
 
-    def observe_uptime(self, node_id: str, seconds: float) -> None:
+    def observe_uptime(self, node_id: NodeId, seconds: float) -> None:
         """Fold in observed uptime for a node.
 
         Auto-registers unknown nodes: the heartbeat collector may report a
@@ -82,7 +83,7 @@ class PerformancePredictor:
         self.register_node(node_id)
         self._estimators[node_id].record_uptime(seconds)
 
-    def observe_downtime(self, node_id: str, seconds: float) -> None:
+    def observe_downtime(self, node_id: NodeId, seconds: float) -> None:
         """Fold in one completed downtime episode for a node.
 
         Auto-registers unknown nodes, like :meth:`observe_uptime`.
@@ -90,20 +91,20 @@ class PerformancePredictor:
         self.register_node(node_id)
         self._estimators[node_id].record_downtime(seconds)
 
-    def _require(self, node_id: str) -> None:
+    def _require(self, node_id: NodeId) -> None:
         if node_id not in self._estimators:
             raise KeyError(f"node {node_id!r} is not registered with the predictor")
 
     # -- predictions ------------------------------------------------------------
 
-    def estimate(self, node_id: str) -> AvailabilityEstimate:
+    def estimate(self, node_id: NodeId) -> AvailabilityEstimate:
         """Current availability estimate for a node (oracle wins if pinned)."""
         self._require(node_id)
         if node_id in self._oracle:
             return self._oracle[node_id]
         return self._estimators[node_id].estimate()
 
-    def expected_task_time(self, node_id: str, gamma: float) -> float:
+    def expected_task_time(self, node_id: NodeId, gamma: float) -> float:
         """E[T] on the node for a task of failure-free length gamma.
 
         Unstable nodes (lambda*mu >= 1) have no finite E[T]; infinity is
@@ -118,7 +119,7 @@ class PerformancePredictor:
 
     def node_views(
         self,
-        up_nodes: Optional[Iterable[str]] = None,
+        up_nodes: Optional[Iterable[NodeId]] = None,
     ) -> List[NodeView]:
         """Placement-ready views of every registered node.
 
@@ -137,6 +138,6 @@ class PerformancePredictor:
             )
         return views
 
-    def snapshot(self) -> Dict[str, AvailabilityEstimate]:
+    def snapshot(self) -> Dict[NodeId, AvailabilityEstimate]:
         """All current estimates keyed by node id."""
         return {node_id: self.estimate(node_id) for node_id in self.node_ids}

@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Set
 
+from repro.core.ids import NodeId
 from repro.core.placement import NodeView, PlacementPolicy
 from repro.util.rng import RandomSource
 
@@ -27,8 +28,8 @@ class RebalanceMove:
     """Relocate one replica of ``block_id`` from ``source`` to ``destination``."""
 
     block_id: str
-    source: str
-    destination: str
+    source: NodeId
+    destination: NodeId
 
     def __post_init__(self) -> None:
         if self.source == self.destination:
@@ -41,7 +42,7 @@ def target_counts(
     num_blocks: int,
     replication: int,
     gamma: float,
-) -> Dict[str, int]:
+) -> Dict[NodeId, int]:
     """Integer per-node replica targets implied by a policy's weights.
 
     Builds a fresh plan and reads its expected shares (for weighted plans)
@@ -51,7 +52,7 @@ def target_counts(
     plan = policy.build_plan(nodes, num_blocks, replication, gamma)
     up_nodes = [n for n in nodes if n.is_up]
     total = num_blocks * replication
-    shares: Dict[str, float] = {}
+    shares: Dict[NodeId, float] = {}
     for view in up_nodes:
         expected = getattr(plan, "expected_share", None)
         if expected is None:
@@ -77,7 +78,7 @@ def target_counts(
 
 
 def plan_rebalance(
-    replica_map: Mapping[str, Sequence[str]],
+    replica_map: Mapping[str, Sequence[NodeId]],
     policy: PlacementPolicy,
     nodes: Sequence[NodeView],
     gamma: float,
@@ -100,9 +101,9 @@ def plan_rebalance(
         raise ValueError("blocks must have at least one replica")
 
     targets = target_counts(policy, nodes, len(replica_map), replication, gamma)
-    current: Dict[str, int] = {node_id: 0 for node_id in targets}
-    holders_of: Dict[str, Set[str]] = {}
-    blocks_on: Dict[str, List[str]] = {node_id: [] for node_id in targets}
+    current: Dict[NodeId, int] = {node_id: 0 for node_id in targets}
+    holders_of: Dict[str, Set[NodeId]] = {}
+    blocks_on: Dict[NodeId, List[str]] = {node_id: [] for node_id in targets}
     for block_id, holders in replica_map.items():
         if len(set(holders)) != len(holders):
             raise ValueError(f"block {block_id!r} has co-located replicas")
@@ -137,10 +138,10 @@ def plan_rebalance(
 
 
 def _pick_receiver(
-    surplus: Dict[str, int],
-    exclude: Set[str],
+    surplus: Dict[NodeId, int],
+    exclude: Set[NodeId],
     rng: RandomSource,
-) -> "str | None":
+) -> "NodeId | None":
     """Most-under-target node that doesn't already hold the block."""
     candidates = [n for n, s in surplus.items() if s < 0 and n not in exclude]
     if not candidates:

@@ -14,7 +14,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.devtools.simlint.busgraph import BusGraph, ClassInfo
+from repro.devtools.simlint.busgraph import BusGraph, ClassInfo, _dotted
 from repro.devtools.simlint.diagnostics import Finding
 from repro.devtools.simlint.registry import ModuleContext, ProjectRule, register
 
@@ -203,6 +203,80 @@ class HandlerSignatureMismatch(ProjectRule):
             return (func, True) if func is not None else None
         func = functions.get((getattr(site, "module", ""), handler_name))
         return (func, False) if func is not None else None
+
+
+@register
+class UnslottedEvent(ProjectRule):
+    """C005: an Event-derived dataclass without ``slots``.
+
+    Events are the highest-volume allocations in a run (one per bus
+    dispatch, hundreds of thousands at the 226k-node scale); an event
+    carrying a ``__dict__`` roughly doubles its footprint and slows every
+    field read. Dataclass events must therefore opt into slots — either
+    ``@dataclass(slots=True)`` (3.10+) or an explicit ``__slots__``
+    assignment in the class body.
+    """
+
+    code = "C005"
+    summary = "Event dataclass without slots=True or __slots__"
+
+    def check_project(
+        self, modules: List[ModuleContext], graph: BusGraph
+    ) -> Iterator[Tuple[ModuleContext, Finding]]:
+        for name in sorted(graph.events):
+            info = graph.classes.get(name)
+            if info is None:
+                continue
+            if not self._is_dataclass(info.node):
+                continue  # hand-rolled classes manage their own layout
+            if self._has_slots(info.node):
+                continue
+            module = _module_by_path(modules, info.module)
+            if module is None:
+                continue
+            yield (
+                module,
+                Finding(
+                    info.line,
+                    0,
+                    f"event dataclass {name} has no slots: add slots=True to "
+                    "@dataclass (or define __slots__) — per-event __dict__ "
+                    "allocations dominate dispatch at scale",
+                ),
+            )
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            if _dotted(target) in ("dataclass", "dataclasses.dataclass"):
+                return True
+        return False
+
+    @staticmethod
+    def _has_slots(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            if _dotted(decorator.func) not in ("dataclass", "dataclasses.dataclass"):
+                continue
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "slots"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return True
+        for item in node.body:
+            targets = []
+            if isinstance(item, ast.Assign):
+                targets = item.targets
+            elif isinstance(item, ast.AnnAssign):
+                targets = [item.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        return False
 
 
 def _find_method(info: ClassInfo, graph: BusGraph) -> Dict[str, ast.FunctionDef]:

@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core.ids import NodeId
 from repro.core.placement import AdaptPlacement, PlacementPolicy, RandomPlacement
 from repro.core.rebalance import RebalanceMove
 from repro.hdfs.blocks import DfsFile
@@ -153,7 +154,7 @@ class DfsClient:
         """Delete a file."""
         self._namenode.delete_file(name)
 
-    def block_distribution(self, name: str) -> Dict[str, int]:
+    def block_distribution(self, name: str) -> Dict[NodeId, int]:
         """Replica count per node for a file."""
         return self._namenode.block_distribution(name)
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
+from repro.core.ids import NodeId
 from repro.hdfs.blocks import Block
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -25,8 +26,16 @@ class DataNode:
     Storage is passive — it schedules nothing — so start/stop are no-ops.
     """
 
-    def __init__(self, node_id: str, capacity_bytes: Optional[int] = None) -> None:
-        self.name = f"datanode:{node_id}"
+    def __init__(
+        self,
+        node_id: NodeId,
+        capacity_bytes: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        #: Service-registry name: human-readable at the reporting boundary,
+        #: so wired clusters pass the host *name* even though runtime
+        #: routing keys on the dense int id.
+        self.name = name if name is not None else f"datanode:{node_id}"
         self._node_id = node_id
         self._capacity = capacity_bytes
         self._blocks: Dict[str, Block] = {}
@@ -50,7 +59,7 @@ class DataNode:
         }
 
     @property
-    def node_id(self) -> str:
+    def node_id(self) -> NodeId:
         return self._node_id
 
     @property

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.core.ids import NodeId
 from repro.core.predictor import PerformancePredictor
 from repro.hdfs.namenode import NameNode
 from repro.simulator.engine import EventHandle, Simulator
@@ -57,14 +58,14 @@ class HeartbeatService:
         if miss_threshold < 1:
             raise ValueError(f"miss_threshold must be >= 1, got {miss_threshold}")
         self._miss_threshold = miss_threshold
-        self._last_beat: Dict[str, float] = {}
-        self._beat_events: Dict[str, Optional[EventHandle]] = {}
-        self._watchdogs: Dict[str, Optional[EventHandle]] = {}
-        self._down_since: Dict[str, Optional[float]] = {}
-        self._is_up: Dict[str, bool] = {}
+        self._last_beat: Dict[NodeId, float] = {}
+        self._beat_events: Dict[NodeId, Optional[EventHandle]] = {}
+        self._watchdogs: Dict[NodeId, Optional[EventHandle]] = {}
+        self._down_since: Dict[NodeId, Optional[float]] = {}
+        self._is_up: Dict[NodeId, bool] = {}
         #: Nodes whose beats are lost in transit (chaos partitions with
         #: heartbeats blocked); counted so overlapping partitions nest.
-        self._suppress_counts: Dict[str, int] = {}
+        self._suppress_counts: Dict[NodeId, int] = {}
         self._on_dead: List[Callable[[str, float], None]] = []
         self._on_returned: List[Callable[[str, float], None]] = []
 
@@ -94,7 +95,7 @@ class HeartbeatService:
 
     # -- wiring -----------------------------------------------------------------
 
-    def track(self, node_id: str) -> None:
+    def track(self, node_id: NodeId) -> None:
         """Start heartbeating for a node (assumed up now)."""
         if node_id in self._is_up:
             raise ValueError(f"node {node_id!r} already tracked")
@@ -106,7 +107,7 @@ class HeartbeatService:
         self._schedule_beat(node_id)
         self._arm_watchdog(node_id)
 
-    def untrack(self, node_id: str) -> None:
+    def untrack(self, node_id: NodeId) -> None:
         """Stop heartbeating for one node and disarm its events.
 
         Idempotent; use for nodes leaving the cluster for good (e.g. a
@@ -142,7 +143,7 @@ class HeartbeatService:
             "miss_threshold": self._miss_threshold,
         }
 
-    def is_tracked(self, node_id: str) -> bool:
+    def is_tracked(self, node_id: NodeId) -> bool:
         return node_id in self._is_up
 
     @property
@@ -163,7 +164,7 @@ class HeartbeatService:
         it fire forever."""
         self.untrack(event.node_id)
 
-    def node_down(self, node_id: str, time: float) -> None:
+    def node_down(self, node_id: NodeId, time: float) -> None:
         """Physical interruption: beats stop (injector callback).
 
         Idempotent: a second down for an already-down node (overlapping
@@ -179,7 +180,7 @@ class HeartbeatService:
             event.cancel()
             self._beat_events[node_id] = None
 
-    def node_up(self, node_id: str, time: float) -> None:
+    def node_up(self, node_id: NodeId, time: float) -> None:
         """Physical return: beat immediately, then resume the cadence.
 
         Idempotent: an up for an already-up node is ignored instead of
@@ -206,7 +207,7 @@ class HeartbeatService:
         for node_id in event.members:
             self.unsuppress(node_id)
 
-    def suppress(self, node_id: str) -> None:
+    def suppress(self, node_id: NodeId) -> None:
         """Drop the node's beats in transit (it keeps running)."""
         if node_id not in self._is_up:
             return
@@ -219,7 +220,7 @@ class HeartbeatService:
             event.cancel()
             self._beat_events[node_id] = None
 
-    def unsuppress(self, node_id: str) -> None:
+    def unsuppress(self, node_id: NodeId) -> None:
         """Let the node's beats through again (idempotent).
 
         If the node is physically up, it beats immediately — the collector
@@ -238,12 +239,12 @@ class HeartbeatService:
 
     # -- internals ------------------------------------------------------------------
 
-    def _schedule_beat(self, node_id: str) -> None:
+    def _schedule_beat(self, node_id: NodeId) -> None:
         self._beat_events[node_id] = self._sim.schedule(
             self._interval, lambda: self._beat(node_id), label=f"beat:{node_id}"
         )
 
-    def _beat(self, node_id: str, returning: bool = False) -> None:
+    def _beat(self, node_id: NodeId, returning: bool = False) -> None:
         if not self._is_up.get(node_id, False):
             return
         if self._suppress_counts.get(node_id):
@@ -268,7 +269,7 @@ class HeartbeatService:
         self._schedule_beat(node_id)
         self._arm_watchdog(node_id)
 
-    def _arm_watchdog(self, node_id: str) -> None:
+    def _arm_watchdog(self, node_id: NodeId) -> None:
         old = self._watchdogs.get(node_id)
         if old is not None:
             old.cancel()
@@ -277,7 +278,7 @@ class HeartbeatService:
             deadline, lambda: self._check_timeout(node_id), label=f"watchdog:{node_id}"
         )
 
-    def _check_timeout(self, node_id: str) -> None:
+    def _check_timeout(self, node_id: NodeId) -> None:
         if node_id not in self._is_up:
             return  # untracked while the watchdog was in flight
         self._watchdogs[node_id] = None

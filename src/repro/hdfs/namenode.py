@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.ids import NodeId
 from repro.core.placement import NodeView, PlacementPolicy
 from repro.core.predictor import PerformancePredictor
 from repro.core.rebalance import RebalanceMove, plan_rebalance
@@ -36,11 +37,11 @@ class NameNode:
         """
         self._predictor = predictor if predictor is not None else PerformancePredictor()
         self._placement_liveness_filter = placement_liveness_filter
-        self._datanodes: Dict[str, DataNode] = {}
+        self._datanodes: Dict[NodeId, DataNode] = {}
         self._files: Dict[str, DfsFile] = {}
         self._blocks: Dict[str, Block] = {}
-        self._locations: Dict[str, Set[str]] = {}
-        self._live: Dict[str, bool] = {}
+        self._locations: Dict[str, Set[NodeId]] = {}
+        self._live: Dict[NodeId, bool] = {}
 
     # -- membership -------------------------------------------------------------
 
@@ -59,31 +60,31 @@ class NameNode:
         self._predictor.register_node(node_id)
 
     @property
-    def datanode_ids(self) -> List[str]:
+    def datanode_ids(self) -> List[NodeId]:
         return sorted(self._datanodes)
 
-    def datanode(self, node_id: str) -> DataNode:
+    def datanode(self, node_id: NodeId) -> DataNode:
         return self._datanodes[node_id]
 
     # -- liveness (the NameNode's belief) ------------------------------------------
 
-    def mark_dead(self, node_id: str) -> None:
+    def mark_dead(self, node_id: NodeId) -> None:
         """Believe the node is gone (heartbeat timeout or oracle event)."""
         self._require_node(node_id)
         self._live[node_id] = False
 
-    def mark_alive(self, node_id: str) -> None:
+    def mark_alive(self, node_id: NodeId) -> None:
         """Believe the node returned."""
         self._require_node(node_id)
         self._live[node_id] = True
 
-    def is_live(self, node_id: str) -> bool:
+    def is_live(self, node_id: NodeId) -> bool:
         return self._live[node_id]
 
-    def live_nodes(self) -> List[str]:
+    def live_nodes(self) -> List[NodeId]:
         return sorted(n for n, live in self._live.items() if live)
 
-    def _require_node(self, node_id: str) -> None:
+    def _require_node(self, node_id: NodeId) -> None:
         if node_id not in self._datanodes:
             raise KeyError(f"unknown datanode {node_id!r}")
 
@@ -147,22 +148,22 @@ class NameNode:
 
     # -- block locations ---------------------------------------------------------------
 
-    def replica_holders(self, block_id: str) -> Set[str]:
+    def replica_holders(self, block_id: str) -> Set[NodeId]:
         """All nodes holding a replica (regardless of liveness)."""
         if block_id not in self._locations:
             raise KeyError(f"no such block {block_id!r}")
         return set(self._locations[block_id])
 
-    def up_holders(self, block_id: str) -> List[str]:
+    def up_holders(self, block_id: str) -> List[NodeId]:
         """Replica holders currently believed live, in sorted order."""
         return sorted(n for n in self.replica_holders(block_id) if self._live[n])
 
-    def blocks_on(self, node_id: str) -> Set[str]:
+    def blocks_on(self, node_id: NodeId) -> Set[str]:
         """Block ids stored on one node."""
         self._require_node(node_id)
         return self._datanodes[node_id].block_ids()
 
-    def location_snapshot(self) -> Dict[str, Set[str]]:
+    def location_snapshot(self) -> Dict[str, Set[NodeId]]:
         """Copy of the whole location map (block id -> holder set).
 
         For auditing: callers get an isolated snapshot they can compare
@@ -170,16 +171,16 @@ class NameNode:
         """
         return {block_id: set(holders) for block_id, holders in self._locations.items()}
 
-    def block_distribution(self, name: str) -> Dict[str, int]:
+    def block_distribution(self, name: str) -> Dict[NodeId, int]:
         """Replica count per node for one file (the ``df``-style view)."""
         dfs_file = self.file(name)
-        counts: Dict[str, int] = {node_id: 0 for node_id in self._datanodes}
+        counts: Dict[NodeId, int] = {node_id: 0 for node_id in self._datanodes}
         for block in dfs_file.blocks:
             for node_id in self._locations[block.block_id]:
                 counts[node_id] += 1
         return counts
 
-    def replica_map(self, name: str) -> Dict[str, List[str]]:
+    def replica_map(self, name: str) -> Dict[str, List[NodeId]]:
         """block id -> sorted holders for one file."""
         dfs_file = self.file(name)
         return {
@@ -187,7 +188,7 @@ class NameNode:
             for block in dfs_file.blocks
         }
 
-    def located_on(self, node_id: str) -> List[str]:
+    def located_on(self, node_id: NodeId) -> List[str]:
         """Block ids whose *metadata* lists the node as a holder.
 
         Unlike :meth:`blocks_on` this reads the location map, not the
@@ -219,14 +220,14 @@ class NameNode:
                 shortfall[block_id] = live
         return shortfall
 
-    def add_replica(self, block_id: str, node_id: str) -> None:
+    def add_replica(self, block_id: str, node_id: NodeId) -> None:
         """Materialise a new replica (re-replication landed)."""
         block = self.block(block_id)
         if node_id in self._locations[block_id]:
             raise ValueError(f"{node_id} already holds {block_id}")
         self._store_replica(block, node_id)
 
-    def remove_replica(self, block_id: str, node_id: str) -> None:
+    def remove_replica(self, block_id: str, node_id: NodeId) -> None:
         """Drop one replica (over-replication garbage collection).
 
         Refuses to remove the last recorded replica — durability GC must
@@ -238,7 +239,7 @@ class NameNode:
             raise ValueError(f"refusing to remove the last replica of {block_id}")
         self._remove_replica(block_id, node_id)
 
-    def purge_node(self, node_id: str) -> Tuple[List[str], List[str]]:
+    def purge_node(self, node_id: NodeId) -> Tuple[List[str], List[str]]:
         """Erase every replica the node held from the location map.
 
         Called when a node's loss is known to be permanent (its disk is
@@ -259,12 +260,12 @@ class NameNode:
                 lost.append(block_id)
         return affected, lost
 
-    def _store_replica(self, block: Block, node_id: str) -> None:
+    def _store_replica(self, block: Block, node_id: NodeId) -> None:
         self._require_node(node_id)
         self._datanodes[node_id].store(block)
         self._locations[block.block_id].add(node_id)
 
-    def _remove_replica(self, block_id: str, node_id: str) -> None:
+    def _remove_replica(self, block_id: str, node_id: NodeId) -> None:
         self._datanodes[node_id].remove(block_id)
         self._locations[block_id].discard(node_id)
 

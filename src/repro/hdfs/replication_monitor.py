@@ -40,6 +40,7 @@ import heapq
 import itertools
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.core.ids import NodeId
 from repro.hdfs.namenode import NameNode
 from repro.simulator.engine import EventHandle, Simulator
 from repro.simulator.events import (
@@ -104,7 +105,7 @@ class ReplicationMonitor:
         self._seq = itertools.count()
         self._queued: Set[str] = set()
         self._inflight: Dict[str, Transfer] = {}
-        self._inflight_target: Dict[str, str] = {}
+        self._inflight_target: Dict[str, NodeId] = {}
         self._retries: Dict[str, int] = {}
         self._retry_events: Dict[str, EventHandle] = {}
         self._self_cancelled: Set[str] = set()
@@ -138,7 +139,7 @@ class ReplicationMonitor:
         """Bus handler (STORAGE phase): a believed-dead holder is back."""
         self.on_node_returned(event.node_id, event.time)
 
-    def on_node_dead(self, node_id: str, time: float) -> None:
+    def on_node_dead(self, node_id: NodeId, time: float) -> None:
         """Failure detection fired: queue the dead node's blocks.
 
         For a permanent loss the node is first purged from the location
@@ -162,7 +163,7 @@ class ReplicationMonitor:
             self._consider(block_id)
         self._pump()
 
-    def on_node_returned(self, node_id: str, time: float) -> None:
+    def on_node_returned(self, node_id: NodeId, time: float) -> None:
         """A believed-dead holder came back: drop redundant work, GC.
 
         In-flight copies whose block is no longer under-replicated are

@@ -11,6 +11,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.ids import NodeId
 from repro.hdfs.blocks import Block, DfsFile
 from repro.util.validation import check_non_negative, check_positive
 
@@ -77,12 +78,12 @@ class TaskAttempt:
 
     attempt_id: str
     task: "MapTask"
-    node_id: str
+    node_id: NodeId
     local: bool
     speculative: bool
     created_at: float
     state: AttemptState = AttemptState.FETCHING
-    source_node: Optional[str] = None
+    source_node: Optional[NodeId] = None
     fetch_started: Optional[float] = None
     exec_started: Optional[float] = None
     finished_at: Optional[float] = None
@@ -150,11 +151,11 @@ class MapTask:
 
     def new_attempt(
         self,
-        node_id: str,
+        node_id: NodeId,
         local: bool,
         speculative: bool,
         now: float,
-        source_node: Optional[str] = None,
+        source_node: Optional[NodeId] = None,
     ) -> TaskAttempt:
         """Create (and register) the next attempt of this task."""
         self._attempt_counter += 1

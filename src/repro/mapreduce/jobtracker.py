@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.ids import NodeId
 from repro.core.predictor import PerformancePredictor
 from repro.hdfs.namenode import NameNode
 from repro.mapreduce.job import AttemptState, MapJob, MapTask, TaskAttempt, TaskState
@@ -62,7 +63,7 @@ class JobTracker(SchedulerContext):
         sim: Simulator,
         namenode: NameNode,
         network: Network,
-        trackers: Dict[str, TaskTracker],
+        trackers: Dict[NodeId, TaskTracker],
         metrics: MapPhaseMetrics,
         access_during_downtime: bool = True,
         speculation: Optional[SpeculationPolicy] = None,
@@ -90,11 +91,11 @@ class JobTracker(SchedulerContext):
         self._scheduler: Optional[TaskScheduler] = None
         self._tasks_by_block: Dict[str, MapTask] = {}
         self._running: Dict[MapTask, None] = {}  # insertion-ordered set
-        self._limbo: Dict[str, List] = {}  # node -> failed, not-yet-requeued attempts
-        self._idle: Dict[str, None] = {}  # insertion-ordered set of starved nodes
-        self._down_since: Dict[str, Optional[float]] = {}
-        self._down_overlap: Dict[str, float] = {}
-        self._busy_baseline: Dict[str, float] = {}
+        self._limbo: Dict[NodeId, List] = {}  # node -> failed, not-yet-requeued attempts
+        self._idle: Dict[NodeId, None] = {}  # insertion-ordered set of starved nodes
+        self._down_since: Dict[NodeId, Optional[float]] = {}
+        self._down_overlap: Dict[NodeId, float] = {}
+        self._busy_baseline: Dict[NodeId, float] = {}
         self._completed = 0
         self._abandoned = 0
         #: Blocks with zero surviving physical replicas — storage-level
@@ -181,9 +182,9 @@ class JobTracker(SchedulerContext):
     def alternative_source(
         self,
         task: MapTask,
-        reader: str,
-        exclude: Optional[str] = None,
-    ) -> Optional[str]:
+        reader: NodeId,
+        exclude: Optional[NodeId] = None,
+    ) -> Optional[NodeId]:
         """Best readable replica for a degraded-read retry, or None.
 
         ``exclude`` is the source that just failed; it is avoided when any
@@ -200,11 +201,11 @@ class JobTracker(SchedulerContext):
         """Stream from the least-loaded replica (ties broken lexically)."""
         return min(sources, key=lambda h: (self._network.outgoing_count(h), h))
 
-    def holder_unavailability(self, node_id: str) -> float:
+    def holder_unavailability(self, node_id: NodeId) -> float:
         estimate = self._namenode.predictor.estimate(node_id)
         return 1.0 - estimate.steady_state_availability
 
-    def _note_task_state(self, task: MapTask, node_id: Optional[str] = None) -> None:
+    def _note_task_state(self, task: MapTask, node_id: Optional[NodeId] = None) -> None:
         """Publish a :class:`TaskStateChange` (observability only).
 
         Guarded by :meth:`EventBus.wants` so the hot path pays nothing —
@@ -222,7 +223,7 @@ class JobTracker(SchedulerContext):
 
     # -- assignment -------------------------------------------------------------------
 
-    def try_assign(self, node_id: str) -> None:
+    def try_assign(self, node_id: NodeId) -> None:
         """Hand the node as much work as its slots allow."""
         if self._stopped or self._job is None or self.is_done or self._scheduler is None:
             return
@@ -247,9 +248,9 @@ class JobTracker(SchedulerContext):
 
     def _assign(
         self,
-        node_id: str,
+        node_id: NodeId,
         task: MapTask,
-        source: Optional[str],
+        source: Optional[NodeId],
         speculative: bool,
     ) -> None:
         attempt = task.new_attempt(
@@ -294,7 +295,7 @@ class JobTracker(SchedulerContext):
             self._spec_cache_time = now
         return self._spec_candidates
 
-    def _pick_speculative(self, node_id: str) -> Optional[Tuple[MapTask, Optional[str]]]:
+    def _pick_speculative(self, node_id: NodeId) -> Optional[Tuple[MapTask, Optional[NodeId]]]:
         """Find the most-stalled straggler this node can duplicate."""
         now = self._sim.now
         for task in list(self._straggler_candidates()):
@@ -439,7 +440,7 @@ class JobTracker(SchedulerContext):
 
     # -- cluster signals ------------------------------------------------------------------
 
-    def on_node_available(self, node_id: str) -> None:
+    def on_node_available(self, node_id: NodeId) -> None:
         """The node (physically) returned and is asking for work."""
         for attempt in self._limbo.pop(node_id, []):
             self._maybe_requeue(attempt.task)
@@ -456,12 +457,12 @@ class JobTracker(SchedulerContext):
             for idle_node in list(self._idle):
                 self.try_assign(idle_node)
 
-    def on_node_dead(self, node_id: str, time: float) -> None:
+    def on_node_dead(self, node_id: NodeId, time: float) -> None:
         """Failure detection fired (heartbeat timeout or oracle)."""
         for attempt in self._limbo.pop(node_id, []):
             self._maybe_requeue(attempt.task)
 
-    def on_replica_added(self, block_id: str, node_id: str) -> None:
+    def on_replica_added(self, block_id: str, node_id: NodeId) -> None:
         """A re-replication copy landed: the replica map moved under us.
 
         If the block's task is still pending, the new holder opens a fresh
@@ -476,12 +477,12 @@ class JobTracker(SchedulerContext):
             self._scheduler.enqueue(task, [node_id])
         self.try_assign(node_id)
 
-    def on_node_down_physical(self, node_id: str, time: float) -> None:
+    def on_node_down_physical(self, node_id: NodeId, time: float) -> None:
         """Raw injector signal, used only for recovery-time accounting."""
         self._down_since[node_id] = time
         self._idle.pop(node_id, None)
 
-    def on_node_up_physical(self, node_id: str, time: float) -> None:
+    def on_node_up_physical(self, node_id: NodeId, time: float) -> None:
         """Raw injector signal closing a downtime interval."""
         started = self._down_since.get(node_id)
         self._down_since[node_id] = None

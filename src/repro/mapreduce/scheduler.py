@@ -19,11 +19,12 @@ from abc import ABC, abstractmethod
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.ids import NodeId
 from repro.mapreduce.job import MapTask
 
 #: An assignment: the task plus the node to stream the block from
 #: (``None`` for a local read).
-Assignment = Tuple[MapTask, Optional[str]]
+Assignment = Tuple[MapTask, Optional[NodeId]]
 
 
 class SchedulerContext(ABC):
@@ -46,7 +47,7 @@ class SchedulerContext(ABC):
         """Pick the replica to stream from."""
 
     @abstractmethod
-    def holder_unavailability(self, node_id: str) -> float:
+    def holder_unavailability(self, node_id: NodeId) -> float:
         """Score in [0, 1]: how unavailable the holder is believed to be."""
 
 
@@ -58,11 +59,11 @@ class TaskScheduler(ABC):
         """Add a (newly pending or requeued) task."""
 
     @abstractmethod
-    def pick(self, node_id: str, ctx: SchedulerContext) -> Optional[Assignment]:
+    def pick(self, node_id: NodeId, ctx: SchedulerContext) -> Optional[Assignment]:
         """Choose work for an idle node, or None if nothing is assignable."""
 
     @abstractmethod
-    def on_node_returned(self, node_id: str) -> int:
+    def on_node_returned(self, node_id: NodeId) -> int:
         """A holder came back: blocked tasks may be streamable again.
 
         Returns the number of parked tasks released back into the queue.
@@ -77,7 +78,7 @@ class LocalityFirstScheduler(TaskScheduler):
     """Hadoop's locality-first FIFO."""
 
     def __init__(self) -> None:
-        self._local: Dict[str, Deque[MapTask]] = {}
+        self._local: Dict[NodeId, Deque[MapTask]] = {}
         self._global: Deque[MapTask] = deque()
         self._blocked: List[MapTask] = []
 
@@ -86,7 +87,7 @@ class LocalityFirstScheduler(TaskScheduler):
             self._local.setdefault(node_id, deque()).append(task)
         self._global.append(task)
 
-    def on_node_returned(self, node_id: str) -> int:
+    def on_node_returned(self, node_id: NodeId) -> int:
         released = len(self._blocked)
         if released:
             self._global.extend(self._blocked)
@@ -96,7 +97,7 @@ class LocalityFirstScheduler(TaskScheduler):
     def pending_hint(self) -> int:
         return len(self._global) + len(self._blocked)
 
-    def pick(self, node_id: str, ctx: SchedulerContext) -> Optional[Assignment]:
+    def pick(self, node_id: NodeId, ctx: SchedulerContext) -> Optional[Assignment]:
         local = self._local.get(node_id)
         if local:
             while local:
@@ -105,7 +106,7 @@ class LocalityFirstScheduler(TaskScheduler):
                     return task, None
         return self._pick_remote(node_id, ctx)
 
-    def _pick_remote(self, node_id: str, ctx: SchedulerContext) -> Optional[Assignment]:
+    def _pick_remote(self, node_id: NodeId, ctx: SchedulerContext) -> Optional[Assignment]:
         while self._global:
             task = self._global.popleft()
             if not ctx.is_assignable(task):
@@ -137,8 +138,8 @@ class AvailabilityAwareScheduler(LocalityFirstScheduler):
             raise ValueError(f"scan_window must be >= 1, got {scan_window}")
         self._window = scan_window
 
-    def _pick_remote(self, node_id: str, ctx: SchedulerContext) -> Optional[Assignment]:
-        candidates: List[Tuple[float, MapTask, Optional[str]]] = []
+    def _pick_remote(self, node_id: NodeId, ctx: SchedulerContext) -> Optional[Assignment]:
+        candidates: List[Tuple[float, MapTask, Optional[NodeId]]] = []
         scanned: List[MapTask] = []
         while self._global and len(candidates) < self._window:
             task = self._global.popleft()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.ids import NodeId
 from repro.mapreduce.job import MapTask
 from repro.util.validation import check_non_negative, check_positive
 
@@ -86,7 +87,7 @@ class SpeculationPolicy:
                 break
         return threshold_ok
 
-    def may_speculate(self, task: MapTask, node_id: str, now: float) -> bool:
+    def may_speculate(self, task: MapTask, node_id: NodeId, now: float) -> bool:
         """Full eligibility: straggling, capacity left, node not already on it."""
         if not self.is_straggling(task, now):
             return False

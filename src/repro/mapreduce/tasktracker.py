@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.core.ids import NodeId
 from repro.mapreduce.job import AttemptState, TaskAttempt
 from repro.simulator.engine import EventHandle, Simulator
 from repro.simulator.metrics import DurabilityMetrics, MapPhaseMetrics
@@ -42,13 +43,14 @@ class TaskTracker:
     def __init__(
         self,
         sim: Simulator,
-        node_id: str,
+        node_id: NodeId,
         network: Network,
         metrics: MapPhaseMetrics,
         slots: int = 1,
         fetch_retries: int = 0,
         fetch_backoff: float = 1.0,
         durability: Optional[DurabilityMetrics] = None,
+        name: Optional[str] = None,
     ) -> None:
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
@@ -57,8 +59,9 @@ class TaskTracker:
         check_positive("fetch_backoff", fetch_backoff)
         self._sim = sim
         self._node_id = node_id
-        #: Service name; unique per node so a registry can hold all of them.
-        self.name = f"tasktracker:{node_id}"
+        #: Service name; unique per node so a registry can hold all of
+        #: them. Wired clusters pass the host name (reporting boundary).
+        self.name = name if name is not None else f"tasktracker:{node_id}"
         self._network = network
         self._metrics = metrics
         self._slots = slots
@@ -135,7 +138,7 @@ class TaskTracker:
             attempt.state = AttemptState.FETCHING
             self._start_fetch(attempt, attempt.source_node)
 
-    def _start_fetch(self, attempt: TaskAttempt, source: str) -> None:
+    def _start_fetch(self, attempt: TaskAttempt, source: NodeId) -> None:
         attempt.source_node = source
         attempt.fetch_started = self._sim.now
         transfer = self._network.start_transfer(

@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.availability.estimators import AvailabilityEstimate
 from repro.availability.generator import HostAvailability
 from repro.availability.traces import AvailabilityTrace
+from repro.core.ids import NodeId, NodeIds
 from repro.core.predictor import PerformancePredictor
 from repro.hdfs.client import DfsClient
 from repro.hdfs.datanode import DataNode
@@ -59,7 +60,7 @@ from repro.mapreduce.speculation import SpeculationPolicy
 from repro.mapreduce.tasktracker import TaskTracker
 from repro.runtime.services import ServiceRegistry
 from repro.simulator.chaos import ChaosEngine
-from repro.simulator.engine import Simulator
+from repro.simulator.engine import EVENT_QUEUES, Simulator
 from repro.simulator.events import (
     BlockLost,
     EventBus,
@@ -166,6 +167,19 @@ class ClusterConfig:
     #: Scripted chaos campaign layered on the stochastic injector (see
     #: repro.simulator.scenarios / repro.simulator.chaos). None = off.
     chaos: Optional[ChaosCampaign] = None
+    #: Eagerly materialise every interruption episode starting before this
+    #: simulated time at build, then close each per-host generator so the
+    #: run loop pays no sampling cost (or suspended-frame memory) up to the
+    #: horizon. Byte-identical to lazy sampling within the horizon; past it
+    #: no further interruptions occur, so set this at or beyond the window
+    #: you intend to simulate. None keeps the lazy default.
+    pregen_horizon: Optional[float] = None
+    #: Event-queue implementation: "heap" (compacting binary heap, the
+    #: default) or "calendar" (bucketed calendar queue for high event
+    #: density). Both are exact — identical (time, seq) pop order — and
+    #: byte-identical on the golden scenarios. The ``REPRO_EVENT_QUEUE``
+    #: environment variable overrides this at build time.
+    event_queue: str = "heap"
     #: Root seed; every random stream in the cluster derives from it.
     seed: int = 0
 
@@ -187,6 +201,14 @@ class ClusterConfig:
             raise ValueError("permanent_failure_rate must be in [0, 1]")
         if self.permanent_failure_rate > 0.0:
             check_positive("permanent_failure_horizon", self.permanent_failure_horizon)
+        if self.pregen_horizon is not None and self.pregen_horizon < 0:
+            raise ValueError(
+                f"pregen_horizon must be non-negative, got {self.pregen_horizon}"
+            )
+        if self.event_queue not in EVENT_QUEUES:
+            raise ValueError(
+                f"event_queue must be one of {EVENT_QUEUES}, got {self.event_queue!r}"
+            )
         if self.audit not in AUDIT_MODES:
             raise ValueError(f"audit must be one of {AUDIT_MODES}, got {self.audit!r}")
         check_positive("audit_interval", self.audit_interval)
@@ -220,7 +242,7 @@ class Cluster:
         network: Network,
         injector: FailureInjector,
         namenode: NameNode,
-        trackers: Dict[str, TaskTracker],
+        trackers: Dict[NodeId, TaskTracker],
         metrics: MapPhaseMetrics,
         jobtracker: JobTracker,
         heartbeats: Optional[HeartbeatService],
@@ -233,9 +255,13 @@ class Cluster:
         tracer: Optional[TraceRecorder] = None,
         auditor: Optional[InvariantAuditor] = None,
         chaos: Optional[ChaosEngine] = None,
+        ids: Optional[NodeIds] = None,
     ) -> None:
         self.config = config
         self.hosts = list(hosts)
+        #: Name <-> dense-int identity table. Every runtime structure keys
+        #: by the int id; reporting surfaces translate back through this.
+        self.ids = ids if ids is not None else NodeIds()
         self.sim = sim
         self.rng = rng
         self.network = network
@@ -256,8 +282,14 @@ class Cluster:
         self.chaos = chaos
 
     @property
-    def node_ids(self) -> List[str]:
+    def node_ids(self) -> List[NodeId]:
+        """Dense int node ids, ascending (== host registration order)."""
         return sorted(self.trackers)
+
+    @property
+    def node_names(self) -> List[str]:
+        """Host names in id order — the reporting-boundary view."""
+        return [self.ids.name_of(node_id) for node_id in self.node_ids]
 
     @property
     def node_count(self) -> int:
@@ -322,16 +354,29 @@ def build_cluster(
     """
     if not hosts:
         raise ValueError("need at least one host")
-    ids = [h.host_id for h in hosts]
-    if len(set(ids)) != len(ids):
+    names = [h.host_id for h in hosts]
+    if len(set(names)) != len(names):
         raise ValueError("host ids must be unique")
+    # Intern every host name once; all hot structures below key by the
+    # dense int id, and the table rides on the Cluster for reporting.
+    ids = NodeIds()
+    node_id_of = {name: ids.intern(name) for name in names}
 
-    sim = Simulator()
+    # Like REPRO_AUDIT below: the environment variable lets CI drive the
+    # whole suite through the alternate queue without touching configs.
+    queue_name = (
+        os.environ.get("REPRO_EVENT_QUEUE", "").strip().lower() or config.event_queue
+    )
+    if queue_name not in EVENT_QUEUES:
+        raise ValueError(
+            f"REPRO_EVENT_QUEUE must be one of {EVENT_QUEUES}, got {queue_name!r}"
+        )
+    sim = Simulator(queue=queue_name)
     rng = RandomSource(config.seed)
     bus = EventBus()
     tracer: Optional[TraceRecorder] = None
     if config.trace_events:
-        tracer = TraceRecorder(bus)
+        tracer = TraceRecorder(bus, ids=ids)
     network = Network(
         sim,
         uplink_bps=config.uplink_bps,
@@ -350,25 +395,27 @@ def build_cluster(
     durability = DurabilityMetrics()
     injector = FailureInjector(sim, rng, bus=bus)
 
-    datanodes: Dict[str, DataNode] = {}
-    trackers: Dict[str, TaskTracker] = {}
+    datanodes: Dict[NodeId, DataNode] = {}
+    trackers: Dict[NodeId, TaskTracker] = {}
     for host in hosts:
-        datanode = DataNode(host.host_id)
+        nid = node_id_of[host.host_id]
+        datanode = DataNode(nid, name=f"datanode:{host.host_id}")
         namenode.register_datanode(datanode)
-        datanodes[host.host_id] = datanode
-        trackers[host.host_id] = TaskTracker(
+        datanodes[nid] = datanode
+        trackers[nid] = TaskTracker(
             sim,
-            host.host_id,
+            nid,
             network,
             metrics,
             slots=config.slots_per_node,
             fetch_retries=config.fetch_retries,
             fetch_backoff=config.fetch_backoff,
             durability=durability,
+            name=f"tasktracker:{host.host_id}",
         )
         if config.oracle_estimates:
             predictor.pin_oracle(
-                host.host_id,
+                nid,
                 AvailabilityEstimate(
                     arrival_rate=host.arrival_rate,
                     recovery_mean=host.service_mean,
@@ -407,7 +454,7 @@ def build_cluster(
             bus=bus,
         )
         for host in hosts:
-            heartbeats.track(host.host_id)
+            heartbeats.track(node_id_of[host.host_id])
     else:
         detector = OracleDetector(namenode, bus=bus)
 
@@ -434,12 +481,13 @@ def build_cluster(
     bus.subscribe(NodeDown, jobtracker.handle_node_down_physical, Phase.ACCOUNTING)
     bus.subscribe(NodeUp, jobtracker.handle_node_up_physical, Phase.ACCOUNTING)
     for host in hosts:
-        datanode = datanodes[host.host_id]
-        tracker = trackers[host.host_id]
-        bus.subscribe(NodeDown, datanode.handle_node_down, Phase.STORAGE, key=host.host_id)
-        bus.subscribe(NodeUp, datanode.handle_node_up, Phase.STORAGE, key=host.host_id)
-        bus.subscribe(NodeDown, tracker.handle_node_down, Phase.COMPUTE, key=host.host_id)
-        bus.subscribe(NodeUp, tracker.handle_node_up, Phase.SCHEDULING, key=host.host_id)
+        nid = node_id_of[host.host_id]
+        datanode = datanodes[nid]
+        tracker = trackers[nid]
+        bus.subscribe(NodeDown, datanode.handle_node_down, Phase.STORAGE, key=nid)
+        bus.subscribe(NodeUp, datanode.handle_node_up, Phase.STORAGE, key=nid)
+        bus.subscribe(NodeDown, tracker.handle_node_down, Phase.COMPUTE, key=nid)
+        bus.subscribe(NodeUp, tracker.handle_node_up, Phase.SCHEDULING, key=nid)
     if not config.access_during_downtime:
         bus.subscribe(NodeDown, network.handle_node_down, Phase.NETWORK)
     if heartbeats is not None:
@@ -482,18 +530,20 @@ def build_cluster(
             rng,
             injector,
             namenode=namenode,
+            ids=ids,
         )
         bus.subscribe(PartitionStarted, network.handle_partition_started, Phase.NETWORK)
         bus.subscribe(PartitionHealed, network.handle_partition_healed, Phase.NETWORK)
         bus.subscribe(NodeDegraded, network.handle_node_degraded, Phase.NETWORK)
         bus.subscribe(NodeRestored, network.handle_node_restored, Phase.NETWORK)
         for host in hosts:
-            tracker = trackers[host.host_id]
+            nid = node_id_of[host.host_id]
+            tracker = trackers[nid]
             bus.subscribe(
-                NodeDegraded, tracker.handle_node_degraded, Phase.COMPUTE, key=host.host_id
+                NodeDegraded, tracker.handle_node_degraded, Phase.COMPUTE, key=nid
             )
             bus.subscribe(
-                NodeRestored, tracker.handle_node_restored, Phase.COMPUTE, key=host.host_id
+                NodeRestored, tracker.handle_node_restored, Phase.COMPUTE, key=nid
             )
         if heartbeats is not None:
             bus.subscribe(
@@ -509,14 +559,22 @@ def build_cluster(
         bus.subscribe(ReplicaAdded, chaos.handle_replica_added, Phase.ACCOUNTING)
 
     if traces is not None:
-        trace_ids = [trace.host_id for trace in traces]
-        if trace_ids != ids:
+        trace_names = [trace.host_id for trace in traces]
+        if trace_names != names:
             raise ValueError("traces must parallel hosts (same ids, same order)")
         for trace in traces:
-            injector.attach_trace(trace)
+            injector.attach_trace(trace, node_id=node_id_of[trace.host_id])
     else:
         for host in hosts:
-            injector.attach_host(host, burn_in=config.stationary_burn_in)
+            # The int id keys the injector's runtime state; the RNG
+            # substream stays keyed by *name* inside attach_host, so
+            # failure realisations are identity-representation-invariant.
+            injector.attach_host(
+                host,
+                burn_in=config.stationary_burn_in,
+                pregen_horizon=config.pregen_horizon,
+                node_id=node_id_of[host.host_id],
+            )
 
     if config.permanent_failure_rate > 0.0:
         # Keyed per host so one host's draw never perturbs another's —
@@ -525,7 +583,7 @@ def build_cluster(
             perm_rng = rng.substream("permanent", host.host_id)
             if perm_rng.random() < config.permanent_failure_rate:
                 injector.schedule_permanent_failure(
-                    host.host_id,
+                    node_id_of[host.host_id],
                     at_time=perm_rng.uniform(0.0, config.permanent_failure_horizon),
                 )
 
@@ -558,7 +616,7 @@ def build_cluster(
     services.register(injector)
     services.register(pipeline)
     for host in hosts:
-        services.register(datanodes[host.host_id])
+        services.register(datanodes[node_id_of[host.host_id]])
     if heartbeats is not None:
         services.register(heartbeats)
     if detector is not None:
@@ -606,6 +664,7 @@ def build_cluster(
         tracer=tracer,
         auditor=auditor,
         chaos=chaos,
+        ids=ids,
     )
     cluster.start()
     return cluster

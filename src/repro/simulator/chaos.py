@@ -41,6 +41,7 @@ import json
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.ids import NodeId, NodeIds
 from repro.hdfs.namenode import NameNode
 from repro.simulator.engine import EventHandle, Simulator
 from repro.simulator.events import (
@@ -176,6 +177,7 @@ class ChaosEngine:
         rng: RandomSource,
         injector: FailureInjector,
         namenode: Optional[NameNode] = None,
+        ids: Optional[NodeIds] = None,
     ) -> None:
         self._sim = sim
         self._bus = bus
@@ -183,15 +185,20 @@ class ChaosEngine:
         self._rng = rng
         self._injector = injector
         self._namenode = namenode
+        #: Name <-> int identity table. When present, scenario specs name
+        #: targets by host name, the engine arms them by int id, and the
+        #: resilience report translates back — names at both human edges,
+        #: ints everywhere the cluster routes.
+        self._ids = ids
         self._handles: List[EventHandle] = []
         self._activations: List[ScenarioActivation] = []
         self._armed = False
         # -- measurement state (fed by ACCOUNTING-phase subscriptions) ----
         self._interruptions = 0
         self._node_returns = 0
-        self._pending_detect: Dict[str, float] = {}
+        self._pending_detect: Dict[NodeId, float] = {}
         self._detect_lags: List[float] = []
-        self._pending_rerepl: Dict[str, float] = {}
+        self._pending_rerepl: Dict[NodeId, float] = {}
         self._rerepl_lags: List[float] = []
 
     # -- service lifecycle --------------------------------------------------
@@ -207,14 +214,20 @@ class ChaosEngine:
             return
         self._armed = True
         node_ids = self._injector.node_ids
+        intern = self._ids.id_of if self._ids is not None else None
         for index, scenario in enumerate(self._campaign.scenarios):
             targets = scenario.resolve_targets(
-                node_ids, self._rng.substream("chaos", index)
+                node_ids, self._rng.substream("chaos", index), intern=intern
+            )
+            display = (
+                targets
+                if self._ids is None
+                else tuple(self._ids.name_of(n) for n in targets)
             )
             self._activations.append(
-                ScenarioActivation(kind=scenario.kind, index=index, targets=targets)
+                ScenarioActivation(kind=scenario.kind, index=index, targets=display)
             )
-            self._arm(index, scenario, targets)
+            self._arm(index, scenario, targets, display)
 
     def stop(self) -> None:
         """Disarm every pending scenario event (cluster teardown)."""
@@ -241,7 +254,13 @@ class ChaosEngine:
             )
         )
 
-    def _arm(self, index: int, scenario: Scenario, targets: Tuple[str, ...]) -> None:
+    def _arm(
+        self,
+        index: int,
+        scenario: Scenario,
+        targets: Tuple[NodeId, ...],
+        display: Tuple[str, ...],
+    ) -> None:
         start = max(scenario.start, self._sim.now)
         end = max(scenario.end(), start)
         spec = scenario.spec_json()
@@ -253,7 +272,7 @@ class ChaosEngine:
                     time=self._sim.now,
                     kind=kind,
                     index=index,
-                    targets=targets,
+                    targets=display,
                     spec=spec,
                 )
             ),

@@ -46,7 +46,13 @@ from __future__ import annotations
 import bisect
 import enum
 from dataclasses import dataclass, fields
-from typing import Callable, Dict, List, Optional, Tuple, Type, TypeVar
+from typing import Callable, Dict, List, Optional, Tuple, Type, TypeVar, Union
+
+from repro.core.ids import NodeId
+
+#: Keyed-subscription match value: a dense node id (int) on node events,
+#: a block/task id string elsewhere.
+RoutingKey = Union[int, str]
 
 
 class Phase(enum.IntEnum):
@@ -74,7 +80,7 @@ class Phase(enum.IntEnum):
     SCHEDULING = 5
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """Base class for everything the bus carries."""
 
@@ -82,7 +88,7 @@ class Event:
     time: float
 
     @property
-    def routing_key(self) -> Optional[str]:
+    def routing_key(self) -> Optional[RoutingKey]:
         """Key used to match keyed subscriptions (None = unkeyed only)."""
         return None
 
@@ -91,87 +97,93 @@ class Event:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeEvent(Event):
-    """An event about one node; routed by node id."""
+    """An event about one node; routed by its dense int node id.
 
-    node_id: str
+    ``node_id`` is the cluster-interned :data:`~repro.core.ids.NodeId`;
+    the name lives in the cluster's ``NodeIds`` table and is re-attached
+    only at the reporting boundary. (Standalone components constructed
+    outside ``build_cluster`` may route by any hashable id — the bus only
+    ever hashes and compares keys.)"""
+
+    node_id: NodeId
 
     @property
-    def routing_key(self) -> Optional[str]:
+    def routing_key(self) -> Optional[RoutingKey]:
         return self.node_id
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeDown(NodeEvent):
     """Physical interruption began (the injector's ground truth)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeUp(NodeEvent):
     """Physical recovery: the node is running again."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PermanentFailure(NodeEvent):
     """The node is gone for good — disk and all. Published *before* the
     accompanying :class:`NodeDown` (destruction precedes detection)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeDeclaredDead(NodeEvent):
     """Failure *detection* fired: the masters now believe the node dead
     (heartbeat timeout, or instantly under oracle detection)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeReturned(NodeEvent):
     """The masters believe a previously-dead node is back."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodePurged(NodeEvent):
     """A permanently failed node was erased from the location map; it will
     never beat, serve, or store again."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockLost(Event):
     """Zero physical replicas of the block survive anywhere."""
 
     block_id: str
 
     @property
-    def routing_key(self) -> Optional[str]:
+    def routing_key(self) -> Optional[RoutingKey]:
         return self.block_id
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicaAdded(Event):
     """A re-replication copy landed: ``node_id`` now holds ``block_id``."""
 
     block_id: str
-    node_id: str
+    node_id: NodeId
 
     @property
-    def routing_key(self) -> Optional[str]:
+    def routing_key(self) -> Optional[RoutingKey]:
         return self.block_id
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskStateChange(Event):
     """A map task changed state (observability; no cluster logic reacts)."""
 
     task_id: str
     state: str
-    node_id: Optional[str] = None
+    node_id: Optional[NodeId] = None
 
     @property
-    def routing_key(self) -> Optional[str]:
+    def routing_key(self) -> Optional[RoutingKey]:
         return self.task_id
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeDegraded(NodeEvent):
     """The node entered a gray state: alive and beating, but its links
     and/or task execution run at a fraction of nominal speed."""
@@ -180,12 +192,12 @@ class NodeDegraded(NodeEvent):
     exec_factor: float = 1.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeRestored(NodeEvent):
     """A previously gray node runs at nominal speed again."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PartitionStarted(Event):
     """A network partition began: transfers crossing the boundary between
     ``members`` and the rest of the cluster stall until healed. When
@@ -193,31 +205,34 @@ class PartitionStarted(Event):
     members too; otherwise belief and storage see different truths."""
 
     partition_id: str
-    members: Tuple[str, ...]
+    members: Tuple[NodeId, ...]
     heartbeats_blocked: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PartitionHealed(Event):
     """The partition identified by ``partition_id`` healed; stalled
     transfers resume from their drained progress."""
 
     partition_id: str
-    members: Tuple[str, ...]
+    members: Tuple[NodeId, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChaosScenarioStarted(Event):
     """A chaos scenario became active (observability; carries the full
     declarative spec so a recorded trace replays the campaign exactly)."""
 
     kind: str
     index: int
+    #: Host *names* (the spec's vocabulary), not int ids — the event
+    #: carries the declarative campaign for replay, so it speaks the
+    #: same language the spec does.
     targets: Tuple[str, ...]
     spec: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChaosScenarioEnded(Event):
     """A chaos scenario's window closed (observability)."""
 
@@ -238,12 +253,18 @@ _Entry = Tuple[int, int, Callable[[Event], None]]
 class Subscription:
     """Handle for one registered handler; ``cancel()`` detaches it."""
 
-    __slots__ = ("_entries", "_entry", "_active")
+    __slots__ = ("_entries", "_entry", "_active", "_invalidate")
 
-    def __init__(self, entries: List[_Entry], entry: _Entry) -> None:
+    def __init__(
+        self,
+        entries: List[_Entry],
+        entry: _Entry,
+        invalidate: Optional[Callable[[], None]] = None,
+    ) -> None:
         self._entries = entries
         self._entry = entry
         self._active = True
+        self._invalidate = invalidate
 
     @property
     def active(self) -> bool:
@@ -258,6 +279,8 @@ class Subscription:
             self._entries.remove(self._entry)
         except ValueError:  # pragma: no cover - double bookkeeping guard
             pass
+        if self._invalidate is not None:
+            self._invalidate()
 
 
 class EventBus:
@@ -265,11 +288,16 @@ class EventBus:
 
     def __init__(self) -> None:
         #: type -> routing key (None = unkeyed) -> entries in seq order.
-        self._subs: Dict[Type[Event], Dict[Optional[str], List[_Entry]]] = {}
+        self._subs: Dict[Type[Event], Dict[Optional[RoutingKey], List[_Entry]]] = {}
         self._taps: List[Tap] = []
         self._seq = 0
         self._published = 0
         self._dispatched = 0
+        #: Per-type frozen snapshot of the unkeyed entry list, rebuilt
+        #: lazily after any unkeyed (un)subscription. ``publish`` iterates
+        #: the tuple directly — the no-keyed-match fast path allocates
+        #: nothing per event, where the old code copied a list every time.
+        self._unkeyed_cache: Dict[Type[Event], Tuple[_Entry, ...]] = {}
 
     # -- registration ------------------------------------------------------------
 
@@ -278,7 +306,7 @@ class EventBus:
         event_type: Type[E],
         handler: Handler[E],
         phase: Phase,
-        key: Optional[str] = None,
+        key: Optional[RoutingKey] = None,
     ) -> Subscription:
         """Register ``handler`` for events of exactly ``event_type``.
 
@@ -295,6 +323,11 @@ class EventBus:
         # the common single-list case. Sequence numbers are unique, so the
         # comparison never reaches the (uncomparable) handler element.
         bisect.insort(entries, entry)
+        if key is None:
+            self._unkeyed_cache.pop(event_type, None)
+            return Subscription(
+                entries, entry, lambda: self._unkeyed_cache.pop(event_type, None)
+            )
         return Subscription(entries, entry)
 
     def add_tap(self, tap: Tap) -> None:
@@ -362,18 +395,31 @@ class EventBus:
     # -- dispatch -----------------------------------------------------------------
 
     def publish(self, event: Event) -> None:
-        """Deliver ``event`` to its handlers, phase by phase, synchronously."""
+        """Deliver ``event`` to its handlers, phase by phase, synchronously.
+
+        The common case — no keyed match — iterates a frozen per-type
+        snapshot of the unkeyed entries, so it allocates nothing. The
+        snapshot is immutable, so a handler that (un)subscribes mid-
+        dispatch affects the *next* publish, exactly like the defensive
+        list copy it replaces. A keyed match still merges and sorts into
+        a fresh list (rare: one node's transitions, not every event).
+        """
         self._published += 1
-        by_key = self._subs.get(type(event))
-        merged: List[_Entry]
+        event_type = type(event)
+        by_key = self._subs.get(event_type)
+        merged: Tuple[_Entry, ...] | List[_Entry]
         if by_key is None:
-            merged = []
+            merged = ()
         else:
-            merged = list(by_key.get(None, ()))
+            merged = self._unkeyed_cache.get(event_type)  # type: ignore[assignment]
+            if merged is None:
+                merged = tuple(by_key.get(None, ()))
+                self._unkeyed_cache[event_type] = merged
             key = event.routing_key
-            if key is not None and key in by_key:
-                merged += by_key[key]
-                merged.sort()
+            if key is not None:
+                keyed = by_key.get(key)
+                if keyed:
+                    merged = sorted(merged + tuple(keyed))
         if self._taps:
             phases = tuple(sorted({Phase(entry[0]) for entry in merged}))
             for tap in self._taps:
@@ -385,6 +431,7 @@ class EventBus:
 
 __all__ = [
     "Phase",
+    "RoutingKey",
     "Event",
     "NodeEvent",
     "NodeDown",

@@ -39,6 +39,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence
 from repro.availability.generator import HostAvailability
 from repro.availability.process import DowntimeEpisode, InterruptionProcess
 from repro.availability.traces import AvailabilityTrace
+from repro.core.ids import NodeId
 from repro.simulator.engine import EventHandle, Simulator
 from repro.simulator.events import (
     EventBus,
@@ -49,9 +50,9 @@ from repro.simulator.events import (
 )
 from repro.util.rng import RandomSource
 
-DownListener = Callable[[str, float], None]
-UpListener = Callable[[str, float], None]
-PermanentListener = Callable[[str, float], None]
+DownListener = Callable[[NodeId, float], None]
+UpListener = Callable[[NodeId, float], None]
+PermanentListener = Callable[[NodeId, float], None]
 
 #: Phase used for legacy ``subscribe()`` wrappers: subscription order alone
 #: determines their relative order, as the old callback lists did.
@@ -78,18 +79,18 @@ class FailureInjector:
         self._sim = sim
         self._rng = rng
         self._bus = bus if bus is not None else EventBus()
-        self._episode_streams: Dict[str, Iterator[DowntimeEpisode]] = {}
-        self._is_down: Dict[str, bool] = {}
-        self._episode_counts: Dict[str, int] = {}
-        self._downtime_totals: Dict[str, float] = {}
-        self._permanent: Dict[str, bool] = {}
+        self._episode_streams: Dict[NodeId, Iterator[DowntimeEpisode]] = {}
+        self._is_down: Dict[NodeId, bool] = {}
+        self._episode_counts: Dict[NodeId, int] = {}
+        self._downtime_totals: Dict[NodeId, float] = {}
+        self._permanent: Dict[NodeId, bool] = {}
         #: When each currently-down node went down (downtime accounting).
-        self._down_since: Dict[str, Optional[float]] = {}
+        self._down_since: Dict[NodeId, Optional[float]] = {}
         #: Chaos delayed-recovery: per-node multiplier applied to the
         #: remaining downtime of episodes that *begin* while it is set.
-        self._recovery_stretch: Dict[str, float] = {}
+        self._recovery_stretch: Dict[NodeId, float] = {}
         #: The one armed stream event per node (next begin, or current end).
-        self._stream_events: Dict[str, Optional[EventHandle]] = {}
+        self._stream_events: Dict[NodeId, Optional[EventHandle]] = {}
         #: Armed events from schedule_outage / schedule_permanent_failure.
         self._injected_events: List[EventHandle] = []
         self._stopped = False
@@ -140,7 +141,13 @@ class FailureInjector:
 
     # -- attachment ---------------------------------------------------------------
 
-    def attach_host(self, host: HostAvailability, burn_in: float = 0.0) -> None:
+    def attach_host(
+        self,
+        host: HostAvailability,
+        burn_in: float = 0.0,
+        pregen_horizon: Optional[float] = None,
+        node_id: Optional[NodeId] = None,
+    ) -> None:
         """Drive a node from its availability description.
 
         Dedicated hosts are registered but never interrupted.
@@ -151,14 +158,36 @@ class FailureInjector:
         a host may already be down at t=0, with the correct residual
         downtime. A burn-in of several population MTBIs is enough; 0 keeps
         the legacy fresh start.
+
+        ``pregen_horizon`` eagerly materialises every episode starting
+        before that simulated time at attach, then *closes* the per-host
+        episode generator so its suspended frame holds no memory for the
+        rest of the run. The stream is per-node and values are position-
+        determined, so up to the horizon the delivered episodes (and the
+        engine's event sequence numbers) are byte-identical to the lazy
+        path. The horizon is a contract: a run that advances past it sees
+        no further interruptions, so callers must pick a horizon at or
+        beyond the simulated window they intend to run (the scale-kernel
+        bench opts in; see tools/bench_engine.py).
+
+        ``node_id`` is the dense int id the injector keys its runtime
+        state (and published events) by; it defaults to ``host.host_id``
+        so standalone components keep routing by name. The RNG substream
+        is *always* keyed by the host's name, so failure realisations are
+        invariant under the identity representation.
         """
-        node_id = host.host_id
+        if node_id is None:
+            node_id = host.host_id  # type: ignore[assignment]
         if node_id in self._is_down:
             raise ValueError(f"node {node_id!r} already attached")
         if burn_in < 0:
             raise ValueError(f"burn_in must be non-negative, got {burn_in}")
+        if pregen_horizon is not None and pregen_horizon < 0:
+            raise ValueError(
+                f"pregen_horizon must be non-negative, got {pregen_horizon}"
+            )
         self._register(node_id)
-        process = host.process(self._rng.substream("failures", node_id))
+        process = host.process(self._rng.substream("failures", host.host_id))
         if process is None:
             return
         raw = process.episodes(float("inf"))
@@ -166,8 +195,36 @@ class FailureInjector:
             stream: Iterator[DowntimeEpisode] = self._shift_stream(raw, burn_in)
         else:
             stream = raw
+        if pregen_horizon is not None and pregen_horizon > 0.0:
+            stream = self._pregenerate(stream, pregen_horizon)
         self._episode_streams[node_id] = stream
         self._schedule_next(node_id)
+
+    @staticmethod
+    def _pregenerate(
+        stream: Iterator[DowntimeEpisode], horizon: float
+    ) -> Iterator[DowntimeEpisode]:
+        """Materialise the prefix of episodes starting before ``horizon``.
+
+        The first episode at or past the horizon is kept too (it was pulled
+        to detect the boundary, and keeping it preserves the engine's
+        ``schedule_at`` sequence allocation exactly), then the source
+        generator is *closed*: its suspended frame — per-host RNG
+        substreams, loop locals — is freed immediately, which at 226k
+        concurrent hosts is the difference between hundreds of megabytes
+        and none. The trade: a run that advances past the horizon sees no
+        interruptions beyond it, which is why ``attach_host`` documents
+        the horizon as a contract, not a hint.
+        """
+        prefix: List[DowntimeEpisode] = []
+        for episode in stream:
+            prefix.append(episode)
+            if episode.start >= horizon:
+                break
+        close = getattr(stream, "close", None)
+        if close is not None:
+            close()
+        return iter(prefix)
 
     @staticmethod
     def _shift_stream(
@@ -183,9 +240,16 @@ class FailureInjector:
                 start=start, end=end, interruption_count=episode.interruption_count
             )
 
-    def attach_trace(self, trace: AvailabilityTrace) -> None:
-        """Drive a node by replaying a materialised trace."""
-        node_id = trace.host_id
+    def attach_trace(
+        self, trace: AvailabilityTrace, node_id: Optional[NodeId] = None
+    ) -> None:
+        """Drive a node by replaying a materialised trace.
+
+        ``node_id`` defaults to the trace's host name (standalone use);
+        ``build_cluster`` passes the interned int id.
+        """
+        if node_id is None:
+            node_id = trace.host_id  # type: ignore[assignment]
         if node_id in self._is_down:
             raise ValueError(f"node {node_id!r} already attached")
         self._register(node_id)
@@ -196,7 +260,7 @@ class FailureInjector:
         self._episode_streams[node_id] = episodes
         self._schedule_next(node_id)
 
-    def _register(self, node_id: str) -> None:
+    def _register(self, node_id: NodeId) -> None:
         self._is_down[node_id] = False
         self._episode_counts[node_id] = 0
         self._downtime_totals[node_id] = 0.0
@@ -206,7 +270,7 @@ class FailureInjector:
 
     # -- injected failures ---------------------------------------------------------
 
-    def schedule_permanent_failure(self, node_id: str, at_time: float) -> None:
+    def schedule_permanent_failure(self, node_id: NodeId, at_time: float) -> None:
         """Arm a permanent loss of ``node_id`` at ``at_time``.
 
         At that instant the node goes (or stays) down forever: its episode
@@ -223,7 +287,7 @@ class FailureInjector:
         self._injected_events.append(handle)
 
     def schedule_outage(
-        self, node_ids: Sequence[str], start: float, duration: float
+        self, node_ids: Sequence[NodeId], start: float, duration: float
     ) -> None:
         """Arm a correlated outage: every node goes down at ``start`` for
         ``duration`` seconds.
@@ -247,7 +311,7 @@ class FailureInjector:
             )
             self._injected_events.append(handle)
 
-    def set_recovery_stretch(self, node_id: str, stretch: float) -> None:
+    def set_recovery_stretch(self, node_id: NodeId, stretch: float) -> None:
         """Stretch remaining downtime of episodes beginning from now on.
 
         Chaos delayed-recovery hook: while set, any episode of ``node_id``
@@ -260,12 +324,12 @@ class FailureInjector:
             raise ValueError(f"stretch must be >= 1, got {stretch}")
         self._recovery_stretch[node_id] = stretch
 
-    def clear_recovery_stretch(self, node_id: str) -> None:
+    def clear_recovery_stretch(self, node_id: NodeId) -> None:
         """Remove a delayed-recovery stretch (idempotent)."""
         self._require_node(node_id)
         self._recovery_stretch.pop(node_id, None)
 
-    def _begin_injected(self, node_id: str, episode: DowntimeEpisode) -> None:
+    def _begin_injected(self, node_id: NodeId, episode: DowntimeEpisode) -> None:
         if self._stopped or self._permanent[node_id] or self._is_down[node_id]:
             return
         # An armed stream begin-event would double-fire on_down while the
@@ -273,7 +337,7 @@ class FailureInjector:
         # such overlaps away, so the stream stays consistent.
         self._begin_episode(node_id, episode, from_stream=False)
 
-    def _begin_permanent(self, node_id: str) -> None:
+    def _begin_permanent(self, node_id: NodeId) -> None:
         if self._stopped or self._permanent[node_id]:
             return
         self._permanent[node_id] = True
@@ -330,32 +394,32 @@ class FailureInjector:
     # -- queries --------------------------------------------------------------------
 
     @property
-    def node_ids(self) -> List[str]:
+    def node_ids(self) -> List[NodeId]:
         return sorted(self._is_down)
 
-    def is_down(self, node_id: str) -> bool:
+    def is_down(self, node_id: NodeId) -> bool:
         """Current state of a node."""
         return self._is_down[node_id]
 
-    def is_permanently_failed(self, node_id: str) -> bool:
+    def is_permanently_failed(self, node_id: NodeId) -> bool:
         """Whether the node is gone for good (disk and all)."""
         return self._permanent[node_id]
 
-    def episode_count(self, node_id: str) -> int:
+    def episode_count(self, node_id: NodeId) -> int:
         """Downtime episodes this node has *started* so far."""
         return self._episode_counts[node_id]
 
-    def downtime_total(self, node_id: str) -> float:
+    def downtime_total(self, node_id: NodeId) -> float:
         """Seconds of completed downtime so far."""
         return self._downtime_totals[node_id]
 
-    def _require_node(self, node_id: str) -> None:
+    def _require_node(self, node_id: NodeId) -> None:
         if node_id not in self._is_down:
             raise KeyError(f"unknown node {node_id!r}")
 
     # -- internals --------------------------------------------------------------------
 
-    def _schedule_next(self, node_id: str) -> None:
+    def _schedule_next(self, node_id: NodeId) -> None:
         stream = self._episode_streams.get(node_id)
         if stream is None:
             return
@@ -369,7 +433,7 @@ class FailureInjector:
         )
 
     def _begin_episode(
-        self, node_id: str, episode: DowntimeEpisode, from_stream: bool = True
+        self, node_id: NodeId, episode: DowntimeEpisode, from_stream: bool = True
     ) -> None:
         if self._stopped or self._permanent[node_id]:
             return
@@ -402,7 +466,7 @@ class FailureInjector:
             self._injected_events.append(handle)
 
     def _end_episode(
-        self, node_id: str, episode: DowntimeEpisode, from_stream: bool = True
+        self, node_id: NodeId, episode: DowntimeEpisode, from_stream: bool = True
     ) -> None:
         if self._stopped or self._permanent[node_id]:
             return

@@ -64,6 +64,7 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Set, Tuple
 
+from repro.core.ids import NodeId
 from repro.simulator.engine import EventHandle, Simulator
 from repro.simulator.events import (
     BlockLost,
@@ -305,13 +306,13 @@ class InvariantAuditor:
     def _violate(self, found: List[Violation], invariant: str, message: str) -> None:
         found.append(Violation(invariant, self._sim.now, message))
 
-    def _is_down_physical(self, node_id: str) -> bool:
+    def _is_down_physical(self, node_id: NodeId) -> bool:
         try:
             return self._injector.is_down(node_id)
         except KeyError:
             return False
 
-    def _is_permanently_failed(self, node_id: str) -> bool:
+    def _is_permanently_failed(self, node_id: NodeId) -> bool:
         try:
             return self._injector.is_permanently_failed(node_id)
         except KeyError:
@@ -457,8 +458,8 @@ class InvariantAuditor:
         network = self._network
         if not network.fair_sharing:
             return  # the simple model oversubscribes links by design
-        up_sums: Dict[str, float] = {}
-        down_sums: Dict[str, float] = {}
+        up_sums: Dict[NodeId, float] = {}
+        down_sums: Dict[NodeId, float] = {}
         for transfer in network.active_transfers:
             up_sums[transfer.source] = up_sums.get(transfer.source, 0.0) + transfer.rate
             down_sums[transfer.destination] = (

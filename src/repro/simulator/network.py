@@ -23,6 +23,7 @@ import itertools
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.core.ids import NodeId
 from repro.simulator.engine import EventHandle, Simulator
 from repro.simulator.events import (
     NodeDegraded,
@@ -71,8 +72,8 @@ class Transfer:
     def __init__(
         self,
         transfer_id: int,
-        source: str,
-        destination: str,
+        source: NodeId,
+        destination: NodeId,
         size: float,
         started_at: float,
         label: str,
@@ -98,8 +99,8 @@ class Transfer:
         # Link identities, interned once at transfer start: every rate
         # allocation round indexes capacities/membership by these, so they
         # must not be rebuilt per round (or per allocation).
-        self.up_key: Tuple[str, str] = ("up", source)
-        self.down_key: Tuple[str, str] = ("down", destination)
+        self.up_key: Tuple[str, NodeId] = ("up", source)
+        self.down_key: Tuple[str, NodeId] = ("down", destination)
 
     @property
     def transferred(self) -> float:
@@ -140,13 +141,13 @@ class Network:
             else self._default_up
         )
         self._fair = fair_sharing
-        self._uplinks: Dict[str, float] = {}
-        self._downlinks: Dict[str, float] = {}
+        self._uplinks: Dict[NodeId, float] = {}
+        self._downlinks: Dict[NodeId, float] = {}
         # Insertion-ordered: Transfer hashes by identity, so iterating a
         # plain set would depend on memory addresses and break seed
         # determinism. Every iteration below relies on this ordering.
         self._active: Dict[Transfer, None] = {}
-        self._outgoing: Dict[str, int] = defaultdict(int)
+        self._outgoing: Dict[NodeId, int] = defaultdict(int)
         self._ids = itertools.count()
         self._last_update = sim.now
         self._sweep: Optional[EventHandle] = None
@@ -155,13 +156,13 @@ class Network:
         self._partitions: Dict[str, frozenset] = {}
         #: Gray-node throttles: node -> the (uplink, downlink) override
         #: entries in force before the throttle (None = defaulted).
-        self._throttled: Dict[str, Tuple[Optional[float], Optional[float]]] = {}
+        self._throttled: Dict[NodeId, Tuple[Optional[float], Optional[float]]] = {}
 
     # -- configuration ----------------------------------------------------------
 
     def set_link(
         self,
-        node_id: str,
+        node_id: NodeId,
         uplink_bps: Optional[float] = None,
         downlink_bps: Optional[float] = None,
     ) -> None:
@@ -171,11 +172,11 @@ class Network:
         if downlink_bps is not None:
             self._downlinks[node_id] = check_positive("downlink_bps", downlink_bps)
 
-    def uplink(self, node_id: str) -> float:
+    def uplink(self, node_id: NodeId) -> float:
         """The node's uplink capacity in bytes/second."""
         return self._uplinks.get(node_id, self._default_up)
 
-    def downlink(self, node_id: str) -> float:
+    def downlink(self, node_id: NodeId) -> float:
         """The node's downlink capacity in bytes/second."""
         return self._downlinks.get(node_id, self._default_down)
 
@@ -193,7 +194,7 @@ class Network:
     def active_transfers(self) -> List[Transfer]:
         return list(self._active)
 
-    def outgoing_count(self, node_id: str) -> int:
+    def outgoing_count(self, node_id: NodeId) -> int:
         """Active transfers currently streaming *from* this node."""
         return self._outgoing.get(node_id, 0)
 
@@ -201,8 +202,8 @@ class Network:
 
     def start_transfer(
         self,
-        source: str,
-        destination: str,
+        source: NodeId,
+        destination: NodeId,
         size_bytes: float,
         on_complete: Callable[[Transfer], None],
         on_cancel: Optional[Callable[[Transfer], None]] = None,
@@ -260,7 +261,7 @@ class Network:
             self._active.pop(transfer, None)
             self._finalize(transfer, TransferState.CANCELLED)
 
-    def cancel_involving(self, node_id: str) -> List[Transfer]:
+    def cancel_involving(self, node_id: NodeId) -> List[Transfer]:
         """Cancel every active transfer touching ``node_id`` (node went down)."""
         doomed = [
             t for t in self._active if t.source == node_id or t.destination == node_id
@@ -303,7 +304,7 @@ class Network:
 
     # -- chaos: partitions and gray throttles ------------------------------------------
 
-    def begin_partition(self, partition_id: str, members: Tuple[str, ...]) -> None:
+    def begin_partition(self, partition_id: str, members: Tuple[NodeId, ...]) -> None:
         """Cut ``members`` off: transfers crossing the boundary stall.
 
         Stalled transfers keep their progress and resume from it at
@@ -337,7 +338,7 @@ class Network:
                 ):
                     self._thaw_simple(transfer)
 
-    def throttle_node(self, node_id: str, link_factor: float) -> None:
+    def throttle_node(self, node_id: NodeId, link_factor: float) -> None:
         """Scale one node's link capacities by ``link_factor`` (gray node).
 
         The pre-throttle override entries are saved so
@@ -356,7 +357,7 @@ class Network:
         self._downlinks[node_id] = self.downlink(node_id) * link_factor
         self._rerate_node(node_id)
 
-    def restore_node(self, node_id: str) -> None:
+    def restore_node(self, node_id: NodeId) -> None:
         """Lift a gray-node throttle, restoring the saved link config."""
         saved = self._throttled.pop(node_id, None)
         if saved is None:
@@ -372,7 +373,7 @@ class Network:
             self._downlinks[node_id] = down
         self._rerate_node(node_id)
 
-    def _rerate_node(self, node_id: str) -> None:
+    def _rerate_node(self, node_id: NodeId) -> None:
         """Re-rate in-flight transfers after a capacity change on a node."""
         if self._fair:
             self._advance()
@@ -512,9 +513,9 @@ class Network:
         """
         if not self._active:
             return
-        capacity: Dict[Tuple[str, str], float] = {}
-        members: Dict[Tuple[str, str], List[Transfer]] = {}
-        live: Dict[Tuple[str, str], int] = {}
+        capacity: Dict[Tuple[str, NodeId], float] = {}
+        members: Dict[Tuple[str, NodeId], List[Transfer]] = {}
+        live: Dict[Tuple[str, NodeId], int] = {}
         for transfer in self._active:
             # Stalled flows join no links: they take no rate (the final
             # loop zeroes them) and free their capacity for the rest.

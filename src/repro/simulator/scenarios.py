@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, fields
-from typing import ClassVar, Dict, Mapping, Sequence, Tuple, Type
+from typing import Callable, ClassVar, Dict, Mapping, Optional, Sequence, Tuple, Type
 
+from repro.core.ids import NodeId
 from repro.util.rng import RandomSource
 from repro.util.validation import check_non_negative, check_positive
 
@@ -67,16 +68,36 @@ class Scenario:
     # -- target selection --------------------------------------------------
 
     def resolve_targets(
-        self, node_ids: Sequence[str], rng: RandomSource
-    ) -> Tuple[str, ...]:
+        self,
+        node_ids: Sequence[NodeId],
+        rng: RandomSource,
+        intern: Optional[Callable[[str], NodeId]] = None,
+    ) -> Tuple[NodeId, ...]:
         """Pick the concrete node ids this scenario acts on.
 
-        Explicit ``nodes`` are validated against the cluster and used
-        verbatim; otherwise ``count`` ids are sampled from the *sorted*
-        id list via ``rng`` so the choice is a pure function of the
-        campaign seed. ``count=0`` (the default) means every node.
+        Explicit ``nodes`` name hosts in the spec's (human) vocabulary;
+        when ``intern`` is given they are translated to the cluster's
+        dense int ids, otherwise used verbatim (standalone components
+        route by name). Without explicit nodes, ``count`` ids are sampled
+        from the *sorted* id list via ``rng`` so the choice is a pure
+        function of the campaign seed — and representation-invariant,
+        because names are zero-padded so id order equals name order.
+        ``count=0`` (the default) means every node.
         """
-        explicit: Tuple[str, ...] = getattr(self, "nodes", ())
+        explicit: Tuple[NodeId, ...] = getattr(self, "nodes", ())
+        if explicit and intern is not None:
+            resolved = []
+            unknown = []
+            for name in explicit:
+                try:
+                    resolved.append(intern(name))
+                except KeyError:
+                    unknown.append(name)
+            if unknown:
+                raise ValueError(
+                    f"{self.kind} scenario targets unknown nodes: {unknown}"
+                )
+            explicit = tuple(resolved)
         known = frozenset(node_ids)
         if explicit:
             missing = [n for n in explicit if n not in known]

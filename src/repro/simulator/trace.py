@@ -16,7 +16,14 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Type
 
+from repro.core.ids import NodeIds
 from repro.simulator.events import Event, EventBus, Phase
+
+#: Payload fields that carry dense node ids; exported records translate
+#: them back to host names (ids are an in-memory representation, names
+#: are the reporting vocabulary).
+_NODE_FIELDS = ("node_id",)
+_NODE_TUPLE_FIELDS = ("members",)
 
 
 @dataclass(frozen=True)
@@ -55,9 +62,10 @@ class TraceRecorder:
 
     name = "trace-recorder"
 
-    def __init__(self, bus: EventBus) -> None:
+    def __init__(self, bus: EventBus, ids: Optional[NodeIds] = None) -> None:
         self._records: List[TraceRecord] = []
         self._recording = True
+        self._ids = ids
         bus.add_tap(self._on_event)
 
     # -- service lifecycle -------------------------------------------------------
@@ -86,11 +94,36 @@ class TraceRecorder:
                 seq=len(self._records),
                 time=event.time,
                 type=type(event).__name__,
-                key=event.routing_key,
+                key=self._display(event.routing_key),
                 phases=tuple(phase.name for phase in phases),
-                payload=event.payload(),
+                payload=self._display_payload(event.payload()),
             )
         )
+
+    def _display(self, key: object) -> Optional[str]:
+        """Render a routing key for export (int node id -> host name)."""
+        if key is None:
+            return None
+        if self._ids is not None and isinstance(key, int):
+            return self._ids.name_of(key)
+        return str(key)
+
+    def _display_payload(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Translate node-id fields back to host names for export."""
+        if self._ids is None:
+            return payload
+        name_of = self._ids.name_of
+        for field in _NODE_FIELDS:
+            value = payload.get(field)
+            if isinstance(value, int):
+                payload[field] = name_of(value)
+        for field in _NODE_TUPLE_FIELDS:
+            value = payload.get(field)
+            if isinstance(value, tuple):
+                payload[field] = tuple(
+                    name_of(v) if isinstance(v, int) else v for v in value
+                )
+        return payload
 
     # -- access -------------------------------------------------------------------
 

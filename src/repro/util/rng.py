@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -67,6 +67,28 @@ class RandomSource:
     def random(self) -> float:
         """Uniform float in [0, 1)."""
         return self._random.random()
+
+    def random_many(self, count: int) -> List[float]:
+        """``count`` uniforms in [0, 1) — exactly ``count`` calls of
+        :meth:`random`, batched.
+
+        The returned list is position-identical to ``count`` scalar draws,
+        and the stream is left in the same state, so batched and scalar
+        consumers interleave without divergence.
+        """
+        r = self._random.random
+        return [r() for _ in range(count)]
+
+    @property
+    def raw_random(self) -> Callable[[], float]:
+        """The bound uniform sampler, for hot rejection loops.
+
+        Calling it consumes this stream exactly like :meth:`random`; it
+        exists so vectorized samplers with data-dependent draw counts
+        (e.g. normal rejection sampling) can skip per-draw wrapper
+        overhead without over-drawing the stream.
+        """
+        return self._random.random
 
     def uniform(self, low: float, high: float) -> float:
         """Uniform float in [low, high]."""

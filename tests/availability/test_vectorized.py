@@ -1,0 +1,118 @@
+"""Bit-identity of the batched/inlined sampling paths to the scalar ones.
+
+The scale kernel speeds up availability sampling two ways: batched
+``Distribution.sample_many`` overrides and per-distribution-pair inlined
+episode generators (``InterruptionProcess._episodes_expo_lognormal`` /
+``_episodes_expo_expo``). Both promise the *same floats* as the scalar
+reference — goldens depend on it — so every test here asserts exact
+``==``, never ``approx``, and also checks the RNG stream is left in the
+same state (batched and scalar consumers must interleave freely).
+"""
+
+import pytest
+
+from repro.availability.distributions import (
+    Deterministic,
+    Exponential,
+    Lognormal,
+    Pareto,
+    ShiftedPareto,
+    Weibull,
+)
+from repro.availability.process import InterruptionProcess
+from repro.util.rng import RandomSource
+
+DISTRIBUTIONS = [
+    Exponential(mean=3.0),
+    Deterministic(value=2.5),
+    Lognormal(mean=4.0, cov=1.5),
+    Weibull(scale=3.0, shape=0.7),
+    Pareto(xm=2.0, alpha=2.5),
+    ShiftedPareto(scale=2.0, alpha=2.5),
+]
+
+
+@pytest.mark.parametrize("dist", DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+class TestSampleManyBitIdentity:
+    def test_matches_scalar_draws(self, dist):
+        scalar_rng = RandomSource(42).substream("x")
+        batch_rng = RandomSource(42).substream("x")
+        scalar = [dist.sample(scalar_rng) for _ in range(257)]
+        batch = dist.sample_many(batch_rng, 257)
+        assert batch == scalar  # exact: same floats, bit for bit
+
+    def test_leaves_stream_in_same_state(self, dist):
+        scalar_rng = RandomSource(7).substream("x")
+        batch_rng = RandomSource(7).substream("x")
+        for _ in range(100):
+            dist.sample(scalar_rng)
+        dist.sample_many(batch_rng, 100)
+        # Interleaving after the batch must continue the same stream.
+        assert [dist.sample(batch_rng) for _ in range(10)] == [
+            dist.sample(scalar_rng) for _ in range(10)
+        ]
+
+    def test_count_zero_draws_nothing(self, dist):
+        rng = RandomSource(3).substream("x")
+        assert dist.sample_many(rng, 0) == []
+        assert dist.sample(rng) == dist.sample(RandomSource(3).substream("x"))
+
+
+def _episode_pairs():
+    """(arrival, service) cases covering every specialised dispatch."""
+    return [
+        # SETI populations: exponential arrivals, lognormal recovery.
+        ("expo-lognormal-stable", Exponential(mean=2000.0), Lognormal(mean=300.0, cov=2.0)),
+        ("expo-lognormal-unstable", Exponential(mean=10.0), Lognormal(mean=40.0, cov=1.2)),
+        # Table 2 emulation: exponential/exponential.
+        ("expo-expo-stable", Exponential(mean=900.0), Exponential(mean=120.0)),
+        ("expo-expo-unstable", Exponential(mean=5.0), Exponential(mean=25.0)),
+        # Generic fallbacks (no specialisation; sanity that dispatch
+        # doesn't change them either).
+        ("expo-deterministic", Exponential(mean=500.0), Deterministic(value=90.0)),
+        ("weibull-lognormal", Weibull(scale=800.0, shape=0.8), Lognormal(mean=100.0, cov=1.0)),
+    ]
+
+
+@pytest.mark.parametrize(
+    "arrival,service",
+    [pytest.param(a, s, id=name) for name, a, s in _episode_pairs()],
+)
+class TestEpisodeSpecialisationBitIdentity:
+    HORIZON = 500_000.0
+
+    def test_specialised_matches_generic(self, arrival, service):
+        fast = InterruptionProcess(arrival, service, RandomSource(11).substream("h"))
+        ref = InterruptionProcess(arrival, service, RandomSource(11).substream("h"))
+        got = list(fast.episodes(self.HORIZON))
+        clock = ref._rng.substream("arrivals")
+        svc = ref._rng.substream("service")
+        want = list(ref._episodes_generic(clock, svc, self.HORIZON))
+        assert got == want  # dataclass equality on exact floats
+
+    def test_truncation_cap_identical(self, arrival, service):
+        # A tiny per-episode cap forces the truncation branch on every
+        # episode; the specialised paths must take it identically.
+        fast = InterruptionProcess(
+            arrival, service, RandomSource(5).substream("h"), max_interruptions_per_episode=2
+        )
+        ref = InterruptionProcess(
+            arrival, service, RandomSource(5).substream("h"), max_interruptions_per_episode=2
+        )
+        got = list(fast.episodes(50_000.0))
+        clock = ref._rng.substream("arrivals")
+        svc = ref._rng.substream("service")
+        want = list(ref._episodes_generic(clock, svc, 50_000.0))
+        assert got == want
+
+    def test_stream_continuation_identical(self, arrival, service):
+        # Long streams: after thousands of episodes the uniform streams of
+        # the fast and reference paths are still in lockstep.
+        fast = InterruptionProcess(arrival, service, RandomSource(23).substream("h"))
+        ref = InterruptionProcess(arrival, service, RandomSource(23).substream("h"))
+        fast_iter = fast.episodes(10**9)
+        clock = ref._rng.substream("arrivals")
+        svc = ref._rng.substream("service")
+        ref_iter = ref._episodes_generic(clock, svc, 10**9)
+        for _ in range(2000):
+            assert next(fast_iter) == next(ref_iter)

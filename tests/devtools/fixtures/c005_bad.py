@@ -1,0 +1,28 @@
+"""C005 fixture: a dataclass event without slots (carries a __dict__)."""
+
+from dataclasses import dataclass
+
+ACCOUNTING = 0
+
+
+class Event:
+    """Base class for the fixture's bus events."""
+
+    def __init__(self, time):
+        self.time = time
+
+
+@dataclass(frozen=True)
+class BlockMoved(Event):
+    """Carried end to end: published and handled — but unslotted."""
+
+    time: float
+
+
+def on_block_moved(event):
+    return event
+
+
+def wire(bus):
+    bus.subscribe(BlockMoved, on_block_moved, ACCOUNTING)
+    bus.publish(BlockMoved(0.0))

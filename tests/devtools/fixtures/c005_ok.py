@@ -1,0 +1,43 @@
+"""C005 clean fixture: dataclass events opt into slots, both ways."""
+
+from dataclasses import dataclass
+
+ACCOUNTING = 0
+
+
+class Event:
+    """Base class for the fixture's bus events."""
+
+    def __init__(self, time):
+        self.time = time
+
+
+@dataclass(frozen=True, slots=True)
+class BlockMoved(Event):
+    """Slotted via the dataclass keyword."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class BlockDropped(Event):
+    """Slotted via an explicit __slots__ declaration."""
+
+    __slots__ = ("time",)
+
+    time: float
+
+
+def on_block_moved(event):
+    return event
+
+
+def on_block_dropped(event):
+    return event
+
+
+def wire(bus):
+    bus.subscribe(BlockMoved, on_block_moved, ACCOUNTING)
+    bus.subscribe(BlockDropped, on_block_dropped, ACCOUNTING)
+    bus.publish(BlockMoved(0.0))
+    bus.publish(BlockDropped(0.0))

@@ -16,7 +16,7 @@ import pytest
 from repro.devtools.simlint.engine import lint_paths
 
 FIXTURES = Path(__file__).parent / "fixtures"
-RULES = ["D001", "D002", "D003", "D004", "D005", "C001", "C002", "C003", "C004"]
+RULES = ["D001", "D002", "D003", "D004", "D005", "C001", "C002", "C003", "C004", "C005"]
 
 
 def lint_fixture(tmp_path, name):

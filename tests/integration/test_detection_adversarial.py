@@ -44,6 +44,7 @@ class TestHeartbeatLossVersusTrueDeath:
             ),
         )
         cluster = build(campaign, windows={0: [(30.0, 100.0)]})
+        n0 = cluster.ids.id_of("n0")
         transitions = []
         cluster.heartbeats.subscribe(
             on_dead=lambda n, t: transitions.append(("dead", n, t)),
@@ -51,15 +52,15 @@ class TestHeartbeatLossVersusTrueDeath:
         )
         cluster.sim.run(until=25.0)
         # Believed dead, physically alive: pure detector illusion.
-        assert not cluster.namenode.is_live("n0")
-        assert not cluster.injector.is_down("n0")
+        assert not cluster.namenode.is_live(n0)
+        assert not cluster.injector.is_down(n0)
         cluster.sim.run(until=90.0)
         # Partition healed at 70, but the node really is down now.
-        assert not cluster.namenode.is_live("n0")
-        assert cluster.injector.is_down("n0")
+        assert not cluster.namenode.is_live(n0)
+        assert cluster.injector.is_down(n0)
         cluster.sim.run(until=120.0)
-        assert cluster.namenode.is_live("n0")
-        assert transitions == [("dead", "n0", 18.0), ("back", "n0", 100.0)]
+        assert cluster.namenode.is_live(n0)
+        assert transitions == [("dead", n0, 18.0), ("back", n0, 100.0)]
         cluster.stop()
 
 
@@ -78,12 +79,12 @@ class TestBeliefDivergence:
         )
         cluster = build(campaign, n=4)
         cluster.sim.run(until=45.0)
-        for node in ("n0", "n1"):
+        for node in (cluster.ids.id_of("n0"), cluster.ids.id_of("n1")):
             assert not cluster.namenode.is_live(node)
             assert not cluster.injector.is_down(node)
-        assert cluster.namenode.is_live("n2")
+        assert cluster.namenode.is_live(cluster.ids.id_of("n2"))
         cluster.sim.run(until=60.0)
-        for node in ("n0", "n1"):
+        for node in (cluster.ids.id_of("n0"), cluster.ids.id_of("n1")):
             assert cluster.namenode.is_live(node)
             assert not cluster.injector.is_down(node)
         cluster.stop()
@@ -97,7 +98,7 @@ class TestBeliefDivergence:
         )
         cluster = build(campaign, n=3)
         cluster.sim.run(until=45.0)
-        assert cluster.namenode.is_live("n0")
+        assert cluster.namenode.is_live(cluster.ids.id_of("n0"))
         assert cluster.network.describe()["partitions"] == 1
         cluster.sim.run(until=60.0)
         assert cluster.network.describe()["partitions"] == 0
@@ -134,13 +135,14 @@ class TestSpeculationOnGrayNode:
         ]
         assert speculated, "gray-node stragglers never triggered speculation"
         # Every task originally running on the gray node finished elsewhere.
+        n0 = cluster.ids.id_of("n0")
         gray_tasks = [
             task
             for task in job.tasks
-            if any(a.node_id == "n0" for a in task.attempts)
+            if any(a.node_id == n0 for a in task.attempts)
         ]
         assert gray_tasks
         for task in gray_tasks:
-            assert task.completed_by.node_id != "n0"
+            assert task.completed_by.node_id != n0
         assert job.makespan < 4.0 * GAMMA * len(job.tasks)
         cluster.stop()

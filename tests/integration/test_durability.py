@@ -53,9 +53,10 @@ class TestSinglePermanentLoss:
     def test_monitor_heals_to_zero_unreadable(self):
         cluster = build({}, n=4, replication_monitor=True)
         job = submit(cluster, blocks=8, replication=2)
-        held = cluster.client.block_distribution("in")["n0"]
+        n0 = cluster.ids.id_of("n0")
+        held = cluster.client.block_distribution("in")[n0]
         assert held > 0, "seed must place data on the doomed node"
-        cluster.injector.schedule_permanent_failure("n0", at_time=12.0)
+        cluster.injector.schedule_permanent_failure(n0, at_time=12.0)
         cluster.run_until_job_done()
         assert job.is_complete
         cluster.sim.run(until=50_000.0)  # let healing drain
@@ -71,15 +72,16 @@ class TestSinglePermanentLoss:
             block_id = task.block.block_id
             replicas = readable_replicas(cluster, block_id)
             assert len(replicas) == 2
-            assert "n0" not in replicas
+            assert n0 not in replicas
         assert cluster.monitor.is_idle()
 
     def test_without_monitor_damage_is_reported_not_healed(self):
         cluster = build({}, n=4)  # replication_monitor defaults off
         job = submit(cluster, blocks=8, replication=2)
-        held = cluster.client.block_distribution("in")["n0"]
+        n0 = cluster.ids.id_of("n0")
+        held = cluster.client.block_distribution("in")[n0]
         assert held > 0
-        cluster.injector.schedule_permanent_failure("n0", at_time=12.0)
+        cluster.injector.schedule_permanent_failure(n0, at_time=12.0)
         cluster.run_until_job_done()
         # Surviving replicas keep every block readable: the job completes.
         assert job.is_complete
@@ -100,14 +102,15 @@ class TestSinglePermanentLoss:
             heartbeat_interval=3.0, heartbeat_miss_threshold=2,
         )
         job = submit(cluster, blocks=8, replication=2)
-        cluster.injector.schedule_permanent_failure("n0", at_time=12.0)
+        n0 = cluster.ids.id_of("n0")
+        cluster.injector.schedule_permanent_failure(n0, at_time=12.0)
         cluster.run_until_job_done()
         assert job.is_complete
         cluster.sim.run(until=50_000.0)
-        assert not cluster.heartbeats.is_tracked("n0")
+        assert not cluster.heartbeats.is_tracked(n0)
         assert cluster.durability.blocks_lost == 0
         assert cluster.namenode.under_replicated() == {}
-        assert cluster.namenode.located_on("n0") == []
+        assert cluster.namenode.located_on(n0) == []
 
 
 class TestUnrecoverableLoss:
@@ -125,10 +128,11 @@ class TestUnrecoverableLoss:
         # must still terminate, abandoning the unrunnable tasks.
         cluster = build({}, n=3, replication_monitor=True)
         job = submit(cluster, blocks=9, replication=2)
-        doomed = self.doomed_blocks(cluster, job, {"n0", "n1"})
+        n0, n1 = cluster.ids.id_of("n0"), cluster.ids.id_of("n1")
+        doomed = self.doomed_blocks(cluster, job, {n0, n1})
         assert doomed, "seed must co-locate some block entirely on n0+n1"
-        cluster.injector.schedule_permanent_failure("n0", at_time=8.0)
-        cluster.injector.schedule_permanent_failure("n1", at_time=12.0)
+        cluster.injector.schedule_permanent_failure(n0, at_time=8.0)
+        cluster.injector.schedule_permanent_failure(n1, at_time=12.0)
         cluster.run_until_job_done()
         assert job.finished_at is not None
         assert job.makespan > 0.0
@@ -148,9 +152,10 @@ class TestUnrecoverableLoss:
         # scenario that used to livelock run_until_job_done).
         cluster = build({}, n=3, replication_monitor=True)
         job = submit(cluster, blocks=9, replication=1)
-        doomed = self.doomed_blocks(cluster, job, {"n0"})
+        n0 = cluster.ids.id_of("n0")
+        doomed = self.doomed_blocks(cluster, job, {n0})
         assert doomed
-        cluster.injector.schedule_permanent_failure("n0", at_time=5.0)
+        cluster.injector.schedule_permanent_failure(n0, at_time=5.0)
         cluster.run_until_job_done()
         assert job.finished_at is not None
         d = cluster.durability
@@ -166,9 +171,10 @@ class TestUnrecoverableLoss:
         # file must abandon the dead tasks at submit time, not hang.
         cluster = build({}, n=3, replication_monitor=True)
         job = submit(cluster, blocks=6, replication=1)
-        doomed = self.doomed_blocks(cluster, job, {"n0"})
+        n0 = cluster.ids.id_of("n0")
+        doomed = self.doomed_blocks(cluster, job, {n0})
         assert doomed
-        cluster.injector.schedule_permanent_failure("n0", at_time=5.0)
+        cluster.injector.schedule_permanent_failure(n0, at_time=5.0)
         cluster.run_until_job_done()
         second = MapJob.uniform(JobConf(name="again"), cluster.namenode.file("in"), GAMMA)
         cluster.jobtracker.submit(second)

@@ -44,8 +44,8 @@ class TestClientToJobFlow:
         cluster.sim.run(until=0.0)
         f = cluster.client.copy_from_local("flagged", num_blocks=160, adapt_enabled=True)
         dist = cluster.client.block_distribution("flagged")
-        dedicated = [h.host_id for h in hosts if h.is_dedicated]
-        flaky = [h.host_id for h in hosts if not h.is_dedicated]
+        dedicated = [cluster.ids.id_of(h.host_id) for h in hosts if h.is_dedicated]
+        flaky = [cluster.ids.id_of(h.host_id) for h in hosts if not h.is_dedicated]
         assert sum(dist[n] for n in dedicated) > sum(dist[n] for n in flaky)
 
 
@@ -60,8 +60,8 @@ class TestEstimatedPredictorLoop:
         predictor = cluster.namenode.predictor
         flaky = [h for h in hosts if not h.is_dedicated][0]
         stable = [h for h in hosts if h.is_dedicated][0]
-        flaky_est = predictor.estimate(flaky.host_id)
-        stable_est = predictor.estimate(stable.host_id)
+        flaky_est = predictor.estimate(cluster.ids.id_of(flaky.host_id))
+        stable_est = predictor.estimate(cluster.ids.id_of(stable.host_id))
         # After 10 minutes of heartbeats the flaky node's estimated MTBI
         # must be clearly below the dedicated node's.
         assert flaky_est.mtbi < stable_est.mtbi / 5

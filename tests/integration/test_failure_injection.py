@@ -55,8 +55,8 @@ class TestFlapping:
         # Anything placed on n0 completed elsewhere (remotely on n1).
         for task in job.tasks:
             holders = cluster.namenode.replica_holders(task.block.block_id)
-            if holders == {"n0"}:
-                assert task.completed_by.node_id == "n1"
+            if holders == {cluster.ids.id_of("n0")}:
+                assert task.completed_by.node_id == cluster.ids.id_of("n1")
 
     def test_flapping_with_hard_storage_still_completes(self):
         # Even unreadable-when-down storage completes: fetches land in the
@@ -83,7 +83,9 @@ class TestFetchInterruption:
         job = submit(cluster, blocks=2)
         cluster.run_until_job_done()
         assert job.is_complete
-        assert cluster.namenode.replica_holders(job.tasks[0].block.block_id) == {"n0"}
+        assert cluster.namenode.replica_holders(job.tasks[0].block.block_id) == {
+            cluster.ids.id_of("n0")
+        }
         aborted = [
             a
             for t in job.tasks
@@ -103,7 +105,8 @@ class TestFetchInterruption:
         cluster.run_until_job_done()
         assert job.is_complete
         for task in job.tasks:
-            assert task.completed_by.node_id != "n1" or task.completed_by.finished_at < 15.0
+            n1 = cluster.ids.id_of("n1")
+            assert task.completed_by.node_id != n1 or task.completed_by.finished_at < 15.0
 
 
 class TestSimultaneousEvents:
@@ -127,7 +130,7 @@ class TestSimultaneousEvents:
         job = submit(cluster, blocks=6)
         cluster.run_until_job_done()
         dist = cluster.client.block_distribution("in")
-        assert dist["n0"] == 0
+        assert dist[cluster.ids.id_of("n0")] == 0
         assert job.is_complete
 
 
@@ -178,4 +181,4 @@ class TestRebalanceUnderFailures:
         )
         report = cluster.client.adapt("f")
         for move in report.moves:
-            assert move.destination != "n2"
+            assert move.destination != cluster.ids.id_of("n2")

@@ -103,7 +103,7 @@ class TestInterruptedExecution:
         assert job.makespan < 100.0
         # All completions happened on the surviving node.
         for task in job.tasks:
-            assert task.completed_by.node_id == "n1"
+            assert task.completed_by.node_id == cluster.ids.id_of("n1")
 
     def test_migration_when_no_local_replica(self):
         # Node 0 holds everything (node 1 down during ingest in stock HDFS
@@ -126,7 +126,7 @@ class TestInterruptedExecution:
         job = MapJob.uniform(JobConf(), f, GAMMA)
         cluster.jobtracker.submit(job)
         cluster.run_until_job_done()
-        if "n0" in holders:
+        if cluster.ids.id_of("n0") in holders:
             assert job.makespan >= 500.0
         else:
             assert job.makespan < 500.0

@@ -39,7 +39,10 @@ class TestBuildCluster:
         cluster = build_cluster(hosts, ClusterConfig(seed=1))
         assert cluster.node_count == 8
         assert cluster.total_slots == 8
-        assert cluster.namenode.datanode_ids == sorted(h.host_id for h in hosts)
+        assert cluster.namenode.datanode_ids == sorted(
+            cluster.ids.id_of(h.host_id) for h in hosts
+        )
+        assert cluster.node_names == sorted(h.host_id for h in hosts)
         assert cluster.heartbeats is not None  # default detection
 
     def test_oracle_mode_has_no_heartbeats(self):
@@ -50,7 +53,7 @@ class TestBuildCluster:
     def test_oracle_estimates_pinned(self):
         hosts = build_group_hosts(8, 1.0)
         cluster = build_cluster(hosts, ClusterConfig(seed=1, oracle_estimates=True))
-        est = cluster.namenode.predictor.estimate(hosts[0].host_id)
+        est = cluster.namenode.predictor.estimate(cluster.ids.id_of(hosts[0].host_id))
         assert est.mtbi == pytest.approx(hosts[0].mtbi)
 
     def test_estimated_mode_starts_at_prior(self):
@@ -58,7 +61,7 @@ class TestBuildCluster:
         cluster = build_cluster(
             hosts, ClusterConfig(seed=1, oracle_estimates=False, prior_mtbi=777.0)
         )
-        est = cluster.namenode.predictor.estimate(hosts[0].host_id)
+        est = cluster.namenode.predictor.estimate(cluster.ids.id_of(hosts[0].host_id))
         assert est.mtbi == pytest.approx(777.0, rel=0.01)
 
     def test_oracle_detection_marks_dead_instantly(self):
@@ -68,8 +71,9 @@ class TestBuildCluster:
         # At some point during the window, state changes were mirrored:
         # after running, believed liveness equals physical state.
         for host in hosts:
-            assert cluster.namenode.is_live(host.host_id) == (
-                not cluster.injector.is_down(host.host_id)
+            nid = cluster.ids.id_of(host.host_id)
+            assert cluster.namenode.is_live(nid) == (
+                not cluster.injector.is_down(nid)
             )
 
     def test_duplicate_host_ids_rejected(self):
@@ -96,6 +100,6 @@ class TestBuildCluster:
             hosts = build_group_hosts(n, 1.0)
             cluster = build_cluster(hosts, ClusterConfig(seed=9, detection="oracle"))
             cluster.sim.run(until=50.0)
-            return cluster.injector.episode_count("node-00000")
+            return cluster.injector.episode_count(cluster.ids.id_of("node-00000"))
 
         assert first_down_time(2) == first_down_time(6)

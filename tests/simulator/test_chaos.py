@@ -210,7 +210,7 @@ class TestEngineLifecycle:
         cluster.sim.run(until=10.0)
         cluster.stop()
         cluster.sim.run(until=100.0)
-        assert not cluster.injector.is_down("n0")
+        assert not cluster.injector.is_down(cluster.ids.id_of("n0"))
 
     def test_report_baseline_folding(self):
         campaign = ChaosCampaign(

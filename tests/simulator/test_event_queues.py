@@ -1,0 +1,191 @@
+"""Event-queue interchangeability: heap and calendar must order identically.
+
+The :class:`~repro.simulator.engine.EventQueue` contract is *exact*
+``(time, seq)`` order — the calendar queue's bucketing, resizing, and
+lap-scan fallback are speed-only concerns. These tests pin that three
+ways: unit behaviour of the calendar queue, randomized pop-order
+equivalence against the heap, and byte-identical end-to-end trajectories
+(golden scenarios plus the chaos smoke campaign) under both queues.
+"""
+
+import pytest
+
+from repro.experiments.chaosrun import run_chaos_point
+from repro.experiments.config import EmulationConfig, Strategy
+from repro.experiments.emulation import run_emulation_point
+from repro.simulator.engine import (
+    CalendarEventQueue,
+    EventHandle,
+    HeapEventQueue,
+    Simulator,
+)
+from repro.simulator.scenarios import ChaosCampaign
+from repro.util.rng import RandomSource
+
+
+def entry(time, seq, label="e"):
+    return (time, seq, EventHandle(time, lambda: None, label))
+
+
+class TestCalendarEventQueueUnit:
+    def test_empty_pop_raises(self):
+        q = CalendarEventQueue()
+        with pytest.raises(IndexError):
+            q.pop()
+        assert q.peek() is None
+        assert len(q) == 0
+
+    def test_fifo_within_same_time(self):
+        q = CalendarEventQueue()
+        for seq in (3, 1, 2, 0):
+            q.push(entry(5.0, seq))
+        assert [q.pop()[1] for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_orders_across_buckets_and_laps(self):
+        # Times chosen to collide in a 16-bucket table (stride = nbuckets
+        # * width) so correctness must come from the lap logic, not luck.
+        q = CalendarEventQueue(nbuckets=16, width=1.0)
+        times = [0.5, 16.5, 32.5, 1.5, 17.5, 8.0, 200.0, 0.25]
+        for seq, t in enumerate(times):
+            q.push(entry(t, seq))
+        popped = [q.pop()[:2] for _ in range(len(times))]
+        assert popped == sorted((t, s) for s, t in enumerate(times))
+
+    def test_push_behind_scan_position_is_not_skipped(self):
+        q = CalendarEventQueue(nbuckets=16, width=1.0)
+        q.push(entry(100.0, 0))
+        assert q.peek()[0] == 100.0  # scan advanced to t=100
+        q.push(entry(2.0, 1))  # behind the scan: must back up
+        assert q.pop()[0] == 2.0
+        assert q.pop()[0] == 100.0
+
+    def test_resize_preserves_order(self):
+        q = CalendarEventQueue(nbuckets=16, width=1.0)
+        n = 500  # > 2 * nbuckets: forces doubling several times
+        rnd = RandomSource(9).substream("t").raw_random
+        times = [rnd() * 1000.0 for _ in range(n)]
+        for seq, t in enumerate(times):
+            q.push(entry(t, seq))
+        popped = [q.pop()[:2] for _ in range(n)]
+        assert popped == sorted((t, s) for s, t in enumerate(times))
+        assert len(q) == 0
+
+    def test_compact_drops_cancelled_only(self):
+        q = CalendarEventQueue()
+        keep = entry(1.0, 0)
+        drop = entry(2.0, 1)
+        drop[2].cancel()
+        q.push(keep)
+        q.push(drop)
+        assert q.compact() == 1
+        assert len(q) == 1
+        assert q.pop() is keep
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_interleaved_push_pop_matches_heap(self, seed):
+        heap = HeapEventQueue()
+        cal = CalendarEventQueue()
+        rnd = RandomSource(seed).substream("ops").raw_random
+        seq = 0
+        for _ in range(3000):
+            if len(heap) and rnd() < 0.45:
+                assert cal.pop() == heap.pop()
+            else:
+                # Mixed time scales: sub-second bursts and far-future
+                # timers, like a real simulation schedule.
+                t = rnd() * (86400.0 if rnd() < 0.2 else 10.0)
+                e = entry(t, seq)
+                heap.push(e)
+                cal.push(e)
+                seq += 1
+            assert len(cal) == len(heap)
+        while len(heap):
+            assert cal.pop() == heap.pop()
+
+    def test_simulator_runs_identically_on_both(self):
+        def drive(queue):
+            sim = Simulator(queue=queue)
+            fired = []
+            rnd = RandomSource(4).substream("t").raw_random
+
+            def tick(label):
+                fired.append((sim.now, label))
+
+            for i in range(200):
+                t = rnd() * 500.0
+                sim.schedule_at(t, lambda i=i, t=t: tick(f"{i}@{t}"), label="tick")
+            sim.run(until=500.0)
+            return fired
+
+        assert drive("heap") == drive("calendar")
+
+
+GOLDEN_CONFIGS = [
+    # The three golden-determinism scenarios (same configs as
+    # tests/runtime/test_golden_determinism.py).
+    (
+        EmulationConfig(node_count=16, interrupted_ratio=0.5, blocks_per_node=4.0, seed=7),
+        Strategy("adapt", 1),
+    ),
+    (
+        EmulationConfig(
+            node_count=16,
+            interrupted_ratio=0.5,
+            blocks_per_node=4.0,
+            seed=11,
+            detection="oracle",
+            replication_monitor=True,
+            permanent_failure_rate=0.3,
+            permanent_failure_horizon=300.0,
+        ),
+        Strategy("existing", 2),
+    ),
+    (
+        EmulationConfig(
+            node_count=12,
+            interrupted_ratio=0.75,
+            blocks_per_node=3.0,
+            seed=3,
+            access_during_downtime=False,
+        ),
+        Strategy("naive", 2),
+    ),
+]
+
+
+@pytest.mark.slow
+class TestEndToEndByteIdentity:
+    @pytest.mark.parametrize("index", range(len(GOLDEN_CONFIGS)))
+    def test_golden_scenarios_identical_on_both_queues(self, index, monkeypatch):
+        config, strategy = GOLDEN_CONFIGS[index]
+        results = {}
+        for queue in ("heap", "calendar"):
+            monkeypatch.setenv("REPRO_EVENT_QUEUE", queue)
+            results[queue] = run_emulation_point(config, strategy)
+        heap, cal = results["heap"], results["calendar"]
+        # Full structured comparison: every float byte-identical.
+        assert heap.elapsed == cal.elapsed
+        assert heap.data_locality == cal.data_locality
+        assert heap.breakdown == cal.breakdown
+        assert (heap.durability is None) == (cal.durability is None)
+        if heap.durability is not None:
+            assert heap.durability.summary_row() == cal.durability.summary_row()
+
+    def test_chaos_campaign_identical_on_both_queues(self, monkeypatch):
+        campaign_path = __file__.rsplit("/tests/", 1)[0] + "/examples/chaos_smoke.json"
+        campaign = ChaosCampaign.load(campaign_path)
+        config = EmulationConfig(
+            node_count=8,
+            interrupted_ratio=0.5,
+            blocks_per_node=2.0,
+            seed=11,
+            replication_monitor=True,
+        )
+        reports = {}
+        for queue in ("heap", "calendar"):
+            monkeypatch.setenv("REPRO_EVENT_QUEUE", queue)
+            outcome = run_chaos_point(config, Strategy("adapt", 2), campaign, audit="strict")
+            reports[queue] = outcome.report
+        assert reports["heap"] == reports["calendar"]

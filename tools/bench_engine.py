@@ -1,0 +1,273 @@
+#!/usr/bin/env python
+"""Benchmark the simulation kernel: events/sec and peak RSS by node count.
+
+Each cell builds a SETI-population cluster (oracle detection, no burn-in,
+no MapReduce job — the pure failure/event kernel) and runs it for a fixed
+simulated horizon, recording build time, run time, events dispatched,
+events/sec, and peak RSS. Cells run in **separate subprocesses** so peak
+RSS is per-cell, not cumulative.
+
+The committed ``BENCH_engine.json`` carries two sections:
+
+* ``baseline`` — captured at the pre-refactor revision with this same
+  tool (the scale-kernel acceptance bar: >= 5x events/sec on the 16k
+  cell).
+* ``current`` — the tree as checked out.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_engine.py --out BENCH_engine.json
+    PYTHONPATH=src python tools/bench_engine.py --smoke \
+        --guard BENCH_engine.json        # CI perf-regression gate
+    PYTHONPATH=src python tools/bench_engine.py --full   # adds the 226k cell
+
+The tool runs unchanged on revisions that predate the scale-kernel knobs
+(``pregen_horizon`` / ``event_queue``): knobs are applied only when the
+checked-out ``ClusterConfig`` has the field.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+#: (node_count, simulated days) — the 226k cell is the full SETI@home FTA
+#: population over a multi-day window (ROADMAP item 1).
+CELLS = [(1024, 2.0), (4096, 2.0), (16384, 2.0)]
+FULL_CELL = (226_208, 3.0)
+SMOKE_NODES = 1024
+GUARD_DROP_FRACTION = 0.20
+
+
+def _cluster_config_kwargs(extra: Dict[str, Any]) -> Dict[str, Any]:
+    """Keep only the knobs the checked-out ClusterConfig understands."""
+    from repro.runtime.cluster import ClusterConfig
+
+    names = {f.name for f in dataclasses.fields(ClusterConfig)}
+    return {k: v for k, v in extra.items() if k in names and v is not None}
+
+
+def run_cell(nodes: int, days: float, seed: int, knobs: Dict[str, Any]) -> Dict[str, Any]:
+    """Build + run one kernel cell in this process; return its record."""
+    import resource
+
+    from repro.experiments.config import SimulationConfig
+    from repro.runtime.cluster import build_cluster
+
+    horizon = days * 86400.0
+    sim_config = SimulationConfig(
+        node_count=nodes, detection="oracle", stationary_burn_in=0.0, seed=seed
+    )
+    hosts = sim_config.hosts(seed=seed)
+    config = sim_config.cluster_config(seed=seed)
+    applied = _cluster_config_kwargs(knobs)
+    if applied:
+        config = dataclasses.replace(config, **applied)
+
+    t0 = time.perf_counter()
+    cluster = build_cluster(hosts, config)
+    t1 = time.perf_counter()
+    cluster.sim.run(until=horizon)
+    t2 = time.perf_counter()
+    events = cluster.sim.events_fired
+    cluster.stop()
+
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KiB on Linux
+        rss_kb /= 1024.0
+    run_seconds = t2 - t1
+    return {
+        "nodes": nodes,
+        "days": days,
+        "seed": seed,
+        "build_seconds": round(t1 - t0, 3),
+        "run_seconds": round(run_seconds, 3),
+        "total_seconds": round(t2 - t0, 3),
+        "events": events,
+        "events_per_sec": round(events / run_seconds, 1) if run_seconds > 0 else 0.0,
+        "peak_rss_mb": round(rss_kb / 1024.0, 1),
+        "knobs": applied,
+    }
+
+
+def run_cell_subprocess(
+    nodes: int, days: float, seed: int, knobs: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Run one cell in a fresh interpreter (isolated peak RSS)."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable,
+        os.path.abspath(__file__),
+        "--run-cell",
+        str(nodes),
+        "--days",
+        str(days),
+        "--seed",
+        str(seed),
+        "--knobs",
+        json.dumps(knobs),
+    ]
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"cell nodes={nodes} failed (exit {proc.returncode}):\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def render_table(record: Dict[str, Any]) -> str:
+    lines = []
+    header = (
+        f"{'section':<10} {'nodes':>8} {'days':>5} {'build_s':>9} "
+        f"{'run_s':>9} {'events':>10} {'ev/s':>10} {'rss_mb':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for section in ("baseline", "current"):
+        block = record.get(section)
+        if not block:
+            continue
+        for cell in block["cells"]:
+            lines.append(
+                f"{section:<10} {cell['nodes']:>8} {cell['days']:>5} "
+                f"{cell['build_seconds']:>9.2f} {cell['run_seconds']:>9.2f} "
+                f"{cell['events']:>10} {cell['events_per_sec']:>10.1f} "
+                f"{cell['peak_rss_mb']:>8.1f}"
+            )
+    speedup = record.get("speedup_events_per_sec_16k")
+    if speedup is not None:
+        lines.append(f"speedup (16k cell, events/sec, current vs baseline): {speedup}x")
+    return "\n".join(lines) + "\n"
+
+
+def _find_cell(block: Optional[Dict[str, Any]], nodes: int) -> Optional[Dict[str, Any]]:
+    if not block:
+        return None
+    for cell in block.get("cells", []):
+        if cell["nodes"] == nodes:
+            return cell
+    return None
+
+
+def guard(record: Dict[str, Any], baseline_path: str) -> int:
+    """Fail (exit 1) if smoke-cell ev/s dropped >20% vs the committed record."""
+    with open(baseline_path, encoding="utf-8") as fh:
+        committed = json.load(fh)
+    ref = _find_cell(committed.get("current"), SMOKE_NODES)
+    measured = _find_cell(record.get("current"), SMOKE_NODES)
+    if ref is None or measured is None:
+        print("guard: smoke cell missing from record; skipping comparison")
+        return 0
+    floor = ref["events_per_sec"] * (1.0 - GUARD_DROP_FRACTION)
+    verdict = "OK" if measured["events_per_sec"] >= floor else "REGRESSION"
+    print(
+        f"guard: smoke cell {measured['events_per_sec']:.1f} ev/s vs committed "
+        f"{ref['events_per_sec']:.1f} ev/s (floor {floor:.1f}) -> {verdict}"
+    )
+    return 0 if verdict == "OK" else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--run-cell", type=int, default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--days", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--knobs", type=str, default="{}", help=argparse.SUPPRESS)
+    parser.add_argument("--smoke", action="store_true", help="only the 1k cell")
+    parser.add_argument("--full", action="store_true", help="add the 226k multi-day cell")
+    parser.add_argument(
+        "--label",
+        choices=("baseline", "current"),
+        default="current",
+        help="record section to write the measured cells into",
+    )
+    parser.add_argument(
+        "--pregen-horizon",
+        type=float,
+        default=None,
+        help="ClusterConfig.pregen_horizon to apply (ignored if the field is absent)",
+    )
+    parser.add_argument(
+        "--event-queue",
+        type=str,
+        default=None,
+        help="ClusterConfig.event_queue to apply (ignored if the field is absent)",
+    )
+    parser.add_argument("--out", type=str, default=None, help="JSON record path (merged)")
+    parser.add_argument("--table-out", type=str, default=None)
+    parser.add_argument(
+        "--guard",
+        type=str,
+        default=None,
+        metavar="BASELINE_JSON",
+        help="compare the smoke cell against this committed record; "
+        f"exit non-zero on a >{GUARD_DROP_FRACTION:.0%} events/sec drop",
+    )
+    args = parser.parse_args()
+
+    if args.run_cell is not None:
+        cell = run_cell(args.run_cell, args.days, args.seed, json.loads(args.knobs))
+        print(json.dumps(cell))
+        return 0
+
+    knobs = {"pregen_horizon": args.pregen_horizon, "event_queue": args.event_queue}
+    cells = [(SMOKE_NODES, 2.0)] if args.smoke else list(CELLS)
+    if args.full:
+        cells.append(FULL_CELL)
+
+    measured: List[Dict[str, Any]] = []
+    for nodes, days in cells:
+        print(f"running cell nodes={nodes} days={days} ...", flush=True)
+        cell = run_cell_subprocess(nodes, days, args.seed, knobs)
+        print(
+            f"  build {cell['build_seconds']:.2f}s  run {cell['run_seconds']:.2f}s  "
+            f"{cell['events']} events  {cell['events_per_sec']:.1f} ev/s  "
+            f"{cell['peak_rss_mb']:.1f} MB",
+            flush=True,
+        )
+        measured.append(cell)
+
+    record: Dict[str, Any] = {"schema": 1}
+    if args.out and os.path.exists(args.out):
+        with open(args.out, encoding="utf-8") as fh:
+            record = json.load(fh)
+    record["machine"] = {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    record[args.label] = {"cells": measured}
+
+    base_16k = _find_cell(record.get("baseline"), 16384)
+    cur_16k = _find_cell(record.get("current"), 16384)
+    if base_16k and cur_16k and base_16k["events_per_sec"] > 0:
+        record["speedup_events_per_sec_16k"] = round(
+            cur_16k["events_per_sec"] / base_16k["events_per_sec"], 2
+        )
+
+    table = render_table(record)
+    print(table, end="")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.table_out:
+        with open(args.table_out, "w", encoding="utf-8") as fh:
+            fh.write(table)
+
+    if args.guard:
+        return guard(record, args.guard)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
