@@ -1,0 +1,272 @@
+"""Opt-in numpy-vectorized episode sampling (``REPRO_AVAIL_BACKEND=numpy``).
+
+The scalar episode kernel folds one interruption at a time; at 226k hosts
+that fold is ~97% of cluster build. This backend replaces the per-draw loop
+with a vectorized busy-period computation:
+
+* Inter-arrival gaps and service times are drawn in batches from numpy's
+  PCG64 (one ``Generator`` per host, keyed by the same seed tree as the
+  scalar streams, under a ``"numpy"`` leaf).
+* The M/G/1 busy-period fold is a Lindley-style recursion. With arrival
+  times ``A_k`` and service cumsums ``cumS_k``, the recovery point after
+  the k-th interruption is ``B_k = max(B_{k-1}, A_k) + S_k``, which
+  unrolls to ``B_k = cumS_k + running_max_j(A_j - cumS_{j-1})`` — one
+  ``np.maximum.accumulate`` instead of a Python loop. Interruption *k*
+  starts a new episode exactly when ``A_k >= B_{k-1}``.
+* Long folds are truncated, mirroring the scalar kernel's
+  ``max_interruptions_per_episode`` bound but *aggregated*: an episode
+  that survives :data:`FOLD_CAP` members is deemed truncated, its member
+  count set to the bound, and the recovery contribution of the remaining
+  ``bound - FOLD_CAP`` services drawn as one sum-distribution sample
+  (Gamma for exponential service — exact; CLT normal for lognormal —
+  error O(1/sqrt(bound - FOLD_CAP)), negligible at the default bound of
+  10,000). Unstable hosts (rho >= 1), which dominate the SETI-fitted
+  population's sampling cost, thus cost ~FOLD_CAP draws per truncated
+  episode instead of ~10,000. After a truncation the remaining buffered
+  gaps restart the arrival clock at the truncated end — exact for
+  exponential inter-arrivals by memorylessness, mirroring the scalar
+  truncation semantics. The aggregation slightly shortens episodes of
+  hosts sitting almost exactly at criticality (a fold that would have
+  closed between FOLD_CAP and the bound is counted as truncated); such
+  hosts are a sliver of the fitted populations and the KS-equivalence
+  tests bound the effect.
+* When the buffered draws run out before the horizon is covered, the
+  fold *resumes* from the trailing open episode over the extended buffer
+  instead of recomputing from scratch, so under-estimating a host's
+  arrival count costs only the marginal work.
+
+Because draws come from PCG64 rather than CPython's Mersenne Twister, the
+realisations are **not** byte-identical to the scalar backend. They follow
+the same laws — pinned by this backend's own golden values and KS-tested
+against the scalar backend in ``tests/availability/test_numpy_backend.py``
+— which is why the backend is opt-in and never used on golden-bearing
+default paths.
+
+Supported distribution pairs: exponential arrivals with lognormal,
+exponential, or deterministic recovery. Anything else returns None and the
+caller falls back to the exact scalar path for that host.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Tuple
+
+from repro.availability.distributions import (
+    Deterministic,
+    Distribution,
+    Exponential,
+    Lognormal,
+)
+from repro.availability.process import DowntimeEpisode
+
+#: Default per-episode fold bound — must track ``InterruptionProcess``.
+DEFAULT_MAX_PER_EPISODE = 10_000
+
+#: Members folded exactly before an episode is deemed truncated and its
+#: remaining services are aggregated into one sum draw (see module doc).
+FOLD_CAP = 2048
+
+#: Hard ceiling on one buffered draw batch (growth continues past it in
+#: further batches).
+_MAX_BATCH = 1 << 20
+
+_RawEpisode = Tuple[float, float, int]
+
+
+def available() -> bool:
+    """Whether numpy is importable in this environment."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _service_batch(np: Any, gen: Any, service: Distribution, size: int) -> Any:
+    if type(service) is Lognormal:
+        return gen.lognormal(mean=service.mu, sigma=service.sigma, size=size)
+    if type(service) is Exponential:
+        return gen.exponential(scale=service.mean, size=size)
+    # Deterministic
+    return np.full(size, service.mean, dtype=np.float64)
+
+
+def _tail_sum(gen: Any, service: Distribution, count: int) -> float:
+    """One draw from the distribution of a sum of ``count`` service times."""
+    if type(service) is Exponential:
+        # Sum of iid exponentials is exactly Gamma(count, mean).
+        return float(gen.gamma(shape=count, scale=service.mean))
+    if type(service) is Lognormal:
+        # CLT: mean m and standard deviation m*cov per summand.
+        m = service.mean
+        total = gen.normal(loc=count * m, scale=math.sqrt(count) * m * service.cov)
+        return float(max(total, 0.0))
+    # Deterministic
+    return count * service.mean
+
+
+def _fold_resume(
+    np: Any,
+    A: Any,
+    S: Any,
+    gen: Any,
+    service: Distribution,
+    raw_horizon: float,
+    max_per: int,
+    episodes: List[_RawEpisode],
+    lo: int,
+    offset: float,
+) -> Tuple[int, float, bool]:
+    """Fold buffered arrivals/services from flat index ``lo`` onward.
+
+    Appends newly *closed* episodes to ``episodes`` (a trailing open
+    episode — closure unknown without more arrivals — is never emitted)
+    and returns ``(resume_lo, offset, complete)``: the flat index and
+    arrival-clock offset to resume from once the buffer has grown, and
+    whether some closed episode starts at or past ``raw_horizon`` (enough
+    material to cut an exact prefix). The trailing open episode is
+    re-folded on resume, so growth costs only the marginal work.
+    """
+    fold_cap = min(max_per, FOLD_CAP)
+    n = int(A.size)
+    while lo < n:
+        a = A[lo:] + offset
+        cum_s = np.cumsum(S[lo:])
+        prev_cum = np.empty_like(cum_s)
+        prev_cum[0] = 0.0
+        prev_cum[1:] = cum_s[:-1]
+        B = cum_s + np.maximum.accumulate(a - prev_cum)
+        new_flag = np.empty(a.size, dtype=np.bool_)
+        new_flag[0] = True
+        np.greater_equal(a[1:], B[:-1], out=new_flag[1:])
+        starts_idx = np.flatnonzero(new_flag)
+        counts = np.diff(starts_idx, append=a.size)
+        over = np.flatnonzero(counts > fold_cap)
+        if over.size:
+            # Episodes before the first offender are closed; the offender
+            # is truncated: fold_cap members folded exactly, the remaining
+            # services up to max_per aggregated into one sum draw, and the
+            # leftover gaps restart the arrival clock at the truncated end.
+            k = int(over[0])
+            if k > 0:
+                ends_idx = starts_idx[1 : k + 1] - 1
+                for st, en, c in zip(
+                    a[starts_idx[:k]], B[ends_idx], counts[:k], strict=True
+                ):
+                    episodes.append((float(st), float(en), int(c)))
+            si = int(starts_idx[k])
+            j = si + fold_cap - 1
+            end_t = float(B[j])
+            if max_per > fold_cap:
+                end_t += _tail_sum(gen, service, max_per - fold_cap)
+            episodes.append((float(a[si]), end_t, max_per))
+            offset += end_t - float(a[j])
+            lo += j + 1
+            continue
+        # No truncation in this segment: every episode but the last is
+        # closed by the start of its successor; the last stays open and is
+        # the resume point (more arrivals could extend it).
+        if starts_idx.size > 1:
+            ends_idx = starts_idx[1:] - 1
+            for st, en, c in zip(
+                a[starts_idx[:-1]], B[ends_idx], counts[:-1], strict=True
+            ):
+                episodes.append((float(st), float(en), int(c)))
+        lo += int(starts_idx[-1])
+        break
+    complete = bool(episodes) and episodes[-1][0] >= raw_horizon
+    return lo, offset, complete
+
+
+def _initial_batch(
+    arrival: Exponential, service: Distribution, raw_horizon: float, max_per: int
+) -> int:
+    """Arrival-count estimate that usually covers the horizon in one fold.
+
+    Stable hosts see ~rate*horizon arrivals. Unstable hosts additionally
+    burn ~FOLD_CAP buffered arrivals per truncated episode — and a
+    truncation *skips* the arrival clock past the busy window, so
+    rate*horizon is not an upper bound: a host whose single truncated
+    episode spans the whole horizon still needs FOLD_CAP members (twice,
+    since the boundary episode past the horizon must close too).
+    """
+    rate = arrival.rate
+    est = raw_horizon * rate
+    rho = rate * service.mean
+    if rho >= 1.0 and service.mean > 0.0:
+        spacing = 1.0 / rate + max_per * service.mean
+        n_truncated = raw_horizon / spacing + 2.0
+        # Arrivals only accrue over time not skipped by truncations.
+        skipped = n_truncated * max_per * service.mean
+        est = max(raw_horizon - skipped, 0.0) * rate
+        est += n_truncated * min(max_per, FOLD_CAP)
+    return min(int(est * 1.25) + 64, _MAX_BATCH)
+
+
+def episode_prefix_numpy(
+    arrival: Distribution,
+    service: Distribution,
+    seed: int,
+    horizon: float,
+    burn_in: float = 0.0,
+    max_per: int = DEFAULT_MAX_PER_EPISODE,
+) -> Optional[List[DowntimeEpisode]]:
+    """Vectorized equivalent of ``pregen.episode_prefix`` for one host.
+
+    Matches the prefix contract exactly: after the burn-in shift/clip, all
+    episodes starting before ``horizon`` plus the first episode at or past
+    it. Returns None when the distribution pair is outside the vectorized
+    family (caller falls back to the scalar path).
+    """
+    if type(arrival) is not Exponential:
+        return None
+    if type(service) not in (Lognormal, Exponential, Deterministic):
+        return None
+    import numpy as np
+
+    gen = np.random.default_rng(int(seed))
+    raw_horizon = horizon + burn_in
+
+    batch = _initial_batch(arrival, service, raw_horizon, max_per)
+    gaps = gen.exponential(scale=arrival.mean, size=batch)
+    A = np.cumsum(gaps)
+    S = _service_batch(np, gen, service, batch)
+    raw: List[_RawEpisode] = []
+    lo, offset, complete = _fold_resume(
+        np, A, S, gen, service, raw_horizon, max_per, raw, 0, 0.0
+    )
+    while not complete:
+        batch = min(batch * 2, _MAX_BATCH)
+        gaps = gen.exponential(scale=arrival.mean, size=batch)
+        A = np.concatenate((A, np.cumsum(gaps) + float(A[-1])))
+        S = np.concatenate((S, _service_batch(np, gen, service, batch)))
+        lo, offset, complete = _fold_resume(
+            np, A, S, gen, service, raw_horizon, max_per, raw, lo, offset
+        )
+
+    # Burn-in shift/clip, then cut on *shifted* starts: an episode that
+    # straddles the burn-in boundary clamps to start 0, which matters for
+    # horizon == 0 prefixes.
+    prefix: List[DowntimeEpisode] = []
+    for start, end, count in raw:
+        shifted_end = end - burn_in
+        if shifted_end <= 0.0:
+            continue
+        shifted_start = max(start - burn_in, 0.0)
+        prefix.append(
+            DowntimeEpisode(
+                start=shifted_start, end=shifted_end, interruption_count=count
+            )
+        )
+        if shifted_start >= horizon:
+            break
+    return prefix
+
+
+__all__ = [
+    "DEFAULT_MAX_PER_EPISODE",
+    "FOLD_CAP",
+    "available",
+    "episode_prefix_numpy",
+]

@@ -96,6 +96,11 @@ class InterruptionProcess:
         return self._arrival
 
     @property
+    def max_interruptions_per_episode(self) -> int:
+        """The per-episode fold bound (see the class docstring)."""
+        return self._max_per_episode
+
+    @property
     def service(self) -> Distribution:
         return self._service
 
@@ -130,12 +135,23 @@ class InterruptionProcess:
             )
         return self.service_mean / (1.0 - self.utilization)
 
-    def episodes(self, horizon: float) -> Iterator[DowntimeEpisode]:
+    def episodes(
+        self,
+        horizon: float,
+        clock: Optional[RandomSource] = None,
+        svc_rng: Optional[RandomSource] = None,
+    ) -> Iterator[DowntimeEpisode]:
         """Yield downtime episodes whose *start* falls in [0, horizon).
 
         Episodes are emitted in increasing start order and never overlap.
         The last episode may end after ``horizon``; callers that need a
         bounded trace clip it (see ``AvailabilityTrace.from_episodes``).
+
+        ``clock`` / ``svc_rng`` let bulk pregeneration
+        (:mod:`repro.availability.pregen`) pass in streams built from
+        bulk-derived seeds; they must equal the default substream
+        derivations (``"arrivals"`` / ``"service"`` under this process's
+        rng) for the realisation to stay byte-identical.
 
         This loop dominates whole-cluster build and run time at scale
         (~98% of the 16k-node kernel cell), so the two distribution pairs
@@ -149,8 +165,10 @@ class InterruptionProcess:
         generic scalar path (pinned by tests/availability/test_vectorized.py).
         """
         check_positive("horizon", horizon)
-        clock = self._rng.substream("arrivals")
-        svc_rng = self._rng.substream("service")
+        if clock is None:
+            clock = self._rng.substream("arrivals")
+        if svc_rng is None:
+            svc_rng = self._rng.substream("service")
         arrival = self._arrival
         service = self._service
         if type(arrival) is Exponential:

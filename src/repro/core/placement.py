@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.core.ids import NodeId
 from repro.availability.estimators import AvailabilityEstimate
@@ -103,7 +103,7 @@ class PlacementPlan(ABC):
         return None
 
     @abstractmethod
-    def _draw(self, rng: RandomSource) -> str:
+    def _draw(self, rng: RandomSource) -> NodeId:
         """Draw one candidate node (may be repeated/capped; caller filters)."""
 
     def choose_replicas(self, rng: RandomSource, count: Optional[int] = None) -> List[NodeId]:
@@ -142,11 +142,23 @@ class PlacementPlan(ABC):
             self._allocated[node_id] += 1
         return chosen
 
+    def choose_replicas_many(
+        self, rng: RandomSource, num_blocks: int, count: Optional[int] = None
+    ) -> List[List[NodeId]]:
+        """Choose replica holders for ``num_blocks`` consecutive blocks.
+
+        Byte-identical to calling :meth:`choose_replicas` once per block —
+        the per-block RNG draw order is part of the golden contract — but
+        gives plans a single entry point for batched ingest, where
+        subclasses amortise their per-block bookkeeping.
+        """
+        return [self.choose_replicas(rng, count) for _ in range(num_blocks)]
+
 
 class _UniformPlan(PlacementPlan):
     """Uniform random placement over up nodes (stock HDFS)."""
 
-    def _draw(self, rng: RandomSource) -> str:
+    def _draw(self, rng: RandomSource) -> NodeId:
         return self._nodes[rng.randrange(len(self._nodes))].node_id
 
 
@@ -175,6 +187,7 @@ class _WeightedPlan(PlacementPlan):
         self._chain_weighting = chain_weighting
         self._table: Optional[WeightedHashTable] = None
         self._table_nodes: List[NodeView] = []
+        self._table_ids: Set[NodeId] = set()
         self._rebuild_table()
 
     def _capacity(self, node_id: NodeId) -> Optional[int]:
@@ -190,6 +203,7 @@ class _WeightedPlan(PlacementPlan):
         if not members:
             self._table = None
             self._table_nodes = []
+            self._table_ids = set()
             return
         rates = [max(self._rate_of(n), 0.0) for n in members]
         if sum(rates) <= 0.0:
@@ -202,6 +216,7 @@ class _WeightedPlan(PlacementPlan):
             chain_weighting=self._chain_weighting,
         )
         self._table_nodes = members
+        self._table_ids = {n.node_id for n in members}
 
     def expected_share(self, node_id: NodeId) -> float:
         """Current expected fraction of placements going to ``node_id``."""
@@ -209,7 +224,7 @@ class _WeightedPlan(PlacementPlan):
             return 0.0
         return self._table.rate(node_id)
 
-    def _draw(self, rng: RandomSource) -> str:
+    def _draw(self, rng: RandomSource) -> NodeId:
         if self._table is None:
             # All nodes capped; base-class fallback will resolve.
             return self._nodes[rng.randrange(len(self._nodes))].node_id
@@ -217,7 +232,14 @@ class _WeightedPlan(PlacementPlan):
 
     def choose_replicas(self, rng: RandomSource, count: Optional[int] = None) -> List[NodeId]:
         chosen = super().choose_replicas(rng, count)
-        if self._capped and any(self._at_capacity(n.node_id) for n in self._table_nodes):
+        # Only the chosen nodes' allocations moved, and a rebuild evicts
+        # every at-capacity member — so scanning ``chosen`` against the
+        # table (instead of the whole table, O(n) per block) triggers
+        # rebuilds at exactly the same instants.
+        if self._capped and any(
+            node_id in self._table_ids and self._at_capacity(node_id)
+            for node_id in chosen
+        ):
             self._rebuild_table()
         return chosen
 

@@ -354,6 +354,51 @@ def _extract_module(module: ModuleContext, graph: BusGraph, known: Set[str]) -> 
     process_scope(module.tree.body, [], _ScopeTypes(known))
 
 
+def _resolve_handler(
+    handler_node: ast.AST, stack: List[ast.AST], scope: _ScopeTypes
+) -> Tuple[Optional[str], str]:
+    """Resolve a handler expression to ``(owner_class, handler_name)``.
+
+    Handles ``self.method``, ``var.method`` (via local inference) and
+    ``mapping[key].method`` (via the mapping's value class).
+    """
+    owner_class: Optional[str] = None
+    handler = ""
+    if isinstance(handler_node, ast.Attribute):
+        handler = handler_node.attr
+        receiver = handler_node.value
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self":
+                for frame in reversed(stack):
+                    if isinstance(frame, ast.ClassDef):
+                        owner_class = frame.name
+                        break
+            else:
+                owner_class = scope.resolve(receiver.id)
+        elif isinstance(receiver, ast.Subscript) and isinstance(receiver.value, ast.Name):
+            owner_class = scope.dict_value_class.get(receiver.value.id)
+    elif isinstance(handler_node, ast.Name):
+        handler = handler_node.id
+    else:
+        handler = ast.unparse(handler_node)
+    return owner_class, handler
+
+
+def _handler_pairs(node: ast.AST) -> List[ast.Tuple]:
+    """The (key, handler) tuple shapes inside a subscribe_many pairs arg."""
+    if isinstance(node, ast.GeneratorExp):
+        if isinstance(node.elt, ast.Tuple) and len(node.elt.elts) == 2:
+            return [node.elt]
+        return []
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return [
+            elt
+            for elt in node.elts
+            if isinstance(elt, ast.Tuple) and len(elt.elts) == 2
+        ]
+    return []
+
+
 def _extract_call(
     node: ast.Call,
     module: ModuleContext,
@@ -386,22 +431,7 @@ def _extract_call(
         owner_class: Optional[str] = None
         handler = ""
         if len(node.args) >= 2:
-            handler_node = node.args[1]
-            if isinstance(handler_node, ast.Attribute):
-                handler = handler_node.attr
-                receiver = handler_node.value
-                if isinstance(receiver, ast.Name):
-                    if receiver.id == "self":
-                        for frame in reversed(stack):
-                            if isinstance(frame, ast.ClassDef):
-                                owner_class = frame.name
-                                break
-                    else:
-                        owner_class = scope.resolve(receiver.id)
-            elif isinstance(handler_node, ast.Name):
-                handler = handler_node.id
-            else:
-                handler = ast.unparse(handler_node)
+            owner_class, handler = _resolve_handler(node.args[1], stack, scope)
         phase = ""
         if len(node.args) >= 3:
             phase = _terminal(node.args[2]) or ast.unparse(node.args[2])
@@ -425,6 +455,50 @@ def _extract_call(
                 keyed=keyed,
             )
         )
+    elif func.attr == "subscribe_many" and len(node.args) >= 3:
+        # Bulk wiring: subscribe_many(EventType, Phase.X, pairs) where the
+        # pairs are (key, handler) tuples — typically one generator
+        # expression covering every host. Each distinct (key, handler)
+        # tuple shape contributes one subscribe site.
+        event_name = _terminal(node.args[0])
+        event = event_name if event_name in graph.events else None
+        phase = _terminal(node.args[1]) or ast.unparse(node.args[1])
+        for pair in _handler_pairs(node.args[2]):
+            key_node, handler_node = pair.elts
+            owner_class, handler = _resolve_handler(handler_node, stack, scope)
+            keyed = not (
+                isinstance(key_node, ast.Constant) and key_node.value is None
+            )
+            graph.subscribers.append(
+                SubscribeSite(
+                    event=event,
+                    module=module.path,
+                    line=pair.lineno,
+                    col=pair.col_offset,
+                    owner_class=owner_class,
+                    handler=handler,
+                    phase=phase,
+                    keyed=keyed,
+                )
+            )
+    elif func.attr == "register_bulk" and len(node.args) == 1:
+        receiver = _terminal(func.value)
+        if receiver not in _REGISTRY_NAMES:
+            return
+        arg = node.args[0]
+        # The bulk idiom is `<dict-of-services>.values()`; resolve the
+        # dict's value class through the same local inference.
+        if (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Attribute)
+            and arg.func.attr == "values"
+            and isinstance(arg.func.value, ast.Name)
+        ):
+            cls = scope.dict_value_class.get(arg.func.value.id)
+            if cls is not None:
+                graph.registrations.append(
+                    RegisterSite(class_name=cls, module=module.path, line=node.lineno)
+                )
     elif func.attr == "register" and len(node.args) == 1:
         receiver = _terminal(func.value)
         if receiver not in _REGISTRY_NAMES:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
-from repro.core.ids import NodeId
+from repro.core.ids import NodeId, NodeIds
 from repro.hdfs.blocks import Block
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -24,22 +24,46 @@ class DataNode:
     cluster's registry owns its lifecycle alongside the other per-node
     agents (simlint C002: every bus subscriber is a registered service).
     Storage is passive — it schedules nothing — so start/stop are no-ops.
+
+    Instances are slotted and their service ``name`` renders lazily: at
+    226k nodes, per-instance ``__dict__`` s and eager ``datanode:<host>``
+    f-strings are pure build overhead, so wired clusters pass the
+    cluster's :class:`~repro.core.ids.NodeIds` table (``names=``) and the
+    string materialises on first reporting access.
     """
+
+    __slots__ = ("_name", "_names", "_node_id", "_capacity", "_blocks", "_used", "_is_up")
 
     def __init__(
         self,
         node_id: NodeId,
         capacity_bytes: Optional[int] = None,
         name: Optional[str] = None,
+        names: Optional[NodeIds] = None,
     ) -> None:
         #: Service-registry name: human-readable at the reporting boundary,
-        #: so wired clusters pass the host *name* even though runtime
-        #: routing keys on the dense int id.
-        self.name = name if name is not None else f"datanode:{node_id}"
+        #: so wired clusters derive it from the host *name* even though
+        #: runtime routing keys on the dense int id.
+        self._name = name
+        self._names = names
         self._node_id = node_id
         self._capacity = capacity_bytes
         self._blocks: Dict[str, Block] = {}
+        self._used = 0
         self._is_up = True
+
+    @property
+    def name(self) -> str:
+        if self._name is None:
+            if self._names is not None:
+                self._name = f"datanode:{self._names.name_of(self._node_id)}"
+            else:
+                self._name = f"datanode:{self._node_id}"
+        return self._name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
 
     def start(self) -> None:
         """Service lifecycle: nothing to arm (storage is event-driven)."""
@@ -54,7 +78,7 @@ class DataNode:
             "node_id": self._node_id,
             "is_up": self._is_up,
             "blocks": len(self._blocks),
-            "used_bytes": self.used_bytes,
+            "used_bytes": self._used,
             "capacity_bytes": self._capacity,
         }
 
@@ -85,7 +109,9 @@ class DataNode:
 
     @property
     def used_bytes(self) -> int:
-        return sum(block.size_bytes for block in self._blocks.values())
+        """Bytes stored, maintained incrementally (ingest used to pay a
+        full sum over stored blocks per store — quadratic in blocks)."""
+        return self._used
 
     @property
     def block_count(self) -> int:
@@ -105,19 +131,22 @@ class DataNode:
         """Store a replica; rejects duplicates and capacity overflows."""
         if block.block_id in self._blocks:
             raise ValueError(f"{self._node_id} already stores {block.block_id}")
-        if self._capacity is not None and self.used_bytes + block.size_bytes > self._capacity:
+        if self._capacity is not None and self._used + block.size_bytes > self._capacity:
             raise ValueError(
-                f"{self._node_id} is full: {self.used_bytes}+{block.size_bytes} "
+                f"{self._node_id} is full: {self._used}+{block.size_bytes} "
                 f"> {self._capacity} bytes"
             )
         self._blocks[block.block_id] = block
+        self._used += block.size_bytes
 
     def remove(self, block_id: str) -> Block:
         """Drop a replica; returns the removed block."""
         try:
-            return self._blocks.pop(block_id)
+            block = self._blocks.pop(block_id)
         except KeyError:
             raise KeyError(f"{self._node_id} does not store {block_id}") from None
+        self._used -= block.size_bytes
+        return block
 
     def wipe(self) -> List[str]:
         """Destroy every stored replica (permanent failure: disk gone).
@@ -129,6 +158,7 @@ class DataNode:
         """
         destroyed = sorted(self._blocks)
         self._blocks.clear()
+        self._used = 0
         return destroyed
 
     def __repr__(self) -> str:

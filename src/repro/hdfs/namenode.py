@@ -127,12 +127,20 @@ class NameNode:
         dfs_file = DfsFile.build(name, num_blocks, block_size, replication)
         plan = policy.build_plan(self.placement_views(), num_blocks, replication, gamma)
         placement_rng = rng.substream("placement", name)
-        for block in dfs_file.blocks:
-            holders = plan.choose_replicas(placement_rng)
-            self._blocks[block.block_id] = block
-            self._locations[block.block_id] = set()
+        holders_per_block = plan.choose_replicas_many(placement_rng, len(dfs_file.blocks))
+        # Commit loop, inlined from _store_replica with the instance dicts
+        # hoisted: ingest is the build hot path (m*k replica commits), and
+        # the plan only returns nodes drawn from placement_views(), i.e.
+        # registered ones, so the per-replica membership check is elided.
+        blocks = self._blocks
+        locations = self._locations
+        datanodes = self._datanodes
+        for block, holders in zip(dfs_file.blocks, holders_per_block, strict=True):
+            blocks[block.block_id] = block
+            location = locations[block.block_id] = set()
             for node_id in holders:
-                self._store_replica(block, node_id)
+                datanodes[node_id].store(block)
+                location.add(node_id)
         self._files[name] = dfs_file
         return dfs_file
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
-from repro.core.ids import NodeId
+from repro.core.ids import NodeId, NodeIds
 from repro.mapreduce.job import AttemptState, TaskAttempt
 from repro.simulator.engine import EventHandle, Simulator
 from repro.simulator.metrics import DurabilityMetrics, MapPhaseMetrics
@@ -38,7 +38,37 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class TaskTracker:
-    """Execution agent for one node."""
+    """Execution agent for one node.
+
+    Instances are slotted and the service ``name`` renders lazily (see
+    :class:`~repro.hdfs.datanode.DataNode` for the rationale — per-host
+    ``__dict__`` s and eager f-strings dominate construction at 226k
+    nodes). Wired clusters pass ``names=`` (the cluster's id table) and
+    the ``tasktracker:<host>`` string materialises on first access.
+    """
+
+    __slots__ = (
+        "_sim",
+        "_node_id",
+        "_name",
+        "_names",
+        "_network",
+        "_metrics",
+        "_slots",
+        "_fetch_retries",
+        "_fetch_backoff",
+        "_durability",
+        "_is_up",
+        "_jobtracker",
+        "_live",
+        "_exec_events",
+        "_transfers",
+        "_retry_events",
+        "_retries_used",
+        "_busy_seconds",
+        "_exec_factor",
+        "_exec_durations",
+    )
 
     def __init__(
         self,
@@ -51,6 +81,7 @@ class TaskTracker:
         fetch_backoff: float = 1.0,
         durability: Optional[DurabilityMetrics] = None,
         name: Optional[str] = None,
+        names: Optional[NodeIds] = None,
     ) -> None:
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
@@ -61,7 +92,8 @@ class TaskTracker:
         self._node_id = node_id
         #: Service name; unique per node so a registry can hold all of
         #: them. Wired clusters pass the host name (reporting boundary).
-        self.name = name if name is not None else f"tasktracker:{node_id}"
+        self._name = name
+        self._names = names
         self._network = network
         self._metrics = metrics
         self._slots = slots
@@ -92,7 +124,20 @@ class TaskTracker:
     # -- state -------------------------------------------------------------------
 
     @property
-    def node_id(self) -> str:
+    def name(self) -> str:
+        if self._name is None:
+            if self._names is not None:
+                self._name = f"tasktracker:{self._names.name_of(self._node_id)}"
+            else:
+                self._name = f"tasktracker:{self._node_id}"
+        return self._name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
+
+    @property
+    def node_id(self) -> NodeId:
         return self._node_id
 
     @property

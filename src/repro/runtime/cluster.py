@@ -40,11 +40,18 @@ one loop in reverse registration order.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.availability.estimators import AvailabilityEstimate
 from repro.availability.generator import HostAvailability
+from repro.availability.pregen import (
+    AVAIL_BACKENDS,
+    pregenerate_prefixes,
+    resolve_backend,
+    resolve_jobs,
+)
 from repro.availability.traces import AvailabilityTrace
 from repro.core.ids import NodeId, NodeIds
 from repro.core.predictor import PerformancePredictor
@@ -174,6 +181,17 @@ class ClusterConfig:
     #: no further interruptions occur, so set this at or beyond the window
     #: you intend to simulate. None keeps the lazy default.
     pregen_horizon: Optional[float] = None
+    #: Episode sampling backend for pregeneration: "scalar" (exact, the
+    #: golden-bearing default) or "numpy" (vectorized; statistically
+    #: equivalent but not byte-identical — see
+    #: ``repro.availability.numpy_backend``). Only consulted when
+    #: ``pregen_horizon`` is set. The ``REPRO_AVAIL_BACKEND`` environment
+    #: variable overrides this at build time.
+    avail_backend: str = "scalar"
+    #: Worker processes for pregeneration (1 = in-process). Bit-identical
+    #: at any job count: every host's stream is independently keyed. The
+    #: ``REPRO_PREGEN_JOBS`` environment variable overrides at build time.
+    pregen_jobs: int = 1
     #: Event-queue implementation: "heap" (compacting binary heap, the
     #: default) or "calendar" (bucketed calendar queue for high event
     #: density). Both are exact — identical (time, seq) pop order — and
@@ -205,6 +223,12 @@ class ClusterConfig:
             raise ValueError(
                 f"pregen_horizon must be non-negative, got {self.pregen_horizon}"
             )
+        if self.avail_backend not in AVAIL_BACKENDS:
+            raise ValueError(
+                f"avail_backend must be one of {AVAIL_BACKENDS}, got {self.avail_backend!r}"
+            )
+        if self.pregen_jobs < 1:
+            raise ValueError(f"pregen_jobs must be >= 1, got {self.pregen_jobs}")
         if self.event_queue not in EVENT_QUEUES:
             raise ValueError(
                 f"event_queue must be one of {EVENT_QUEUES}, got {self.event_queue!r}"
@@ -228,6 +252,39 @@ class ClusterConfig:
     def nominal_fetch_seconds(self) -> float:
         """Uncontended time to stream one block (speculation threshold)."""
         return self.block_size_bytes / min(self.uplink_bps, self.downlink_bps)
+
+
+@dataclass
+class BuildProfile:
+    """Wall-clock breakdown of one ``build_cluster`` call.
+
+    ``seed_derivation_seconds`` and ``sample_seconds`` are sub-spans of
+    ``pregen_seconds`` (reported by the pregeneration kernel itself);
+    the remaining phases are disjoint. ``total_seconds`` covers the whole
+    build including un-itemised glue, so the itemised phases sum to less.
+    """
+
+    seed_derivation_seconds: float = 0.0
+    sample_seconds: float = 0.0
+    pregen_seconds: float = 0.0
+    object_construction_seconds: float = 0.0
+    bus_wiring_seconds: float = 0.0
+    total_seconds: float = 0.0
+    backend: str = "scalar"
+    jobs: int = 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (bench_engine's build_breakdown)."""
+        return {
+            "seed_derivation_seconds": round(self.seed_derivation_seconds, 4),
+            "sample_seconds": round(self.sample_seconds, 4),
+            "pregen_seconds": round(self.pregen_seconds, 4),
+            "object_construction_seconds": round(self.object_construction_seconds, 4),
+            "bus_wiring_seconds": round(self.bus_wiring_seconds, 4),
+            "total_seconds": round(self.total_seconds, 4),
+            "backend": self.backend,
+            "jobs": self.jobs,
+        }
 
 
 class Cluster:
@@ -256,6 +313,7 @@ class Cluster:
         auditor: Optional[InvariantAuditor] = None,
         chaos: Optional[ChaosEngine] = None,
         ids: Optional[NodeIds] = None,
+        build_profile: Optional[BuildProfile] = None,
     ) -> None:
         self.config = config
         self.hosts = list(hosts)
@@ -280,6 +338,9 @@ class Cluster:
         self.tracer = tracer
         self.auditor = auditor
         self.chaos = chaos
+        #: Wall-clock phase breakdown of the build that produced this
+        #: cluster (None for hand-wired clusters).
+        self.build_profile = build_profile
 
     @property
     def node_ids(self) -> List[NodeId]:
@@ -354,6 +415,11 @@ def build_cluster(
     """
     if not hosts:
         raise ValueError("need at least one host")
+    build_start = time.perf_counter()  # simlint: ignore[D002]
+    profile = BuildProfile(
+        backend=resolve_backend(config.avail_backend),
+        jobs=resolve_jobs(config.pregen_jobs),
+    )
     names = [h.host_id for h in hosts]
     if len(set(names)) != len(names):
         raise ValueError("host ids must be unique")
@@ -395,11 +461,15 @@ def build_cluster(
     durability = DurabilityMetrics()
     injector = FailureInjector(sim, rng, bus=bus)
 
+    # Per-host objects: slotted, with service names derived lazily from
+    # the id table (eager `datanode:<host>` f-strings are pure build
+    # overhead at 226k nodes; see DataNode/TaskTracker docstrings).
+    construct_start = time.perf_counter()  # simlint: ignore[D002]
     datanodes: Dict[NodeId, DataNode] = {}
     trackers: Dict[NodeId, TaskTracker] = {}
     for host in hosts:
         nid = node_id_of[host.host_id]
-        datanode = DataNode(nid, name=f"datanode:{host.host_id}")
+        datanode = DataNode(nid, names=ids)
         namenode.register_datanode(datanode)
         datanodes[nid] = datanode
         trackers[nid] = TaskTracker(
@@ -411,7 +481,7 @@ def build_cluster(
             fetch_retries=config.fetch_retries,
             fetch_backoff=config.fetch_backoff,
             durability=durability,
-            name=f"tasktracker:{host.host_id}",
+            names=ids,
         )
         if config.oracle_estimates:
             predictor.pin_oracle(
@@ -422,6 +492,7 @@ def build_cluster(
                     observations=1,
                 ),
             )
+    profile.object_construction_seconds = time.perf_counter() - construct_start  # simlint: ignore[D002]
 
     speculation = SpeculationPolicy(
         enabled=config.speculation_enabled,
@@ -477,17 +548,35 @@ def build_cluster(
 
     # -- bus wiring (phases encode the reaction order; see module docstring) ----
 
-    # Physical transitions (the injector's ground truth).
+    wiring_start = time.perf_counter()  # simlint: ignore[D002]
+    ordered_ids = [node_id_of[host.host_id] for host in hosts]
+
+    # Physical transitions (the injector's ground truth). The per-host
+    # keyed subscriptions go through the bulk fast path: each (type, key)
+    # bucket holds one handler per phase, so grouping by (type, phase)
+    # instead of by host dispatches identically.
     bus.subscribe(NodeDown, jobtracker.handle_node_down_physical, Phase.ACCOUNTING)
     bus.subscribe(NodeUp, jobtracker.handle_node_up_physical, Phase.ACCOUNTING)
-    for host in hosts:
-        nid = node_id_of[host.host_id]
-        datanode = datanodes[nid]
-        tracker = trackers[nid]
-        bus.subscribe(NodeDown, datanode.handle_node_down, Phase.STORAGE, key=nid)
-        bus.subscribe(NodeUp, datanode.handle_node_up, Phase.STORAGE, key=nid)
-        bus.subscribe(NodeDown, tracker.handle_node_down, Phase.COMPUTE, key=nid)
-        bus.subscribe(NodeUp, tracker.handle_node_up, Phase.SCHEDULING, key=nid)
+    bus.subscribe_many(
+        NodeDown,
+        Phase.STORAGE,
+        ((nid, datanodes[nid].handle_node_down) for nid in ordered_ids),
+    )
+    bus.subscribe_many(
+        NodeUp,
+        Phase.STORAGE,
+        ((nid, datanodes[nid].handle_node_up) for nid in ordered_ids),
+    )
+    bus.subscribe_many(
+        NodeDown,
+        Phase.COMPUTE,
+        ((nid, trackers[nid].handle_node_down) for nid in ordered_ids),
+    )
+    bus.subscribe_many(
+        NodeUp,
+        Phase.SCHEDULING,
+        ((nid, trackers[nid].handle_node_up) for nid in ordered_ids),
+    )
     if not config.access_during_downtime:
         bus.subscribe(NodeDown, network.handle_node_down, Phase.NETWORK)
     if heartbeats is not None:
@@ -536,15 +625,16 @@ def build_cluster(
         bus.subscribe(PartitionHealed, network.handle_partition_healed, Phase.NETWORK)
         bus.subscribe(NodeDegraded, network.handle_node_degraded, Phase.NETWORK)
         bus.subscribe(NodeRestored, network.handle_node_restored, Phase.NETWORK)
-        for host in hosts:
-            nid = node_id_of[host.host_id]
-            tracker = trackers[nid]
-            bus.subscribe(
-                NodeDegraded, tracker.handle_node_degraded, Phase.COMPUTE, key=nid
-            )
-            bus.subscribe(
-                NodeRestored, tracker.handle_node_restored, Phase.COMPUTE, key=nid
-            )
+        bus.subscribe_many(
+            NodeDegraded,
+            Phase.COMPUTE,
+            ((nid, trackers[nid].handle_node_degraded) for nid in ordered_ids),
+        )
+        bus.subscribe_many(
+            NodeRestored,
+            Phase.COMPUTE,
+            ((nid, trackers[nid].handle_node_restored) for nid in ordered_ids),
+        )
         if heartbeats is not None:
             bus.subscribe(
                 PartitionStarted, heartbeats.handle_partition_started, Phase.DETECTION
@@ -557,13 +647,36 @@ def build_cluster(
         bus.subscribe(NodeDeclaredDead, chaos.handle_declared_dead, Phase.ACCOUNTING)
         bus.subscribe(NodeReturned, chaos.handle_node_returned, Phase.ACCOUNTING)
         bus.subscribe(ReplicaAdded, chaos.handle_replica_added, Phase.ACCOUNTING)
+    profile.bus_wiring_seconds = time.perf_counter() - wiring_start  # simlint: ignore[D002]
 
+    pregen_start = time.perf_counter()  # simlint: ignore[D002]
     if traces is not None:
         trace_names = [trace.host_id for trace in traces]
         if trace_names != names:
             raise ValueError("traces must parallel hosts (same ids, same order)")
         for trace in traces:
             injector.attach_trace(trace, node_id=node_id_of[trace.host_id])
+    elif config.pregen_horizon is not None:
+        # Bulk pregeneration: every host's episode prefix is materialised
+        # up front (fanned out over processes / vectorized per backend) and
+        # injected ready-made, so attach_host never constructs a process or
+        # suspends a generator frame. With the default scalar backend this
+        # is byte-identical to per-host lazy sampling (streams keyed by
+        # (seed, host name) alone); prefixes arrive burn-in-shifted.
+        result = pregenerate_prefixes(
+            hosts,
+            rng,
+            config.pregen_horizon,
+            burn_in=config.stationary_burn_in,
+            jobs=profile.jobs,
+            backend=profile.backend,
+        )
+        profile.seed_derivation_seconds = result.seed_seconds
+        profile.sample_seconds = result.sample_seconds
+        for host, prefix in zip(hosts, result.prefixes, strict=True):
+            injector.attach_host(
+                host, node_id=node_id_of[host.host_id], episodes=prefix
+            )
     else:
         for host in hosts:
             # The int id keys the injector's runtime state; the RNG
@@ -572,9 +685,9 @@ def build_cluster(
             injector.attach_host(
                 host,
                 burn_in=config.stationary_burn_in,
-                pregen_horizon=config.pregen_horizon,
                 node_id=node_id_of[host.host_id],
             )
+    profile.pregen_seconds = time.perf_counter() - pregen_start  # simlint: ignore[D002]
 
     if config.permanent_failure_rate > 0.0:
         # Keyed per host so one host's draw never perturbs another's —
@@ -615,8 +728,9 @@ def build_cluster(
     services.register(network)
     services.register(injector)
     services.register(pipeline)
-    for host in hosts:
-        services.register(datanodes[node_id_of[host.host_id]])
+    # Bulk-registered: per-node service names resolve lazily (see
+    # ServiceRegistry.register_bulk) and the dicts iterate in host order.
+    services.register_bulk(datanodes.values())
     if heartbeats is not None:
         services.register(heartbeats)
     if detector is not None:
@@ -624,8 +738,7 @@ def build_cluster(
     if monitor is not None:
         services.register(monitor)
     services.register(jobtracker)
-    for tracker in trackers.values():
-        services.register(tracker)
+    services.register_bulk(trackers.values())
     if chaos is not None:
         # After the injector and every reactor: starting the engine arms
         # the campaign against a fully attached node population.
@@ -665,6 +778,8 @@ def build_cluster(
         auditor=auditor,
         chaos=chaos,
         ids=ids,
+        build_profile=profile,
     )
     cluster.start()
+    profile.total_seconds = time.perf_counter() - build_start  # simlint: ignore[D002]
     return cluster

@@ -12,11 +12,22 @@ tracing.
 The protocol is structural (:func:`typing.runtime_checkable`): subsystems
 do not import this module or inherit anything — they just grow ``name``,
 ``start``, ``stop`` and ``describe`` members.
+
+Scale note: a ``runtime_checkable`` isinstance check walks the protocol's
+members through the attribute machinery every call — ~0.1ms each, which is
+half a minute of cluster build at 226k per-node services. The registry
+therefore caches *positive* verdicts per concrete type: one structural
+check per class, dict lookups for the rest. Negative verdicts are never
+cached, because a class that fails the check can (in tests, typically)
+gain the missing members later. The cache trades one nuance away: a class
+whose *instances* only sometimes carry ``name`` (set conditionally in
+``__init__``) could slip a nameless instance past the check — accepted, as
+every shipped service sets its members unconditionally.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Protocol, runtime_checkable
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Set, Type, runtime_checkable
 
 
 @runtime_checkable
@@ -40,46 +51,101 @@ class Service(Protocol):
         """Structured snapshot of the service's current state."""
 
 
+#: Concrete types whose instances have passed the structural check.
+_conforming_types: Set[Type[object]] = set()
+
+
+def _check_service(service: object) -> None:
+    """Structural protocol check with a positive-verdict type cache."""
+    cls = type(service)
+    if cls in _conforming_types:
+        return
+    if not isinstance(service, Service):
+        raise TypeError(
+            f"{service!r} does not satisfy the Service protocol "
+            "(needs name/start/stop/describe)"
+        )
+    _conforming_types.add(cls)
+
+
 class ServiceRegistry:
-    """Ordered service collection with loop-based lifecycle management."""
+    """Ordered service collection with loop-based lifecycle management.
+
+    Services live in an ordered list (registration order is start order);
+    the name index used by :meth:`get` / ``in`` / :attr:`names` is
+    materialised lazily, so bulk registration of 226k per-node services
+    never pays a per-service dict insert against a growing table. Name
+    *conflicts* surface either eagerly (``register``) or at the first
+    name lookup after a ``register_bulk`` — always before ``start_all``
+    can run a misconfigured cluster, since ``build_cluster`` resolves
+    services by name while wiring.
+    """
 
     def __init__(self) -> None:
-        self._services: Dict[str, Service] = {}
+        self._ordered: List[Service] = []
+        #: Lazy name -> service index; None after a bulk registration
+        #: until the next name-based lookup rebuilds it.
+        self._by_name: Optional[Dict[str, Service]] = {}
+
+    def _index(self) -> Dict[str, Service]:
+        if self._by_name is None:
+            index: Dict[str, Service] = {}
+            for service in self._ordered:
+                name = service.name
+                if name in index:
+                    raise ValueError(f"service {name!r} already registered")
+                index[name] = service
+            self._by_name = index
+        return self._by_name
 
     def register(self, service: Service) -> None:
         """Add a service; registration order is start order."""
-        if not isinstance(service, Service):
-            raise TypeError(
-                f"{service!r} does not satisfy the Service protocol "
-                "(needs name/start/stop/describe)"
-            )
-        if service.name in self._services:
+        _check_service(service)
+        if service.name in self._index():
             raise ValueError(f"service {service.name!r} already registered")
-        self._services[service.name] = service
+        self._ordered.append(service)
+        self._index()[service.name] = service
+
+    def register_bulk(self, services: Iterable[Service]) -> int:
+        """Add many services without touching their ``name`` attributes.
+
+        The bulk path exists for per-node services whose names are derived
+        lazily (``datanode:<host>`` f-strings at 226k nodes are pure build
+        overhead); duplicate names are detected at the next name lookup
+        instead of eagerly. Returns the number of services added.
+        """
+        count = 0
+        for service in services:
+            _check_service(service)
+            self._ordered.append(service)
+            count += 1
+        if count:
+            self._by_name = None
+        return count
 
     def get(self, name: str) -> Service:
         try:
-            return self._services[name]
+            return self._index()[name]
         except KeyError:
             raise KeyError(f"no service named {name!r}") from None
 
     def __contains__(self, name: str) -> bool:
-        return name in self._services
+        return name in self._index()
 
     def __len__(self) -> int:
-        return len(self._services)
+        return len(self._ordered)
 
     def __iter__(self) -> Iterator[Service]:
-        return iter(self._services.values())
+        return iter(self._ordered)
 
     @property
     def names(self) -> List[str]:
         """Service names in registration order."""
-        return list(self._services)
+        return [service.name for service in self._ordered]
 
     def start_all(self) -> None:
         """Start services in registration order (producers first)."""
-        for service in self._services.values():
+        for service in self._ordered:
             service.start()
 
     def stop_all(self) -> None:
@@ -88,12 +154,12 @@ class ServiceRegistry:
         Consumers (schedulers, monitors) stop before producers (injector,
         network), so teardown never publishes into a torn-down upstream.
         """
-        for service in reversed(list(self._services.values())):
+        for service in reversed(self._ordered):
             service.stop()
 
     def describe_all(self) -> List[Dict[str, object]]:
         """Snapshot every service, in registration order."""
-        return [service.describe() for service in self._services.values()]
+        return [service.describe() for service in self._ordered]
 
 
 __all__ = ["Service", "ServiceRegistry"]

@@ -37,6 +37,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.availability.generator import HostAvailability
+from repro.availability.pregen import materialise_prefix, shift_episodes
 from repro.availability.process import DowntimeEpisode, InterruptionProcess
 from repro.availability.traces import AvailabilityTrace
 from repro.core.ids import NodeId
@@ -147,6 +148,7 @@ class FailureInjector:
         burn_in: float = 0.0,
         pregen_horizon: Optional[float] = None,
         node_id: Optional[NodeId] = None,
+        episodes: Optional[Sequence[DowntimeEpisode]] = None,
     ) -> None:
         """Drive a node from its availability description.
 
@@ -175,6 +177,14 @@ class FailureInjector:
         so standalone components keep routing by name. The RNG substream
         is *always* keyed by the host's name, so failure realisations are
         invariant under the identity representation.
+
+        ``episodes`` injects an externally materialised episode prefix
+        (bulk pregeneration — :mod:`repro.availability.pregen`) instead of
+        sampling one here: no per-host RNG substream is derived and no
+        generator is built, so attach becomes pure bookkeeping. The prefix
+        must already include any burn-in shift, which is why combining
+        ``episodes`` with ``burn_in`` or ``pregen_horizon`` is rejected.
+        Pass None (not an empty sequence) for dedicated hosts.
         """
         if node_id is None:
             node_id = host.host_id  # type: ignore[assignment]
@@ -186,7 +196,16 @@ class FailureInjector:
             raise ValueError(
                 f"pregen_horizon must be non-negative, got {pregen_horizon}"
             )
+        if episodes is not None and (pregen_horizon is not None or burn_in > 0.0):
+            raise ValueError(
+                "episodes is an already-materialised prefix; it cannot be "
+                "combined with pregen_horizon or a non-zero burn_in"
+            )
         self._register(node_id)
+        if episodes is not None:
+            self._episode_streams[node_id] = iter(episodes)
+            self._schedule_next(node_id)
+            return
         process = host.process(self._rng.substream("failures", host.host_id))
         if process is None:
             return
@@ -195,7 +214,7 @@ class FailureInjector:
             stream: Iterator[DowntimeEpisode] = self._shift_stream(raw, burn_in)
         else:
             stream = raw
-        if pregen_horizon is not None and pregen_horizon > 0.0:
+        if pregen_horizon is not None:
             stream = self._pregenerate(stream, pregen_horizon)
         self._episode_streams[node_id] = stream
         self._schedule_next(node_id)
@@ -215,30 +234,19 @@ class FailureInjector:
         and none. The trade: a run that advances past the horizon sees no
         interruptions beyond it, which is why ``attach_host`` documents
         the horizon as a contract, not a hint.
+
+        The source generator is closed even when the materialised prefix is
+        empty or materialisation raises (``materialise_prefix`` closes in a
+        ``finally``), so no attach path can leave a suspended frame behind.
         """
-        prefix: List[DowntimeEpisode] = []
-        for episode in stream:
-            prefix.append(episode)
-            if episode.start >= horizon:
-                break
-        close = getattr(stream, "close", None)
-        if close is not None:
-            close()
-        return iter(prefix)
+        return iter(materialise_prefix(stream, horizon))
 
     @staticmethod
     def _shift_stream(
         episodes: Iterator[DowntimeEpisode], burn_in: float
     ) -> Iterator[DowntimeEpisode]:
         """Shift episodes ``burn_in`` seconds earlier, clipping at t=0."""
-        for episode in episodes:
-            end = episode.end - burn_in
-            if end <= 0.0:
-                continue
-            start = max(episode.start - burn_in, 0.0)
-            yield DowntimeEpisode(
-                start=start, end=end, interruption_count=episode.interruption_count
-            )
+        return shift_episodes(episodes, burn_in)
 
     def attach_trace(
         self, trace: AvailabilityTrace, node_id: Optional[NodeId] = None

@@ -12,11 +12,21 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
 
 T = TypeVar("T")
 
 _MASK_64 = (1 << 64) - 1
+
+
+def _hash_path(root_seed: int, path: Sequence[object]) -> "hashlib._Hash":
+    """The SHA-256 state covering ``root_seed`` plus every path key."""
+    h = hashlib.sha256()
+    h.update(str(int(root_seed)).encode("utf-8"))
+    for key in path:
+        h.update(b"\x1f")
+        h.update(str(key).encode("utf-8"))
+    return h
 
 
 def derive_seed(root_seed: int, *keys: object) -> int:
@@ -26,12 +36,37 @@ def derive_seed(root_seed: int, *keys: object) -> int:
     SHA-256, so it is stable across Python versions and process runs (unlike
     ``hash()``, which is salted).
     """
-    h = hashlib.sha256()
-    h.update(str(int(root_seed)).encode("utf-8"))
-    for key in keys:
-        h.update(b"\x1f")
-        h.update(str(key).encode("utf-8"))
+    h = _hash_path(root_seed, keys)
     return int.from_bytes(h.digest()[:8], "big") & _MASK_64
+
+
+#: A ``derive_seeds`` leaf: one trailing key, or a tuple of trailing keys.
+SeedLeaf = Union[object, Tuple[object, ...]]
+
+
+def derive_seeds(
+    root_seed: int, prefix: Sequence[object], leaves: Iterable[SeedLeaf]
+) -> List[int]:
+    """Bulk :func:`derive_seed` over a shared key prefix, one hash pass.
+
+    Element ``i`` equals ``derive_seed(root_seed, *prefix, *leaf_i)`` (a
+    non-tuple leaf counts as a single trailing key) — the prefix is hashed
+    once and each leaf finishes a *copy* of that state, so deriving one
+    seed per node is one short hash update per node instead of a full
+    re-hash of the path. Incremental SHA-256 equals one-shot SHA-256 over
+    the concatenated bytes, so the values are bit-identical to the scalar
+    derivation; ``tests/util`` pins the equality.
+    """
+    base = _hash_path(root_seed, prefix)
+    out: List[int] = []
+    for leaf in leaves:
+        h = base.copy()
+        parts = leaf if isinstance(leaf, tuple) else (leaf,)
+        for key in parts:
+            h.update(b"\x1f")
+            h.update(str(key).encode("utf-8"))
+        out.append(int.from_bytes(h.digest()[:8], "big") & _MASK_64)
+    return out
 
 
 class RandomSource:
@@ -43,10 +78,27 @@ class RandomSource:
     cannot perturb another.
     """
 
-    def __init__(self, seed: int, _path: Sequence[object] = ()) -> None:
+    def __init__(
+        self,
+        seed: int,
+        _path: Sequence[object] = (),
+        *,
+        _hash: Optional["hashlib._Hash"] = None,
+        _derived: Optional[int] = None,
+    ) -> None:
         self._seed = int(seed)
         self._path: tuple = tuple(_path)
-        self._random = random.Random(derive_seed(self._seed, *self._path))
+        if _derived is None:
+            if _hash is None:
+                _hash = _hash_path(self._seed, self._path)
+            _derived = int.from_bytes(_hash.digest()[:8], "big") & _MASK_64
+        #: SHA-256 state covering (seed, path); kept so substream derivation
+        #: copies it and hashes only the new trailing keys instead of
+        #: re-hashing the whole path. None until first needed (e.g. after
+        #: unpickling or a ``from_derived`` construction).
+        self._h = _hash
+        self._derived = _derived
+        self._random = random.Random(_derived)
 
     @property
     def seed(self) -> int:
@@ -58,9 +110,55 @@ class RandomSource:
         """The key path identifying this substream."""
         return self._path
 
+    def _hash_state(self) -> "hashlib._Hash":
+        if self._h is None:
+            self._h = _hash_path(self._seed, self._path)
+        return self._h
+
     def substream(self, *keys: object) -> "RandomSource":
-        """Return an independent stream keyed by ``keys`` under this path."""
-        return RandomSource(self._seed, self._path + tuple(keys))
+        """Return an independent stream keyed by ``keys`` under this path.
+
+        Derivation is incremental: the parent's hash state is copied and
+        only the new keys are hashed, which is what keeps per-node stream
+        construction cheap at 226k hosts. The digest — and therefore every
+        sampled value — is bit-identical to a from-scratch derivation.
+        """
+        h = self._hash_state().copy()
+        for key in keys:
+            h.update(b"\x1f")
+            h.update(str(key).encode("utf-8"))
+        return RandomSource(self._seed, self._path + tuple(keys), _hash=h)
+
+    @classmethod
+    def from_derived(
+        cls, derived_seed: int, root_seed: int, path: Sequence[object] = ()
+    ) -> "RandomSource":
+        """Construct from a :func:`derive_seeds` value without re-hashing.
+
+        ``derived_seed`` must equal ``derive_seed(root_seed, *path)``; the
+        resulting source is then bit-identical to
+        ``RandomSource(root_seed, path)`` (same generator state, and
+        ``substream`` still works — the hash state is rebuilt lazily).
+        """
+        return cls(root_seed, path, _derived=int(derived_seed))
+
+    # SHA-256 objects are not picklable; drop the cached hash state and let
+    # it rebuild lazily, while preserving the generator state exactly.
+    def __getstate__(self) -> Dict[str, object]:
+        return {
+            "seed": self._seed,
+            "path": self._path,
+            "derived": self._derived,
+            "random_state": self._random.getstate(),
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._seed = state["seed"]  # type: ignore[assignment]
+        self._path = tuple(state["path"])  # type: ignore[arg-type]
+        self._derived = state["derived"]  # type: ignore[assignment]
+        self._h = None
+        self._random = random.Random()  # simlint: ignore[D001]
+        self._random.setstate(state["random_state"])  # type: ignore[arg-type]
 
     # -- sampling primitives -------------------------------------------------
 

@@ -181,3 +181,52 @@ class TestFactoryAndFallbacks:
         for _ in range(3):
             plan.choose_replicas(rng)
         assert len(plan.eligible_nodes) <= 3
+
+
+class TestBatchedPlacement:
+    """choose_replicas_many and the incremental cap-check must be
+    byte-identical to the per-block path — the ingest goldens depend on
+    the exact per-block RNG draw order."""
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            RandomPlacement(),
+            NaivePlacement(capped=True),
+            AdaptPlacement(capped=True),
+            AdaptPlacement(capped=False),
+        ],
+        ids=["existing", "naive-capped", "adapt-capped", "adapt-uncapped"],
+    )
+    def test_many_matches_per_block_loop(self, policy):
+        nodes = table2_views()
+        num_blocks, replication = 120, 2
+        plan_a = policy.build_plan(nodes, num_blocks, replication, GAMMA)
+        rng_a = RandomSource(11)
+        loop = [plan_a.choose_replicas(rng_a) for _ in range(num_blocks)]
+
+        plan_b = policy.build_plan(nodes, num_blocks, replication, GAMMA)
+        rng_b = RandomSource(11)
+        batched = plan_b.choose_replicas_many(rng_b, num_blocks)
+
+        assert loop == batched
+        assert plan_a.allocations() == plan_b.allocations()
+        # The RNG end state matches too: no extra or missing draws.
+        assert rng_a.random() == rng_b.random()
+
+    def test_cap_rebuild_instants_match_reference_full_scan(self):
+        # Small cluster + tight threshold: the cap fires repeatedly. The
+        # incremental chosen-set check must rebuild the weighted table at
+        # exactly the instants the original full-table scan did, which
+        # byte-identity of the draw stream already certifies; this pins
+        # the cap itself — no node exceeds the threshold.
+        nodes = table2_views()
+        num_blocks, replication = 60, 2
+        plan = AdaptPlacement(capped=True).build_plan(
+            nodes, num_blocks, replication, GAMMA
+        )
+        plan.choose_replicas_many(RandomSource(5), num_blocks)
+        n = len(nodes)
+        cap = max(int(math.ceil(num_blocks * (replication + 1) / n)), 1)
+        assert all(count <= cap for count in plan.allocations().values())
+        assert sum(plan.allocations().values()) == num_blocks * replication

@@ -103,3 +103,82 @@ class TestBuildCluster:
             return cluster.injector.episode_count(cluster.ids.id_of("node-00000"))
 
         assert first_down_time(2) == first_down_time(6)
+
+
+class TestBuildKernel:
+    """Bulk build path: pregen fan-out, bulk wiring, build profile."""
+
+    @staticmethod
+    def _event_sequence(cluster, until):
+        from repro.simulator.events import NodeDown, NodeUp, Phase
+
+        seq = []
+        cluster.bus.subscribe(
+            NodeDown, lambda e: seq.append(("down", e.node_id, e.time)), Phase.ACCOUNTING
+        )
+        cluster.bus.subscribe(
+            NodeUp, lambda e: seq.append(("up", e.node_id, e.time)), Phase.ACCOUNTING
+        )
+        while cluster.sim.now < until and cluster.sim.step():
+            pass
+        cluster.stop()
+        return seq
+
+    def test_pregen_build_byte_identical_to_lazy(self):
+        hosts = build_group_hosts(40, 0.8, service_distribution="lognormal")
+        lazy = self._event_sequence(
+            build_cluster(hosts, ClusterConfig(seed=7, stationary_burn_in=200.0)),
+            3000.0,
+        )
+        pregen = self._event_sequence(
+            build_cluster(
+                hosts,
+                ClusterConfig(
+                    seed=7, stationary_burn_in=200.0, pregen_horizon=4000.0
+                ),
+            ),
+            3000.0,
+        )
+        assert lazy == pregen
+        assert len(lazy) > 50
+
+    def test_build_profile_populated(self):
+        hosts = build_group_hosts(20, 0.5)
+        cluster = build_cluster(hosts, ClusterConfig(seed=1, pregen_horizon=1000.0))
+        profile = cluster.build_profile
+        assert profile is not None
+        assert profile.backend == "scalar"
+        assert profile.jobs == 1
+        assert profile.pregen_seconds > 0.0
+        assert profile.object_construction_seconds > 0.0
+        assert profile.bus_wiring_seconds >= 0.0
+        assert profile.total_seconds >= profile.pregen_seconds
+        as_dict = profile.as_dict()
+        assert as_dict["backend"] == "scalar"
+        cluster.stop()
+
+    def test_lazy_names_render_at_reporting_boundary(self):
+        hosts = build_group_hosts(4, 0.5)
+        cluster = build_cluster(hosts, ClusterConfig(seed=1))
+        names = cluster.services.names
+        for host in hosts:
+            assert f"datanode:{host.host_id}" in names
+            assert f"tasktracker:{host.host_id}" in names
+        cluster.stop()
+
+    def test_numpy_backend_cluster_builds(self):
+        pytest.importorskip("numpy")
+        hosts = build_group_hosts(30, 0.8, service_distribution="lognormal")
+        cluster = build_cluster(
+            hosts,
+            ClusterConfig(seed=3, pregen_horizon=2000.0, avail_backend="numpy"),
+        )
+        assert cluster.build_profile.backend == "numpy"
+        seq = self._event_sequence(cluster, 1500.0)
+        assert len(seq) > 10
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="avail_backend"):
+            ClusterConfig(avail_backend="cuda")
+        with pytest.raises(ValueError, match="pregen_jobs"):
+            ClusterConfig(pregen_jobs=0)

@@ -99,3 +99,86 @@ class TestRegistry:
         registry.register(a)
         registry.register(b)
         assert list(registry) == [a, b]
+
+
+class LazyNameService:
+    """A service whose name is expensive: bulk registration must not read it."""
+
+    def __init__(self, node_id, log):
+        self._node_id = node_id
+        self._log = log
+        self.reads = 0
+
+    @property
+    def name(self):
+        self.reads += 1
+        return f"lazy:{self._node_id}"
+
+    def start(self):
+        self._log.append(("start", self._node_id))
+
+    def stop(self):
+        self._log.append(("stop", self._node_id))
+
+    def describe(self):
+        return {"service": self._node_id}
+
+
+class TestRegisterBulk:
+    def test_bulk_reads_at_most_one_name(self):
+        # The structural protocol check may probe `name` once (for the
+        # first instance of the class — the type cache absorbs the rest);
+        # bulk registration itself must not touch any name.
+        registry = ServiceRegistry()
+        log = []
+        services = [LazyNameService(i, log) for i in range(4)]
+        assert registry.register_bulk(services) == 4
+        assert sum(s.reads for s in services) <= 1
+        assert all(s.reads == 0 for s in services[1:])
+        assert len(registry) == 4
+
+    def test_order_and_lifecycle_preserved(self):
+        registry = ServiceRegistry()
+        log = []
+        registry.register(FakeService("a", log))
+        registry.register_bulk([FakeService("b", log), FakeService("c", log)])
+        registry.register(FakeService("d", log))
+        registry.start_all()
+        registry.stop_all()
+        assert log == [
+            ("start", "a"),
+            ("start", "b"),
+            ("start", "c"),
+            ("start", "d"),
+            ("stop", "d"),
+            ("stop", "c"),
+            ("stop", "b"),
+            ("stop", "a"),
+        ]
+
+    def test_name_lookup_after_bulk(self):
+        registry = ServiceRegistry()
+        log = []
+        registry.register_bulk([FakeService("x", log), FakeService("y", log)])
+        assert registry.get("y").name == "y"
+        assert "x" in registry
+        assert registry.names == ["x", "y"]
+
+    def test_duplicate_detected_at_first_lookup(self):
+        registry = ServiceRegistry()
+        log = []
+        registry.register_bulk([FakeService("dup", log), FakeService("dup", log)])
+        with pytest.raises(ValueError, match="already registered"):
+            registry.get("dup")
+
+    def test_bulk_rejects_non_services(self):
+        registry = ServiceRegistry()
+        with pytest.raises(TypeError):
+            registry.register_bulk([object()])
+
+    def test_eager_register_still_detects_duplicates(self):
+        registry = ServiceRegistry()
+        log = []
+        registry.register(FakeService("same", log))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(FakeService("same", log))

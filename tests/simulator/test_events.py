@@ -220,3 +220,88 @@ class TestIntrospection:
             "node_id": "n1",
         }
         assert isinstance(event, Event)
+
+
+class TestSubscribeMany:
+    def test_dispatch_identical_to_loop_of_subscribe(self):
+        keys = [f"n{i}" for i in range(6)]
+
+        def wire_loop(bus, order):
+            for key in keys:
+                bus.subscribe(
+                    NodeDown, lambda e, k=key: order.append(("d", k)), Phase.STORAGE, key=key
+                )
+                bus.subscribe(
+                    NodeDown, lambda e, k=key: order.append(("c", k)), Phase.COMPUTE, key=key
+                )
+
+        def wire_bulk(bus, order):
+            bus.subscribe_many(
+                NodeDown,
+                Phase.STORAGE,
+                ((k, (lambda e, k=k: order.append(("d", k)))) for k in keys),
+            )
+            bus.subscribe_many(
+                NodeDown,
+                Phase.COMPUTE,
+                ((k, (lambda e, k=k: order.append(("c", k)))) for k in keys),
+            )
+
+        results = []
+        for wire in (wire_loop, wire_bulk):
+            bus = EventBus()
+            order = []
+            bus.subscribe(NodeDown, lambda e: order.append(("acct", None)), Phase.ACCOUNTING)
+            wire(bus, order)
+            bus.subscribe(NodeDown, lambda e: order.append(("sched", None)), Phase.SCHEDULING)
+            for key in keys:
+                bus.publish(NodeDown(time=1.0, node_id=key))
+            results.append(order)
+        assert results[0] == results[1]
+
+    def test_mixed_keyed_and_unkeyed(self):
+        bus = EventBus()
+        hits = []
+        added = bus.subscribe_many(
+            NodeUp,
+            Phase.STORAGE,
+            [
+                (None, lambda e: hits.append("unkeyed")),
+                ("n1", lambda e: hits.append("n1")),
+            ],
+        )
+        assert added == 2
+        bus.publish(NodeUp(time=0.0, node_id="n1"))
+        bus.publish(NodeUp(time=1.0, node_id="n2"))
+        assert hits == ["unkeyed", "n1", "unkeyed"]
+
+    def test_unkeyed_cache_invalidated(self):
+        bus = EventBus()
+        hits = []
+        bus.subscribe(NodeUp, lambda e: hits.append("first"), Phase.STORAGE)
+        bus.publish(NodeUp(time=0.0, node_id="n1"))  # warms the cache
+        bus.subscribe_many(
+            NodeUp, Phase.STORAGE, [(None, lambda e: hits.append("second"))]
+        )
+        bus.publish(NodeUp(time=1.0, node_id="n1"))
+        assert hits == ["first", "first", "second"]
+
+    def test_type_validated_once(self):
+        bus = EventBus()
+        with pytest.raises(TypeError):
+            bus.subscribe_many(int, Phase.STORAGE, [(None, lambda e: None)])
+
+    def test_counts_and_wants(self):
+        bus = EventBus()
+        bus.subscribe_many(
+            NodeDown,
+            Phase.COMPUTE,
+            ((f"n{i}", (lambda e: None)) for i in range(5)),
+        )
+        assert bus.wants(NodeDown)
+        assert bus.handler_count(NodeDown) == 5
+
+    def test_empty_iterable_is_noop(self):
+        bus = EventBus()
+        assert bus.subscribe_many(NodeDown, Phase.COMPUTE, []) == 0
+        assert not bus.wants(NodeDown)

@@ -11,8 +11,14 @@ The committed ``BENCH_engine.json`` carries two sections:
 
 * ``baseline`` — captured at the pre-refactor revision with this same
   tool (the scale-kernel acceptance bar: >= 5x events/sec on the 16k
-  cell).
+  cell; the build-kernel bar: >= 10x lower build_seconds there).
 * ``current`` — the tree as checked out.
+
+Schema 2 adds a per-cell ``build_breakdown`` (seed derivation / pregen /
+object construction / bus wiring, from ``Cluster.build_profile``, plus a
+separately-timed metadata ingest of one block per node at replication 3 —
+ingest is *not* part of ``build_seconds``, keeping the build numbers
+comparable with schema-1 records).
 
 Usage::
 
@@ -43,6 +49,9 @@ from typing import Any, Dict, List, Optional
 CELLS = [(1024, 2.0), (4096, 2.0), (16384, 2.0)]
 FULL_CELL = (226_208, 3.0)
 SMOKE_NODES = 1024
+#: The smoke run also measures this cell, so CI can guard build time at a
+#: size where construction cost is unmistakable.
+GUARD_BUILD_NODES = 4096
 GUARD_DROP_FRACTION = 0.20
 
 
@@ -77,7 +86,30 @@ def run_cell(nodes: int, days: float, seed: int, knobs: Dict[str, Any]) -> Dict[
     cluster.sim.run(until=horizon)
     t2 = time.perf_counter()
     events = cluster.sim.events_fired
+
+    # Metadata ingest: one block per node at replication 3, timed on its
+    # own so ``build_seconds`` stays comparable with schema-1 records.
+    from repro.core.placement import RandomPlacement
+
+    t_ingest = time.perf_counter()
+    cluster.namenode.create_file(
+        "bench-ingest",
+        num_blocks=nodes,
+        block_size=config.block_size_bytes,
+        replication=3,
+        policy=RandomPlacement(),
+        gamma=1.0,
+        rng=cluster.rng,
+    )
+    ingest_seconds = time.perf_counter() - t_ingest
     cluster.stop()
+
+    build_breakdown: Dict[str, Any] = {}
+    profile = getattr(cluster, "build_profile", None)
+    if profile is not None:
+        build_breakdown = profile.as_dict()
+    build_breakdown["ingest_seconds"] = round(ingest_seconds, 3)
+    build_breakdown["ingest_blocks"] = nodes
 
     rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KiB on Linux
@@ -93,6 +125,7 @@ def run_cell(nodes: int, days: float, seed: int, knobs: Dict[str, Any]) -> Dict[
         "events": events,
         "events_per_sec": round(events / run_seconds, 1) if run_seconds > 0 else 0.0,
         "peak_rss_mb": round(rss_kb / 1024.0, 1),
+        "build_breakdown": build_breakdown,
         "knobs": applied,
     }
 
@@ -146,6 +179,11 @@ def render_table(record: Dict[str, Any]) -> str:
     speedup = record.get("speedup_events_per_sec_16k")
     if speedup is not None:
         lines.append(f"speedup (16k cell, events/sec, current vs baseline): {speedup}x")
+    build_speedup = record.get("speedup_build_seconds_16k")
+    if build_speedup is not None:
+        lines.append(
+            f"speedup (16k cell, build time, baseline vs current): {build_speedup}x"
+        )
     return "\n".join(lines) + "\n"
 
 
@@ -159,21 +197,42 @@ def _find_cell(block: Optional[Dict[str, Any]], nodes: int) -> Optional[Dict[str
 
 
 def guard(record: Dict[str, Any], baseline_path: str) -> int:
-    """Fail (exit 1) if smoke-cell ev/s dropped >20% vs the committed record."""
+    """Fail (exit 1) on a >20% regression vs the committed record.
+
+    Two gates: events/sec on the smoke cell (run-loop throughput) and
+    build_seconds on the 4k cell (build-kernel speed). A gate is skipped
+    with a note when either record lacks its cell.
+    """
     with open(baseline_path, encoding="utf-8") as fh:
         committed = json.load(fh)
+    failed = False
+
     ref = _find_cell(committed.get("current"), SMOKE_NODES)
     measured = _find_cell(record.get("current"), SMOKE_NODES)
     if ref is None or measured is None:
-        print("guard: smoke cell missing from record; skipping comparison")
-        return 0
-    floor = ref["events_per_sec"] * (1.0 - GUARD_DROP_FRACTION)
-    verdict = "OK" if measured["events_per_sec"] >= floor else "REGRESSION"
-    print(
-        f"guard: smoke cell {measured['events_per_sec']:.1f} ev/s vs committed "
-        f"{ref['events_per_sec']:.1f} ev/s (floor {floor:.1f}) -> {verdict}"
-    )
-    return 0 if verdict == "OK" else 1
+        print("guard: smoke cell missing from record; skipping events/sec gate")
+    else:
+        floor = ref["events_per_sec"] * (1.0 - GUARD_DROP_FRACTION)
+        verdict = "OK" if measured["events_per_sec"] >= floor else "REGRESSION"
+        failed |= verdict != "OK"
+        print(
+            f"guard: smoke cell {measured['events_per_sec']:.1f} ev/s vs committed "
+            f"{ref['events_per_sec']:.1f} ev/s (floor {floor:.1f}) -> {verdict}"
+        )
+
+    ref = _find_cell(committed.get("current"), GUARD_BUILD_NODES)
+    measured = _find_cell(record.get("current"), GUARD_BUILD_NODES)
+    if ref is None or measured is None:
+        print("guard: build cell missing from record; skipping build-time gate")
+    else:
+        ceiling = ref["build_seconds"] * (1.0 + GUARD_DROP_FRACTION)
+        verdict = "OK" if measured["build_seconds"] <= ceiling else "REGRESSION"
+        failed |= verdict != "OK"
+        print(
+            f"guard: build cell {measured['build_seconds']:.2f}s vs committed "
+            f"{ref['build_seconds']:.2f}s (ceiling {ceiling:.2f}s) -> {verdict}"
+        )
+    return 1 if failed else 0
 
 
 def main() -> int:
@@ -182,7 +241,9 @@ def main() -> int:
     parser.add_argument("--days", type=float, default=2.0)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--knobs", type=str, default="{}", help=argparse.SUPPRESS)
-    parser.add_argument("--smoke", action="store_true", help="only the 1k cell")
+    parser.add_argument(
+        "--smoke", action="store_true", help="only the 1k (throughput) and 4k (build) cells"
+    )
     parser.add_argument("--full", action="store_true", help="add the 226k multi-day cell")
     parser.add_argument(
         "--label",
@@ -202,6 +263,18 @@ def main() -> int:
         default=None,
         help="ClusterConfig.event_queue to apply (ignored if the field is absent)",
     )
+    parser.add_argument(
+        "--avail-backend",
+        type=str,
+        default=None,
+        help="ClusterConfig.avail_backend to apply (ignored if the field is absent)",
+    )
+    parser.add_argument(
+        "--pregen-jobs",
+        type=int,
+        default=None,
+        help="ClusterConfig.pregen_jobs to apply (ignored if the field is absent)",
+    )
     parser.add_argument("--out", type=str, default=None, help="JSON record path (merged)")
     parser.add_argument("--table-out", type=str, default=None)
     parser.add_argument(
@@ -219,8 +292,15 @@ def main() -> int:
         print(json.dumps(cell))
         return 0
 
-    knobs = {"pregen_horizon": args.pregen_horizon, "event_queue": args.event_queue}
-    cells = [(SMOKE_NODES, 2.0)] if args.smoke else list(CELLS)
+    knobs = {
+        "pregen_horizon": args.pregen_horizon,
+        "event_queue": args.event_queue,
+        "avail_backend": args.avail_backend,
+        "pregen_jobs": args.pregen_jobs,
+    }
+    cells = (
+        [(SMOKE_NODES, 2.0), (GUARD_BUILD_NODES, 2.0)] if args.smoke else list(CELLS)
+    )
     if args.full:
         cells.append(FULL_CELL)
 
@@ -236,10 +316,11 @@ def main() -> int:
         )
         measured.append(cell)
 
-    record: Dict[str, Any] = {"schema": 1}
+    record: Dict[str, Any] = {}
     if args.out and os.path.exists(args.out):
         with open(args.out, encoding="utf-8") as fh:
             record = json.load(fh)
+    record["schema"] = 2
     record["machine"] = {
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
@@ -252,6 +333,10 @@ def main() -> int:
     if base_16k and cur_16k and base_16k["events_per_sec"] > 0:
         record["speedup_events_per_sec_16k"] = round(
             cur_16k["events_per_sec"] / base_16k["events_per_sec"], 2
+        )
+    if base_16k and cur_16k and cur_16k["build_seconds"] > 0:
+        record["speedup_build_seconds_16k"] = round(
+            base_16k["build_seconds"] / cur_16k["build_seconds"], 2
         )
 
     table = render_table(record)
