@@ -136,6 +136,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="layer a scripted chaos campaign (JSON file) on the run",
     )
+    _add_topology_args(emulate)
     _add_executor_args(emulate)
 
     simulate = sub.add_parser("simulate", help="run one large-scale point (Fig 5 cell)")
@@ -146,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--block-size-mb", type=float, default=64.0)
     simulate.add_argument("--tasks-per-node", type=float, default=100.0)
     simulate.add_argument("--seed", type=int, default=0)
+    _add_topology_args(simulate)
     _add_executor_args(simulate)
 
     chaos = sub.add_parser(
@@ -195,6 +197,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export the chaos run's bus-event stream to PATH as JSON Lines",
     )
+    _add_topology_args(chaos)
 
     table1 = sub.add_parser("table1", help="regenerate Table 1 from synthetic traces")
     table1.add_argument("--nodes", type=int, default=2000)
@@ -211,6 +214,52 @@ def _build_parser() -> argparse.ArgumentParser:
 
     _add_lint_arguments(lint)
     return parser
+
+
+def _add_topology_args(command: argparse.ArgumentParser) -> None:
+    """Network-fabric knobs shared by the experiment subcommands."""
+    from repro.simulator.mitigation import MITIGATIONS
+    from repro.simulator.topology import TOPOLOGIES
+
+    command.add_argument(
+        "--topology",
+        choices=list(TOPOLOGIES),
+        default="flat",
+        help="network fabric: flat star (default) or hierarchical Clos",
+    )
+    command.add_argument(
+        "--racks",
+        type=int,
+        default=1,
+        help="racks in the Clos fabric (hosts assigned round-robin)",
+    )
+    command.add_argument(
+        "--oversubscription",
+        type=float,
+        default=1.0,
+        help="Clos trunk oversubscription ratio (1.0 = full bisection)",
+    )
+    command.add_argument(
+        "--rack-aware-placement",
+        action="store_true",
+        help="enforce the HDFS off-rack replica rule on ingest placement",
+    )
+    command.add_argument(
+        "--link-mitigation",
+        choices=["none", *MITIGATIONS],
+        default="none",
+        help="response to degraded-link chaos windows (default: none)",
+    )
+
+
+def _topology_overrides(args: argparse.Namespace) -> Dict[str, object]:
+    return {
+        "topology": args.topology,
+        "racks": args.racks,
+        "oversubscription": args.oversubscription,
+        "rack_aware_placement": args.rack_aware_placement,
+        "link_mitigation": args.link_mitigation,
+    }
 
 
 def _add_executor_args(command: argparse.ArgumentParser) -> None:
@@ -303,6 +352,7 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
         permanent_failure_rate=args.permanent_failure_rate,
         permanent_failure_horizon=args.permanent_failure_horizon,
         fetch_retries=args.fetch_retries,
+        **_topology_overrides(args),
     )
     executor = _make_executor(args)
     audit = args.audit if args.audit is not None else ("report" if args.audit_out else None)
@@ -342,6 +392,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         block_size_bytes=int(args.block_size_mb * MB),
         tasks_per_node=args.tasks_per_node,
         seed=args.seed,
+        **_topology_overrides(args),
     )
     executor = _make_executor(args)
     result = run_simulation_point(
@@ -365,6 +416,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         blocks_per_node=args.blocks_per_node,
         seed=args.seed,
         replication_monitor=args.replication_monitor,
+        **_topology_overrides(args),
     )
     outcome = run_chaos_point(
         config,

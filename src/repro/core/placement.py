@@ -72,6 +72,9 @@ class PlacementPlan(ABC):
         self._num_blocks = int(num_blocks)
         self._replication = replication
         self._allocated: Dict[NodeId, int] = {n.node_id: 0 for n in self._nodes}
+        #: Optional rack-locality constraint (HDFS's off-rack rule); see
+        #: :meth:`set_rack_constraint`.
+        self._rack_of: Optional[Callable[[NodeId], int]] = None
 
     @property
     def num_blocks(self) -> int:
@@ -101,6 +104,43 @@ class PlacementPlan(ABC):
     def _capacity(self, node_id: NodeId) -> Optional[int]:
         """Per-node block cap, or None for uncapped plans."""
         return None
+
+    def set_rack_constraint(self, rack_of: Callable[[NodeId], int]) -> None:
+        """Require every block's replica set to span at least two racks.
+
+        This is HDFS's off-rack rule reduced to its durability essence —
+        one rack-level failure never takes out every replica — composed
+        *on top of* the policy's availability weighting: the policy's
+        sampled choices stand, and only when a block's whole replica set
+        lands in one rack is the last pick substituted with the
+        least-allocated eligible node from another rack. The substitution
+        consumes no randomness, so enabling the constraint never shifts
+        the placement RNG stream — ADAPT's availability grouping and the
+        rack rule compose without re-seeding each other. A cluster whose
+        eligible nodes all share one rack leaves placements unchanged
+        (the constraint is unsatisfiable, not an error).
+        """
+        self._rack_of = rack_of
+
+    def _fix_rack_spread(self, chosen: List[NodeId], k: int) -> List[NodeId]:
+        """Substitute the last pick when a replica set is single-rack."""
+        rack_of = self._rack_of
+        if rack_of is None or k < 2 or len(chosen) < k:
+            return chosen
+        home = rack_of(chosen[0])
+        if any(rack_of(node_id) != home for node_id in chosen[1:]):
+            return chosen
+        off_rack = sorted(
+            (
+                n
+                for n in self.eligible_nodes
+                if n not in chosen and rack_of(n) != home
+            ),
+            key=lambda node_id: (self._allocated[node_id], node_id),
+        )
+        if off_rack:
+            chosen[-1] = off_rack[0]
+        return chosen
 
     @abstractmethod
     def _draw(self, rng: RandomSource) -> NodeId:
@@ -138,6 +178,7 @@ class PlacementPlan(ABC):
             chosen.extend(fallback[:needed])
         if len(chosen) < k:
             raise RuntimeError(f"could not find {k} distinct nodes")
+        chosen = self._fix_rack_spread(chosen, k)
         for node_id in chosen:
             self._allocated[node_id] += 1
         return chosen

@@ -83,6 +83,15 @@ class EmulationConfig:
     permanent_failure_rate: float = 0.0
     permanent_failure_horizon: float = 600.0
     fetch_retries: int = 2
+    #: Network topology (see ClusterConfig): "flat" or "clos", with rack
+    #: count and trunk oversubscription; rack_aware_placement enforces the
+    #: HDFS off-rack replica rule on ingest.
+    topology: str = "flat"
+    racks: int = 1
+    oversubscription: float = 1.0
+    rack_aware_placement: bool = False
+    #: Response to DegradedLink chaos windows ("none" disables).
+    link_mitigation: str = "none"
 
     def __post_init__(self) -> None:
         check_positive("node_count", self.node_count)
@@ -113,6 +122,11 @@ class EmulationConfig:
             permanent_failure_rate=self.permanent_failure_rate,
             permanent_failure_horizon=self.permanent_failure_horizon,
             fetch_retries=self.fetch_retries,
+            topology=self.topology,
+            racks=self.racks,
+            oversubscription=self.oversubscription,
+            rack_aware_placement=self.rack_aware_placement,
+            link_mitigation=self.link_mitigation,
             seed=self.seed if seed is None else seed,
         )
 
@@ -151,6 +165,13 @@ class SimulationConfig:
     placement_liveness_filter: bool = False
     #: Within-host duration CoV of the synthetic SETI model.
     duration_within_cov: float = 2.0
+    #: Network topology (see ClusterConfig). Fixed-cost transfers still
+    #: take the path min, so an oversubscribed Clos trunk can bind.
+    topology: str = "flat"
+    racks: int = 1
+    oversubscription: float = 1.0
+    rack_aware_placement: bool = False
+    link_mitigation: str = "none"
 
     def __post_init__(self) -> None:
         check_positive("node_count", self.node_count)
@@ -194,5 +215,10 @@ class SimulationConfig:
             speculation_enabled=self.speculation_enabled,
             stationary_burn_in=self.stationary_burn_in,
             placement_liveness_filter=self.placement_liveness_filter,
+            topology=self.topology,
+            racks=self.racks,
+            oversubscription=self.oversubscription,
+            rack_aware_placement=self.rack_aware_placement,
+            link_mitigation=self.link_mitigation,
             seed=self.seed if seed is None else seed,
         )

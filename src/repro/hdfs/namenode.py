@@ -8,7 +8,7 @@ an availability-aware policy driven by the Performance Predictor.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.ids import NodeId
 from repro.core.placement import NodeView, PlacementPolicy
@@ -37,6 +37,7 @@ class NameNode:
         """
         self._predictor = predictor if predictor is not None else PerformancePredictor()
         self._placement_liveness_filter = placement_liveness_filter
+        self._rack_of: Optional[Callable[[NodeId], int]] = None
         self._datanodes: Dict[NodeId, DataNode] = {}
         self._files: Dict[str, DfsFile] = {}
         self._blocks: Dict[str, Block] = {}
@@ -49,6 +50,19 @@ class NameNode:
     def predictor(self) -> PerformancePredictor:
         """The ADAPT Performance Predictor attached to this NameNode."""
         return self._predictor
+
+    def set_rack_constraint(self, rack_of: Optional[Callable[[NodeId], int]]) -> None:
+        """Enforce HDFS's off-rack rule on every future ingest.
+
+        ``rack_of`` maps a node id to its rack index (normally the
+        topology's ``rack_of``). When set, every placement plan built by
+        :meth:`create_file` refuses to put all replicas of a block in a
+        single rack (for replication >= 2), substituting the last chosen
+        holder with an off-rack node. The substitution consumes no
+        randomness, so enabling it never shifts the placement RNG stream.
+        Pass ``None`` to lift the constraint.
+        """
+        self._rack_of = rack_of
 
     def register_datanode(self, datanode: DataNode) -> None:
         """Admit a DataNode to the cluster."""
@@ -126,6 +140,8 @@ class NameNode:
             raise ValueError(f"file {name!r} already exists")
         dfs_file = DfsFile.build(name, num_blocks, block_size, replication)
         plan = policy.build_plan(self.placement_views(), num_blocks, replication, gamma)
+        if self._rack_of is not None:
+            plan.set_rack_constraint(self._rack_of)
         placement_rng = rng.substream("placement", name)
         holders_per_block = plan.choose_replicas_many(placement_rng, len(dfs_file.blocks))
         # Commit loop, inlined from _store_replica with the instance dicts

@@ -71,6 +71,8 @@ from repro.simulator.engine import EVENT_QUEUES, Simulator
 from repro.simulator.events import (
     BlockLost,
     EventBus,
+    LinkDegraded,
+    LinkRestored,
     NodeDeclaredDead,
     NodeDegraded,
     NodeDown,
@@ -87,8 +89,10 @@ from repro.simulator.events import (
 from repro.simulator.failures import FailureInjector
 from repro.simulator.invariants import AUDIT_MODES, InvariantAuditor
 from repro.simulator.metrics import DurabilityMetrics, MapPhaseMetrics
+from repro.simulator.mitigation import MITIGATIONS, LinkMitigationService
 from repro.simulator.network import Network
 from repro.simulator.scenarios import ChaosCampaign
+from repro.simulator.topology import TOPOLOGIES, make_topology
 from repro.simulator.trace import TraceRecorder
 from repro.util.rng import RandomSource
 from repro.util.units import MB, mbit_per_s
@@ -117,6 +121,32 @@ class ClusterConfig:
     access_during_downtime: bool = True
     #: Flow-level max-min fair sharing (True) or uncontended links (False).
     fair_sharing: bool = True
+    #: Network topology: "flat" (every host on one non-blocking switch,
+    #: the golden-bearing default) or "clos" (hosts -> ToR -> aggregation
+    #: fabric with shared, oversubscribable trunks).
+    topology: str = "flat"
+    #: Racks in the Clos fabric; hosts are assigned round-robin
+    #: (``rack_of(n) = n % racks``). With racks=1 and oversubscription=1
+    #: the Clos fabric is byte-identical to the flat star. Ignored by
+    #: "flat".
+    racks: int = 1
+    #: Clos trunk oversubscription ratio: a trunk carries its downstream
+    #: aggregate bandwidth divided by this (1.0 = full bisection).
+    oversubscription: float = 1.0
+    #: Aggregation pods (racks grouped per pod); 1 keeps the fabric at
+    #: two tiers (no aggregation links). Ignored by "flat".
+    pods: int = 1
+    #: ECMP members per fabric trunk — only consulted by the
+    #: disable-and-reroute mitigation ((width-1)/width survives).
+    trunk_width: int = 4
+    #: Enforce HDFS's off-rack replica rule on ingest placement (only
+    #: meaningful with a multi-rack topology; substitution preserves the
+    #: placement RNG stream — see NameNode.set_rack_constraint).
+    rack_aware_placement: bool = False
+    #: Response to DegradedLink chaos windows: "none" (no service — the
+    #: degradation events go unanswered and links keep nominal capacity)
+    #: or one of repro.simulator.mitigation.MITIGATIONS.
+    link_mitigation: str = "none"
     #: Pin the predictor to each host's true (lambda, mu) instead of
     #: estimating from heartbeats (Algorithm 1's stated inputs).
     oracle_estimates: bool = True
@@ -233,6 +263,25 @@ class ClusterConfig:
             raise ValueError(
                 f"event_queue must be one of {EVENT_QUEUES}, got {self.event_queue!r}"
             )
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"topology must be one of {TOPOLOGIES}, got {self.topology!r}"
+            )
+        if self.racks < 1:
+            raise ValueError(f"racks must be >= 1, got {self.racks}")
+        if self.oversubscription < 1.0:
+            raise ValueError(
+                f"oversubscription must be >= 1, got {self.oversubscription}"
+            )
+        if self.pods < 1:
+            raise ValueError(f"pods must be >= 1, got {self.pods}")
+        if self.trunk_width < 1:
+            raise ValueError(f"trunk_width must be >= 1, got {self.trunk_width}")
+        if self.link_mitigation != "none" and self.link_mitigation not in MITIGATIONS:
+            raise ValueError(
+                f"link_mitigation must be 'none' or one of {MITIGATIONS}, "
+                f"got {self.link_mitigation!r}"
+            )
         if self.audit not in AUDIT_MODES:
             raise ValueError(f"audit must be one of {AUDIT_MODES}, got {self.audit!r}")
         check_positive("audit_interval", self.audit_interval)
@@ -312,6 +361,7 @@ class Cluster:
         tracer: Optional[TraceRecorder] = None,
         auditor: Optional[InvariantAuditor] = None,
         chaos: Optional[ChaosEngine] = None,
+        mitigation: Optional[LinkMitigationService] = None,
         ids: Optional[NodeIds] = None,
         build_profile: Optional[BuildProfile] = None,
     ) -> None:
@@ -338,6 +388,7 @@ class Cluster:
         self.tracer = tracer
         self.auditor = auditor
         self.chaos = chaos
+        self.mitigation = mitigation
         #: Wall-clock phase breakdown of the build that produced this
         #: cluster (None for hand-wired clusters).
         self.build_profile = build_profile
@@ -443,11 +494,22 @@ def build_cluster(
     tracer: Optional[TraceRecorder] = None
     if config.trace_events:
         tracer = TraceRecorder(bus, ids=ids)
+    topology = make_topology(
+        config.topology,
+        hosts=len(hosts),
+        uplink_bps=config.uplink_bps,
+        downlink_bps=config.downlink_bps,
+        racks=config.racks,
+        oversubscription=config.oversubscription,
+        pods=config.pods,
+        trunk_width=config.trunk_width,
+    )
     network = Network(
         sim,
         uplink_bps=config.uplink_bps,
         downlink_bps=config.downlink_bps,
         fair_sharing=config.fair_sharing,
+        topology=topology,
     )
     predictor = PerformancePredictor(
         prior_mtbi=config.prior_mtbi,
@@ -457,6 +519,8 @@ def build_cluster(
     namenode = NameNode(
         predictor, placement_liveness_filter=config.placement_liveness_filter
     )
+    if config.rack_aware_placement:
+        namenode.set_rack_constraint(topology.rack_of)
     metrics = MapPhaseMetrics()
     durability = DurabilityMetrics()
     injector = FailureInjector(sim, rng, bus=bus)
@@ -611,6 +675,7 @@ def build_cluster(
     # phase. The engine itself measures in ACCOUNTING phase, observing raw
     # transitions before any reaction mutates state.
     chaos: Optional[ChaosEngine] = None
+    mitigation: Optional[LinkMitigationService] = None
     if config.chaos is not None:
         chaos = ChaosEngine(
             sim,
@@ -620,7 +685,21 @@ def build_cluster(
             injector,
             namenode=namenode,
             ids=ids,
+            network=network,
         )
+        if config.link_mitigation != "none":
+            # One service class, strategy by composition: the bus wiring
+            # (and the static busgraph extracted from it) is identical no
+            # matter which response the config names.
+            mitigation = LinkMitigationService(
+                network, strategy=config.link_mitigation, ids=ids
+            )
+            bus.subscribe(
+                LinkDegraded, mitigation.handle_link_degraded, Phase.NETWORK
+            )
+            bus.subscribe(
+                LinkRestored, mitigation.handle_link_restored, Phase.NETWORK
+            )
         bus.subscribe(PartitionStarted, network.handle_partition_started, Phase.NETWORK)
         bus.subscribe(PartitionHealed, network.handle_partition_healed, Phase.NETWORK)
         bus.subscribe(NodeDegraded, network.handle_node_degraded, Phase.NETWORK)
@@ -739,6 +818,10 @@ def build_cluster(
         services.register(monitor)
     services.register(jobtracker)
     services.register_bulk(trackers.values())
+    if mitigation is not None:
+        # Before the chaos engine: a window already armed at start must
+        # find its responder subscribed and started.
+        services.register(mitigation)
     if chaos is not None:
         # After the injector and every reactor: starting the engine arms
         # the campaign against a fully attached node population.
@@ -777,6 +860,7 @@ def build_cluster(
         tracer=tracer,
         auditor=auditor,
         chaos=chaos,
+        mitigation=mitigation,
         ids=ids,
         build_profile=profile,
     )

@@ -14,6 +14,10 @@ The paper evaluates ADAPT twice: on an emulated non-dedicated environment
   overhead decomposition of Figure 5.
 * :mod:`repro.simulator.events` — the typed event bus every subsystem
   publishes to and subscribes on, with fixed dispatch phases.
+* :mod:`repro.simulator.topology` — the fabric transfers cross: a flat
+  star (default) or a hierarchical Clos with oversubscribable trunks.
+* :mod:`repro.simulator.mitigation` — interchangeable responses to
+  degraded-link chaos windows.
 * :mod:`repro.simulator.trace` — bus-event capture and JSONL export.
 """
 
@@ -22,6 +26,8 @@ from repro.simulator.events import (
     BlockLost,
     Event,
     EventBus,
+    LinkDegraded,
+    LinkRestored,
     NodeDeclaredDead,
     NodeDown,
     NodeEvent,
@@ -36,7 +42,15 @@ from repro.simulator.events import (
 )
 from repro.simulator.failures import FailureInjector
 from repro.simulator.metrics import MapPhaseMetrics, OverheadBreakdown
+from repro.simulator.mitigation import MITIGATIONS, LinkMitigationService
 from repro.simulator.network import Network, Transfer, TransferState
+from repro.simulator.topology import (
+    TOPOLOGIES,
+    ClosTopology,
+    FlatStar,
+    Topology,
+    make_topology,
+)
 from repro.simulator.trace import TraceRecord, TraceRecorder
 
 __all__ = [
@@ -62,6 +76,15 @@ __all__ = [
     "BlockLost",
     "ReplicaAdded",
     "TaskStateChange",
+    "LinkDegraded",
+    "LinkRestored",
+    "Topology",
+    "FlatStar",
+    "ClosTopology",
+    "TOPOLOGIES",
+    "make_topology",
+    "LinkMitigationService",
+    "MITIGATIONS",
     "TraceRecord",
     "TraceRecorder",
 ]

@@ -24,6 +24,9 @@ partition          ``PartitionStarted`` / ``PartitionHealed`` bus events
                    suppresses member beats when ``isolate_heartbeats``)
 gray               ``NodeDegraded`` / ``NodeRestored`` bus events (Network
                    throttles links; TaskTracker stretches execution)
+degraded-link      ``LinkDegraded`` / ``LinkRestored`` bus events (the
+                   ``LinkMitigationService`` applies its strategy's verdict
+                   as capacity scales on the Network)
 delayed-recovery   ``FailureInjector.set_recovery_stretch`` over the window
 =================  ==========================================================
 
@@ -48,6 +51,8 @@ from repro.simulator.events import (
     ChaosScenarioEnded,
     ChaosScenarioStarted,
     EventBus,
+    LinkDegraded,
+    LinkRestored,
     NodeDeclaredDead,
     NodeDegraded,
     NodeDown,
@@ -59,8 +64,10 @@ from repro.simulator.events import (
     ReplicaAdded,
 )
 from repro.simulator.failures import FailureInjector
+from repro.simulator.network import Network
 from repro.simulator.scenarios import (
     ChaosCampaign,
+    DegradedLink,
     DelayedRecovery,
     FailureStorm,
     FlappingNode,
@@ -68,6 +75,7 @@ from repro.simulator.scenarios import (
     NetworkPartition,
     Scenario,
 )
+from repro.simulator.topology import FlatStar, HOST_TIERS, LinkKey, Topology
 from repro.util.rng import RandomSource
 
 __all__ = ["ChaosEngine", "ResilienceReport", "ScenarioActivation"]
@@ -178,6 +186,7 @@ class ChaosEngine:
         injector: FailureInjector,
         namenode: Optional[NameNode] = None,
         ids: Optional[NodeIds] = None,
+        network: Optional[Network] = None,
     ) -> None:
         self._sim = sim
         self._bus = bus
@@ -185,6 +194,10 @@ class ChaosEngine:
         self._rng = rng
         self._injector = injector
         self._namenode = namenode
+        #: Degraded-link scenarios resolve their targets against this
+        #: network's topology; without one they fall back to a flat star
+        #: (explicit link specs only).
+        self._network = network
         #: Name <-> int identity table. When present, scenario specs name
         #: targets by host name, the engine arms them by int id, and the
         #: resilience report translates back — names at both human edges,
@@ -216,9 +229,20 @@ class ChaosEngine:
         node_ids = self._injector.node_ids
         intern = self._ids.id_of if self._ids is not None else None
         for index, scenario in enumerate(self._campaign.scenarios):
-            targets = scenario.resolve_targets(
-                node_ids, self._rng.substream("chaos", index), intern=intern
-            )
+            rng = self._rng.substream("chaos", index)
+            if isinstance(scenario, DegradedLink):
+                links = scenario.resolve_links(
+                    self._topology(), rng, intern=intern
+                )
+                display = tuple(self._display_link(link) for link in links)
+                self._activations.append(
+                    ScenarioActivation(
+                        kind=scenario.kind, index=index, targets=display
+                    )
+                )
+                self._arm_degraded_links(index, scenario, display)
+                continue
+            targets = scenario.resolve_targets(node_ids, rng, intern=intern)
             display = (
                 targets
                 if self._ids is None
@@ -252,6 +276,75 @@ class ChaosEngine:
             self._sim.schedule_at(
                 max(at_time, self._sim.now), action, label="chaos"
             )
+        )
+
+    def _topology(self) -> Topology:
+        if self._network is not None:
+            return self._network.topology
+        return FlatStar()
+
+    def _display_link(self, link: LinkKey) -> str:
+        """Render a link key in the campaign's (human) vocabulary."""
+        tier, ident = link
+        if tier in HOST_TIERS and self._ids is not None and isinstance(ident, int):
+            return f"{tier}:{self._ids.name_of(ident)}"
+        return f"{tier}:{ident}"
+
+    def _arm_degraded_links(
+        self, index: int, scenario: DegradedLink, links: Tuple[str, ...]
+    ) -> None:
+        """Arm one degraded-link window: per-link degrade/restore events.
+
+        The events carry link specs in the display vocabulary (the same
+        one :class:`ChaosScenarioStarted` speaks); the mitigation service
+        parses them back through the cluster's id table.
+        """
+        start = max(scenario.start, self._sim.now)
+        end = max(scenario.end(), start)
+        spec = scenario.spec_json()
+        kind = scenario.kind
+        capacity_factor = scenario.capacity_factor
+        corruption_rate = scenario.corruption_rate
+        self._schedule(
+            start,
+            lambda: self._bus.publish(
+                ChaosScenarioStarted(
+                    time=self._sim.now,
+                    kind=kind,
+                    index=index,
+                    targets=links,
+                    spec=spec,
+                )
+            ),
+        )
+        for link in links:
+            self._schedule(
+                start,
+                lambda spec_str=link: self._bus.publish(
+                    LinkDegraded(
+                        time=self._sim.now,
+                        link=spec_str,
+                        capacity_factor=capacity_factor,
+                        corruption_rate=corruption_rate,
+                    )
+                ),
+            )
+            self._schedule(
+                end,
+                lambda spec_str=link: self._bus.publish(
+                    LinkRestored(
+                        time=self._sim.now,
+                        link=spec_str,
+                        capacity_factor=capacity_factor,
+                        corruption_rate=corruption_rate,
+                    )
+                ),
+            )
+        self._schedule(
+            end,
+            lambda: self._bus.publish(
+                ChaosScenarioEnded(time=self._sim.now, kind=kind, index=index)
+            ),
         )
 
     def _arm(

@@ -198,6 +198,42 @@ class NodeRestored(NodeEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class LinkDegraded(Event):
+    """A directed link entered a degraded state: it carries traffic at
+    ``capacity_factor`` of nominal and corrupts ``corruption_rate`` of
+    what it forwards. ``link`` is a ``"tier:id"`` spec in the campaign's
+    (human) vocabulary — host tiers name hosts, fabric tiers carry rack
+    or pod indices — parsed by
+    :func:`repro.simulator.topology.parse_link_spec`. The cluster's link
+    mitigation service decides how much of the degradation transfers
+    actually feel."""
+
+    link: str
+    capacity_factor: float = 1.0
+    corruption_rate: float = 0.0
+
+    @property
+    def routing_key(self) -> Optional[RoutingKey]:
+        return self.link
+
+
+@dataclass(frozen=True, slots=True)
+class LinkRestored(Event):
+    """A previously degraded link runs at nominal again. Carries the
+    same factors as the opening :class:`LinkDegraded` so the mitigation
+    service can release exactly the effect it applied, even when
+    degradations overlap on one link."""
+
+    link: str
+    capacity_factor: float = 1.0
+    corruption_rate: float = 0.0
+
+    @property
+    def routing_key(self) -> Optional[RoutingKey]:
+        return self.link
+
+
+@dataclass(frozen=True, slots=True)
 class PartitionStarted(Event):
     """A network partition began: transfers crossing the boundary between
     ``members`` and the rest of the cluster stall until healed. When
@@ -492,6 +528,8 @@ __all__ = [
     "TaskStateChange",
     "NodeDegraded",
     "NodeRestored",
+    "LinkDegraded",
+    "LinkRestored",
     "PartitionStarted",
     "PartitionHealed",
     "ChaosScenarioStarted",

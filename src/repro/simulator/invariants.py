@@ -35,9 +35,10 @@ configurable cadence plus mandatorily at teardown:
   is RUNNING. (A believed-dead but physically-up node may legitimately run
   attempts: under heartbeat detection a returned node asks for work before
   its next beat flips the belief.)
-* **link-capacity** — per-link flow rates sum to at most the link's
-  capacity under fair sharing (the simple model oversubscribes by design
-  and is exempt).
+* **link-capacity** — flow rates sum to at most capacity on *every*
+  directed link of every transfer's path — host access links and
+  oversubscribed fabric trunks alike — under fair sharing (the simple
+  model oversubscribes by design and is exempt).
 * **event-time-monotonic** / **event-time-behind-clock** /
   **event-heap-time** — published event times never regress, and the event
   heap's next event is never in the simulator's past.
@@ -458,30 +459,21 @@ class InvariantAuditor:
         network = self._network
         if not network.fair_sharing:
             return  # the simple model oversubscribes links by design
-        up_sums: Dict[NodeId, float] = {}
-        down_sums: Dict[NodeId, float] = {}
+        # Sum rates over every directed link on every transfer's path, so
+        # oversubscribed fabric trunks (ToR/aggregation) are audited with
+        # exactly the same rule as host access links.
+        link_sums: Dict[Tuple[str, object], float] = {}
         for transfer in network.active_transfers:
-            up_sums[transfer.source] = up_sums.get(transfer.source, 0.0) + transfer.rate
-            down_sums[transfer.destination] = (
-                down_sums.get(transfer.destination, 0.0) + transfer.rate
-            )
-        for node_id in sorted(up_sums):
-            capacity = network.uplink(node_id)
-            if up_sums[node_id] > capacity * (1.0 + _RATE_EPSILON) + 1e-6:
+            for link in transfer.path:
+                link_sums[link] = link_sums.get(link, 0.0) + transfer.rate
+        for link in sorted(link_sums, key=lambda key: (key[0], str(key[1]))):
+            capacity = network.link_capacity(link)
+            if link_sums[link] > capacity * (1.0 + _RATE_EPSILON) + 1e-6:
                 self._violate(
                     found,
                     "link-capacity",
-                    f"uplink of {node_id}: flow rates sum to "
-                    f"{up_sums[node_id]:.6g} B/s > capacity {capacity:.6g} B/s",
-                )
-        for node_id in sorted(down_sums):
-            capacity = network.downlink(node_id)
-            if down_sums[node_id] > capacity * (1.0 + _RATE_EPSILON) + 1e-6:
-                self._violate(
-                    found,
-                    "link-capacity",
-                    f"downlink of {node_id}: flow rates sum to "
-                    f"{down_sums[node_id]:.6g} B/s > capacity {capacity:.6g} B/s",
+                    f"link {link[0]}:{link[1]}: flow rates sum to "
+                    f"{link_sums[link]:.6g} B/s > capacity {capacity:.6g} B/s",
                 )
 
     def _check_heap(self, found: List[Violation]) -> None:

@@ -14,6 +14,15 @@ fair sharing.
 ``min(uplink, downlink)`` with no contention; the large-scale simulations
 (Section V.C, up to 16384 nodes) use it for speed, matching the paper's own
 simulator granularity.
+
+The *links* a transfer crosses come from a pluggable
+:class:`~repro.simulator.topology.Topology`. Under the default
+:class:`~repro.simulator.topology.FlatStar` a path is exactly the classic
+(source uplink, destination downlink) pair — allocations are bit-for-bit
+what the two-link special case produced. Under a
+:class:`~repro.simulator.topology.ClosTopology` cross-rack paths also
+cross oversubscribed ToR/aggregation trunks, and progressive filling runs
+over every link on the path unchanged.
 """
 
 from __future__ import annotations
@@ -33,10 +42,26 @@ from repro.simulator.events import (
     PartitionStarted,
     PermanentFailure,
 )
+from repro.simulator.topology import FlatStar, LinkKey, Topology
 from repro.util.validation import check_positive
 
 #: Remaining-bytes tolerance under which a transfer counts as finished.
+#: Both completion paths honor it: the fair-sharing sweep completes any
+#: flow whose residue is within it, and the simple model schedules a
+#: zero-length completion instead of a timed one.
 _DONE_EPSILON = 0.5
+
+
+def _product(factors: List[float]) -> float:
+    """Left-to-right product of a throttle/scale stack.
+
+    Multiplying in push order keeps the single-factor case bit-identical
+    to applying the factor directly (golden trajectories pin this).
+    """
+    result = factors[0]
+    for factor in factors[1:]:
+        result *= factor
+    return result
 
 
 class TransferState(enum.Enum):
@@ -65,8 +90,7 @@ class Transfer:
         "on_complete",
         "on_cancel",
         "_event",
-        "up_key",
-        "down_key",
+        "path",
     )
 
     def __init__(
@@ -79,6 +103,7 @@ class Transfer:
         label: str,
         on_complete: Callable[["Transfer"], None],
         on_cancel: Optional[Callable[["Transfer"], None]],
+        path: Tuple[LinkKey, ...],
     ) -> None:
         self.transfer_id = transfer_id
         self.source = source
@@ -96,11 +121,10 @@ class Transfer:
         self.on_complete = on_complete
         self.on_cancel = on_cancel
         self._event: Optional[EventHandle] = None
-        # Link identities, interned once at transfer start: every rate
+        # Directed link keys, interned once at transfer start: every rate
         # allocation round indexes capacities/membership by these, so they
         # must not be rebuilt per round (or per allocation).
-        self.up_key: Tuple[str, NodeId] = ("up", source)
-        self.down_key: Tuple[str, NodeId] = ("down", destination)
+        self.path = path
 
     @property
     def transferred(self) -> float:
@@ -132,6 +156,7 @@ class Network:
         uplink_bps: float,
         downlink_bps: Optional[float] = None,
         fair_sharing: bool = True,
+        topology: Optional[Topology] = None,
     ) -> None:
         self._sim = sim
         self._default_up = check_positive("uplink_bps", uplink_bps)
@@ -141,6 +166,7 @@ class Network:
             else self._default_up
         )
         self._fair = fair_sharing
+        self._topology: Topology = topology if topology is not None else FlatStar()
         self._uplinks: Dict[NodeId, float] = {}
         self._downlinks: Dict[NodeId, float] = {}
         # Insertion-ordered: Transfer hashes by identity, so iterating a
@@ -154,9 +180,20 @@ class Network:
         #: Active partitions: id -> member set. A transfer crossing any
         #: partition boundary is stalled (rate 0) until the cut heals.
         self._partitions: Dict[str, frozenset] = {}
-        #: Gray-node throttles: node -> the (uplink, downlink) override
-        #: entries in force before the throttle (None = defaulted).
-        self._throttled: Dict[NodeId, Tuple[Optional[float], Optional[float]]] = {}
+        #: Gray-node throttles: node -> stack of multiplicative factors,
+        #: one per active throttle window, in arming order. Overlapping
+        #: windows on one node compose multiplicatively; each restore
+        #: releases exactly one factor, so the second window survives the
+        #: first window's restore. The base link configuration (defaults
+        #: and :meth:`set_link` overrides) is never rewritten by
+        #: throttles, so overrides made mid-window compose too.
+        self._throttles: Dict[NodeId, List[float]] = {}
+        #: Cached product of each node's throttle stack (hot-path read).
+        self._throttle_scale: Dict[NodeId, float] = {}
+        #: Degraded-link scales: link -> stack of multiplicative factors
+        #: (mitigation services push/pop these), plus the cached product.
+        self._link_scales: Dict[LinkKey, List[float]] = {}
+        self._link_scale: Dict[LinkKey, float] = {}
 
     # -- configuration ----------------------------------------------------------
 
@@ -173,12 +210,49 @@ class Network:
             self._downlinks[node_id] = check_positive("downlink_bps", downlink_bps)
 
     def uplink(self, node_id: NodeId) -> float:
-        """The node's uplink capacity in bytes/second."""
-        return self._uplinks.get(node_id, self._default_up)
+        """The node's uplink capacity in bytes/second (throttles applied)."""
+        base = self._uplinks.get(node_id, self._default_up)
+        if self._throttle_scale:
+            factor = self._throttle_scale.get(node_id)
+            if factor is not None:
+                return base * factor
+        return base
 
     def downlink(self, node_id: NodeId) -> float:
-        """The node's downlink capacity in bytes/second."""
-        return self._downlinks.get(node_id, self._default_down)
+        """The node's downlink capacity in bytes/second (throttles applied)."""
+        base = self._downlinks.get(node_id, self._default_down)
+        if self._throttle_scale:
+            factor = self._throttle_scale.get(node_id)
+            if factor is not None:
+                return base * factor
+        return base
+
+    def link_capacity(self, link: LinkKey) -> float:
+        """Capacity of any directed link, degraded-link scales applied.
+
+        Host tiers (``up``/``down``) read the per-node configuration —
+        defaults, :meth:`set_link` overrides, and gray-node throttles all
+        compose; fabric tiers read the topology's oversubscribed trunk
+        capacity. Scales pushed by :meth:`scale_link` multiply on top.
+        """
+        tier = link[0]
+        if tier == "up":
+            base = self.uplink(link[1])
+        elif tier == "down":
+            base = self.downlink(link[1])
+        else:
+            base = self._topology.fabric_capacity(link)
+        scales = self._link_scale
+        if scales:
+            factor = scales.get(link)
+            if factor is not None:
+                return base * factor
+        return base
+
+    @property
+    def topology(self) -> Topology:
+        """The link structure transfers route through."""
+        return self._topology
 
     @property
     def fair_sharing(self) -> bool:
@@ -228,6 +302,7 @@ class Network:
             label=label,
             on_complete=on_complete,
             on_cancel=on_cancel,
+            path=self._topology.path(source, destination),
         )
         self._outgoing[source] += 1
         if self._fair:
@@ -341,37 +416,75 @@ class Network:
     def throttle_node(self, node_id: NodeId, link_factor: float) -> None:
         """Scale one node's link capacities by ``link_factor`` (gray node).
 
-        The pre-throttle override entries are saved so
-        :meth:`restore_node` recovers the exact prior configuration.
-        Idempotent per node: a second throttle before restore is ignored
-        (scenario windows never nest a node inside itself).
+        Throttles *stack*: overlapping gray windows on one node compose
+        multiplicatively, and each :meth:`restore_node` releases exactly
+        one window — so the first window's restore no longer lifts a
+        second, still-active throttle. The base configuration (defaults
+        and :meth:`set_link` overrides) is left untouched, which also
+        means an override made mid-window survives the restore instead of
+        being clobbered by a pre-throttle snapshot.
         """
         check_positive("link_factor", link_factor)
-        if node_id in self._throttled:
-            return
-        self._throttled[node_id] = (
-            self._uplinks.get(node_id),
-            self._downlinks.get(node_id),
-        )
-        self._uplinks[node_id] = self.uplink(node_id) * link_factor
-        self._downlinks[node_id] = self.downlink(node_id) * link_factor
+        stack = self._throttles.setdefault(node_id, [])
+        stack.append(link_factor)
+        self._throttle_scale[node_id] = _product(stack)
         self._rerate_node(node_id)
 
     def restore_node(self, node_id: NodeId) -> None:
-        """Lift a gray-node throttle, restoring the saved link config."""
-        saved = self._throttled.pop(node_id, None)
-        if saved is None:
+        """Release one gray-node throttle window (oldest first).
+
+        Restores are matched to throttles first-in-first-out: scenario
+        windows close in the order they opened whenever durations are
+        equal, and the *product* of the remaining stack is correct under
+        any interleaving. A restore with no active throttle is a no-op.
+        """
+        stack = self._throttles.get(node_id)
+        if not stack:
             return
-        up, down = saved
-        if up is None:
-            self._uplinks.pop(node_id, None)
+        stack.pop(0)
+        if stack:
+            self._throttle_scale[node_id] = _product(stack)
         else:
-            self._uplinks[node_id] = up
-        if down is None:
-            self._downlinks.pop(node_id, None)
-        else:
-            self._downlinks[node_id] = down
+            del self._throttles[node_id]
+            del self._throttle_scale[node_id]
         self._rerate_node(node_id)
+
+    # -- chaos: degraded links -------------------------------------------------------
+
+    def scale_link(self, link: LinkKey, factor: float) -> None:
+        """Push a multiplicative capacity scale onto one directed link.
+
+        Mitigation services call this when a :class:`DegradedLink`
+        scenario opens; scales stack exactly like node throttles, so
+        overlapping degradations on one link compose.
+        """
+        check_positive("factor", factor)
+        stack = self._link_scales.setdefault(link, [])
+        stack.append(factor)
+        self._link_scale[link] = _product(stack)
+        self._rerate_link(link)
+
+    def unscale_link(self, link: LinkKey, factor: Optional[float] = None) -> None:
+        """Pop one scale from a link (the first matching ``factor``, or
+        the oldest when unspecified). Raises if the link carries none."""
+        stack = self._link_scales.get(link)
+        if not stack:
+            raise KeyError(f"link {link!r} carries no active scale")
+        if factor is None:
+            stack.pop(0)
+        else:
+            try:
+                stack.remove(factor)
+            except ValueError:
+                raise KeyError(
+                    f"link {link!r} carries no active scale of {factor!r}"
+                ) from None
+        if stack:
+            self._link_scale[link] = _product(stack)
+        else:
+            del self._link_scales[link]
+            del self._link_scale[link]
+        self._rerate_link(link)
 
     def _rerate_node(self, node_id: NodeId) -> None:
         """Re-rate in-flight transfers after a capacity change on a node."""
@@ -383,6 +496,19 @@ class Network:
                 if transfer._event is None:
                     continue  # stalled; heal-time thaw reads new capacities
                 if transfer.source == node_id or transfer.destination == node_id:
+                    self._freeze_simple(transfer)
+                    self._thaw_simple(transfer)
+
+    def _rerate_link(self, link: LinkKey) -> None:
+        """Re-rate in-flight transfers after a capacity change on a link."""
+        if self._fair:
+            self._advance()
+            self._reallocate_and_reschedule()
+        else:
+            for transfer in list(self._active):
+                if transfer._event is None:
+                    continue  # stalled; heal-time thaw reads new capacities
+                if link in transfer.path:
                     self._freeze_simple(transfer)
                     self._thaw_simple(transfer)
 
@@ -406,11 +532,20 @@ class Network:
 
     def _thaw_simple(self, transfer: Transfer) -> None:
         """(Re)start a simple-mode transfer at current link capacities."""
-        transfer.rate = min(
-            self.uplink(transfer.source), self.downlink(transfer.destination)
-        )
+        path = transfer.path
+        if len(path) == 2:
+            rate = min(self.link_capacity(path[0]), self.link_capacity(path[1]))
+        else:
+            rate = min(self.link_capacity(link) for link in path)
+        transfer.rate = rate
         transfer.anchor = self._sim.now
-        eta = transfer.remaining / transfer.rate if transfer.remaining > 0 else 0.0
+        # Residue within _DONE_EPSILON counts as finished — the same
+        # tolerance the fair path applies — so progress banked across many
+        # freeze/thaw cycles by repeated float subtraction can never leave
+        # a sub-epsilon remainder that still schedules a timed completion.
+        eta = (
+            transfer.remaining / rate if transfer.remaining > _DONE_EPSILON else 0.0
+        )
         transfer._event = self._sim.schedule(
             eta,
             lambda: self._complete_simple(transfer),
@@ -438,7 +573,8 @@ class Network:
             "uplink_bps": self._default_up,
             "downlink_bps": self._default_down,
             "partitions": len(self._partitions),
-            "throttled_nodes": len(self._throttled),
+            "throttled_nodes": len(self._throttles),
+            "degraded_links": len(self._link_scales),
         }
 
     # -- internals: simple mode ----------------------------------------------------
@@ -513,28 +649,21 @@ class Network:
         """
         if not self._active:
             return
-        capacity: Dict[Tuple[str, NodeId], float] = {}
-        members: Dict[Tuple[str, NodeId], List[Transfer]] = {}
-        live: Dict[Tuple[str, NodeId], int] = {}
+        capacity: Dict[LinkKey, float] = {}
+        members: Dict[LinkKey, List[Transfer]] = {}
+        live: Dict[LinkKey, int] = {}
         for transfer in self._active:
             # Stalled flows join no links: they take no rate (the final
             # loop zeroes them) and free their capacity for the rest.
             if self._partitions and self._is_stalled(transfer):
                 continue
-            up = transfer.up_key
-            down = transfer.down_key
-            if up not in capacity:
-                capacity[up] = self.uplink(transfer.source)
-                members[up] = []
-                live[up] = 0
-            if down not in capacity:
-                capacity[down] = self.downlink(transfer.destination)
-                members[down] = []
-                live[down] = 0
-            members[up].append(transfer)
-            live[up] += 1
-            members[down].append(transfer)
-            live[down] += 1
+            for link in transfer.path:
+                if link not in capacity:
+                    capacity[link] = self.link_capacity(link)
+                    members[link] = []
+                    live[link] = 0
+                members[link].append(transfer)
+                live[link] += 1
 
         unfixed: Set[Transfer] = set(self._active)
         rates: Dict[Transfer, float] = {}
@@ -557,9 +686,9 @@ class Network:
                     continue
                 rates[transfer] = bottleneck_share
                 unfixed.discard(transfer)
-                # Consume this flow's share on its *other* link, and retire
-                # it from both links' live counts.
-                for link in (transfer.up_key, transfer.down_key):
+                # Consume this flow's share on its *other* links, and
+                # retire it from every path link's live count.
+                for link in transfer.path:
                     live[link] -= 1
                     if link != bottleneck:
                         capacity[link] -= bottleneck_share

@@ -26,6 +26,7 @@ from dataclasses import dataclass, fields
 from typing import Callable, ClassVar, Dict, Mapping, Optional, Sequence, Tuple, Type
 
 from repro.core.ids import NodeId
+from repro.simulator.topology import LinkKey, Topology, parse_link_spec
 from repro.util.rng import RandomSource
 from repro.util.validation import check_non_negative, check_positive
 
@@ -35,6 +36,7 @@ __all__ = [
     "FlappingNode",
     "NetworkPartition",
     "GrayNode",
+    "DegradedLink",
     "DelayedRecovery",
     "ChaosCampaign",
     "scenario_from_jsonable",
@@ -235,6 +237,82 @@ class GrayNode(Scenario):
 
 
 @dataclass(frozen=True)
+class DegradedLink(Scenario):
+    """A *link* limps while both its endpoints stay healthy: for
+    ``duration`` the targeted links carry traffic at ``capacity_factor``
+    of nominal and corrupt ``corruption_rate`` of what they forward —
+    the LinkGuardian failure mode, where a flapping optic degrades a
+    trunk member without any node ever missing a heartbeat.
+
+    Targets are *links*, not nodes: either explicit ``links`` specs
+    (``"tor-up:3"``, ``"up:node-00042"``) or ``count`` links sampled
+    deterministically from the topology's fabric links. How much of the
+    degradation reaches transfers depends on the cluster's link
+    mitigation service (do-nothing, disable-and-reroute, retransmit-tax).
+    """
+
+    duration: float
+    links: Tuple[str, ...] = ()
+    count: int = 0
+    capacity_factor: float = 1.0
+    corruption_rate: float = 0.0
+
+    kind: ClassVar[str] = "degraded-link"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_positive("duration", self.duration)
+        check_positive("capacity_factor", self.capacity_factor)
+        if self.capacity_factor > 1.0:
+            raise ValueError(
+                f"capacity_factor must be <= 1 (a degradation), got "
+                f"{self.capacity_factor}"
+            )
+        check_non_negative("corruption_rate", self.corruption_rate)
+        if self.corruption_rate >= 1.0:
+            raise ValueError(
+                f"corruption_rate must be < 1, got {self.corruption_rate}"
+            )
+        if self.capacity_factor == 1.0 and self.corruption_rate == 0.0:
+            raise ValueError(
+                "degraded-link must degrade something: set capacity_factor < 1 "
+                "and/or corruption_rate > 0"
+            )
+        object.__setattr__(self, "links", tuple(self.links))
+
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def resolve_links(
+        self,
+        topology: Topology,
+        rng: RandomSource,
+        intern: Optional[Callable[[str], NodeId]] = None,
+    ) -> Tuple[LinkKey, ...]:
+        """Pick the concrete links this scenario degrades.
+
+        Explicit ``links`` specs are parsed verbatim (host names interned
+        through ``intern`` when given). Without explicit links, ``count``
+        links are sampled from the topology's fabric links — already in
+        deterministic (tier, index) order — via ``rng``; ``count=0``
+        means every fabric link. A flat star has no fabric, so there the
+        spec must name links explicitly.
+        """
+        if self.links:
+            return tuple(parse_link_spec(spec, intern=intern) for spec in self.links)
+        pool = list(topology.fabric_links())
+        if not pool:
+            raise ValueError(
+                "degraded-link scenario has no links: the topology has no "
+                "fabric links to sample, so name targets explicitly via 'links'"
+            )
+        count = int(self.count)
+        if count == 0 or count >= len(pool):
+            return tuple(pool)
+        return tuple(rng.sample(pool, count))
+
+
+@dataclass(frozen=True)
 class DelayedRecovery(Scenario):
     """Return times stretched past the predictor's fitted distribution:
     any interruption of a target beginning inside the window lasts
@@ -263,6 +341,7 @@ _SCENARIO_TYPES: Tuple[Type[Scenario], ...] = (
     FlappingNode,
     NetworkPartition,
     GrayNode,
+    DegradedLink,
     DelayedRecovery,
 )
 _BY_KIND: Dict[str, Type[Scenario]] = {cls.kind: cls for cls in _SCENARIO_TYPES}
@@ -286,6 +365,11 @@ def scenario_from_jsonable(data: Mapping[str, object]) -> Scenario:
         if not isinstance(nodes, (list, tuple)):
             raise ValueError(f"{kind} scenario 'nodes' must be a list")
         payload["nodes"] = tuple(str(n) for n in nodes)
+    if "links" in payload:
+        links = payload["links"]
+        if not isinstance(links, (list, tuple)):
+            raise ValueError(f"{kind} scenario 'links' must be a list")
+        payload["links"] = tuple(str(link) for link in links)
     return cls(**payload)  # type: ignore[arg-type]
 
 

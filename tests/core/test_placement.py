@@ -230,3 +230,71 @@ class TestBatchedPlacement:
         cap = max(int(math.ceil(num_blocks * (replication + 1) / n)), 1)
         assert all(count <= cap for count in plan.allocations().values())
         assert sum(plan.allocations().values()) == num_blocks * replication
+
+
+class TestRackConstraint:
+    """The HDFS off-rack rule composed onto the policy's weighting."""
+
+    def views(self, n=8):
+        return [view(i) for i in range(n)]
+
+    def rack_of(self, node_id):
+        return int(node_id) % 2
+
+    def constrained_plan(self, replication=2, num_blocks=40, policy=None):
+        policy = policy if policy is not None else RandomPlacement()
+        plan = policy.build_plan(self.views(), num_blocks, replication, GAMMA)
+        plan.set_rack_constraint(self.rack_of)
+        return plan
+
+    def test_every_replica_set_spans_two_racks(self):
+        plan = self.constrained_plan()
+        rng = RandomSource(3)
+        for _ in range(40):
+            chosen = plan.choose_replicas(rng)
+            assert len({self.rack_of(n) for n in chosen}) >= 2
+
+    def test_adapt_policy_also_spreads(self):
+        nodes = [view(i) if i < 4 else view(i, mtbi=10.0, mu=4.0) for i in range(8)]
+        plan = AdaptPlacement().build_plan(nodes, 40, 2, GAMMA)
+        plan.set_rack_constraint(self.rack_of)
+        rng = RandomSource(3)
+        for _ in range(40):
+            chosen = plan.choose_replicas(rng)
+            assert len({self.rack_of(n) for n in chosen}) >= 2
+
+    def test_single_replica_unconstrained(self):
+        plan = self.constrained_plan(replication=1)
+        chosen = plan.choose_replicas(RandomSource(3))
+        assert len(chosen) == 1
+
+    def test_constraint_consumes_no_randomness(self):
+        # Same seed, with and without the constraint: identical RNG end
+        # state, so enabling rack awareness never shifts other draws.
+        policy = RandomPlacement()
+        plan_a = policy.build_plan(self.views(), 40, 2, GAMMA)
+        rng_a = RandomSource(11)
+        for _ in range(40):
+            plan_a.choose_replicas(rng_a)
+        plan_b = policy.build_plan(self.views(), 40, 2, GAMMA)
+        plan_b.set_rack_constraint(self.rack_of)
+        rng_b = RandomSource(11)
+        for _ in range(40):
+            plan_b.choose_replicas(rng_b)
+        assert rng_a.random() == rng_b.random()
+
+    def test_single_rack_cluster_left_unchanged(self):
+        policy = RandomPlacement()
+        plan_a = policy.build_plan(self.views(), 20, 2, GAMMA)
+        picks_a = [plan_a.choose_replicas(RandomSource(7).substream("p", i)) for i in range(20)]
+        plan_b = policy.build_plan(self.views(), 20, 2, GAMMA)
+        plan_b.set_rack_constraint(lambda node_id: 0)  # everyone in rack 0
+        picks_b = [plan_b.choose_replicas(RandomSource(7).substream("p", i)) for i in range(20)]
+        assert picks_a == picks_b
+
+    def test_substitute_is_least_allocated_off_rack(self):
+        plan = self.constrained_plan(num_blocks=4)
+        # Force the situation: both picks in rack 0 (even ids).
+        fixed = plan._fix_rack_spread([0, 2], 2)
+        assert len({self.rack_of(n) for n in fixed}) == 2
+        assert fixed[0] == 0  # first pick stands; only the last is swapped

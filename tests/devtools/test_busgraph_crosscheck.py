@@ -17,7 +17,7 @@ from repro.availability.generator import build_group_hosts
 from repro.devtools.simlint.busgraph import to_dot, to_json
 from repro.devtools.simlint.engine import lint_paths
 from repro.runtime.cluster import ClusterConfig, build_cluster
-from repro.simulator.scenarios import ChaosCampaign, NetworkPartition
+from repro.simulator.scenarios import ChaosCampaign, DegradedLink, NetworkPartition
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -41,6 +41,20 @@ CONFIG_CHAOS = ClusterConfig(
     chaos=ChaosCampaign(
         name="wiring",
         scenarios=(NetworkPartition(start=10.0, duration=5.0, count=1),),
+    ),
+)
+#: Exercises the Clos fabric plus the degraded-link mitigation wiring.
+CONFIG_DEGRADED = ClusterConfig(
+    seed=3,
+    detection="oracle",
+    topology="clos",
+    racks=2,
+    link_mitigation="do-nothing",
+    chaos=ChaosCampaign(
+        name="wiring-degraded",
+        scenarios=(
+            DegradedLink(start=10.0, duration=5.0, count=1, capacity_factor=0.5),
+        ),
     ),
 )
 
@@ -70,7 +84,9 @@ def _runtime_tuples(config):
 
 class TestRuntimeSubsetOfStatic:
     @pytest.mark.parametrize(
-        "config", [CONFIG_FULL, CONFIG_ORACLE, CONFIG_CHAOS], ids=["full", "oracle", "chaos"]
+        "config",
+        [CONFIG_FULL, CONFIG_ORACLE, CONFIG_CHAOS, CONFIG_DEGRADED],
+        ids=["full", "oracle", "chaos", "degraded"],
     )
     def test_every_live_subscription_was_extracted(self, static_graph, config):
         static = _static_tuples(static_graph)
@@ -93,6 +109,7 @@ class TestStaticSubsetOfRuntime:
             _runtime_tuples(CONFIG_FULL)
             | _runtime_tuples(CONFIG_ORACLE)
             | _runtime_tuples(CONFIG_CHAOS)
+            | _runtime_tuples(CONFIG_DEGRADED)
         )
         dead = wiring - live
         assert not dead, f"static subscribe sites no configuration wires: {sorted(dead, key=str)}"

@@ -154,3 +154,31 @@ class TestAdaptCommand:
 
         with pytest.raises(ValueError, match="does not hold"):
             nn.apply_move(RebalanceMove(block_id=block_id, source=other, destination=holder))
+
+
+class TestRackConstraint:
+    def rack_of(self, node_id):
+        # "n0".."n5" alternate racks by their digit.
+        return int(str(node_id)[1:]) % 2
+
+    def test_create_file_spreads_replicas_across_racks(self):
+        nn = make_namenode(6)
+        nn.set_rack_constraint(self.rack_of)
+        f = nn.create_file("f", 30, 1024, 2, RandomPlacement(), GAMMA, RandomSource(1))
+        for b in f.blocks:
+            racks = {self.rack_of(n) for n in nn.replica_holders(b.block_id)}
+            assert len(racks) >= 2
+
+    def test_constraint_can_be_lifted(self):
+        nn = make_namenode(6)
+        nn.set_rack_constraint(self.rack_of)
+        nn.set_rack_constraint(None)
+        unconstrained = make_namenode(6)
+        a = nn.create_file("f", 20, 1024, 2, RandomPlacement(), GAMMA, RandomSource(1))
+        b = unconstrained.create_file(
+            "f", 20, 1024, 2, RandomPlacement(), GAMMA, RandomSource(1)
+        )
+        for block_a, block_b in zip(a.blocks, b.blocks):
+            assert nn.replica_holders(block_a.block_id) == unconstrained.replica_holders(
+                block_b.block_id
+            )

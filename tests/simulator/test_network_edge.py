@@ -207,3 +207,99 @@ class TestReentrantCompletion:
         assert second.state is TransferState.CANCELLED
         assert net.outgoing_count("a") == 0
         assert net.outgoing_count("b") == 0
+
+
+class TestGrayThrottleRegressions:
+    """Regressions from the gray-node throttle bugfix sweep (issue 9)."""
+
+    def test_overlapping_throttles_stack(self):
+        # Two gray windows overlap on one node: the second throttle must
+        # compose, and the first window's restore must not lift the
+        # second (the pre-fix code ignored the second throttle entirely).
+        sim = Simulator()
+        net = Network(sim, uplink_bps=1000.0, fair_sharing=False)
+        net.throttle_node("a", 0.5)
+        assert net.uplink("a") == 500.0
+        assert net.downlink("a") == 500.0
+        net.throttle_node("a", 0.5)  # second overlapping window
+        assert net.uplink("a") == 250.0
+        net.restore_node("a")  # first window ends; second still active
+        assert net.uplink("a") == 500.0
+        assert net.downlink("a") == 500.0
+        net.restore_node("a")
+        assert net.uplink("a") == 1000.0
+        net.restore_node("a")  # spurious restore stays a no-op
+        assert net.uplink("a") == 1000.0
+
+    def test_overlapping_throttles_drive_transfer_rates(self):
+        # The stacked product must reach in-flight rates, and each restore
+        # must re-rate at the remaining stack, not at the base capacity.
+        sim = Simulator()
+        net = Network(sim, uplink_bps=100.0, fair_sharing=True)
+        done = []
+        transfer = net.start_transfer("a", "b", 1000.0, done.append)
+        net.throttle_node("a", 0.5)
+        net.throttle_node("a", 0.5)
+        assert transfer.rate == 25.0
+        net.restore_node("a")
+        assert transfer.rate == 50.0
+        net.restore_node("a")
+        sim.run()
+        assert done and transfer.state is TransferState.COMPLETED
+
+    def test_set_link_during_throttle_survives_restore(self):
+        # An operator capacity change made inside a gray window must
+        # compose with the throttle while it lasts and survive the
+        # restore (the pre-fix restore rewrote the pre-throttle entries,
+        # silently discarding the override).
+        sim = Simulator()
+        net = Network(sim, uplink_bps=1000.0, fair_sharing=False)
+        net.throttle_node("a", 0.5)
+        net.set_link("a", uplink_bps=2000.0, downlink_bps=4000.0)
+        assert net.uplink("a") == 1000.0  # 2000 * 0.5: override + throttle
+        assert net.downlink("a") == 2000.0
+        net.restore_node("a")
+        assert net.uplink("a") == 2000.0
+        assert net.downlink("a") == 4000.0
+
+
+class TestSimpleModeEpsilon:
+    """Simple-mode completion must honor _DONE_EPSILON like the fair path."""
+
+    def test_sub_epsilon_residue_completes_at_thaw_time(self):
+        # A transfer whose banked residue is within the done-epsilon must
+        # complete the instant it thaws, not schedule a timed completion
+        # for the residue (the fair path already treated it as finished).
+        sim = Simulator()
+        net = Network(sim, uplink_bps=1.0, fair_sharing=False)
+        done = []
+        transfer = net.start_transfer("a", "b", 100.4, done.append)
+        sim.schedule(100.0, lambda: net.begin_partition("p", ("a",)))
+        sim.schedule(110.0, lambda: net.end_partition("p"))
+        sim.run()
+        assert transfer.state is TransferState.COMPLETED
+        assert transfer.remaining == 0.0
+        assert transfer.finished_at == 110.0
+
+    def test_many_partition_cycles_bank_progress_exactly_once(self):
+        # Hundreds of freeze/thaw cycles bank progress through repeated
+        # float subtraction; whatever error accumulates, a sub-epsilon
+        # remainder must finish at the final heal, and the completion
+        # callback must fire exactly once.
+        sim = Simulator()
+        net = Network(sim, uplink_bps=3.0, fair_sharing=False)
+        done = []
+        # 1000 up-windows of 0.1s at 3 B/s drain ~300 bytes; the extra
+        # 0.2 bytes (plus accumulated float error) sit under the epsilon.
+        transfer = net.start_transfer("a", "b", 300.2, done.append)
+        for cycle in range(1000):
+            sim.schedule(0.1 + cycle * 0.2, lambda: net.begin_partition("p", ("a",)))
+            sim.schedule(0.2 + cycle * 0.2, lambda: net.end_partition("p"))
+        sim.run()
+        assert len(done) == 1
+        assert transfer.state is TransferState.COMPLETED
+        assert transfer.remaining == 0.0
+        # Completed at (or before, if error banked fast) the final heal —
+        # never a timed completion stretching past it.
+        assert transfer.finished_at is not None
+        assert transfer.finished_at <= 0.2 + 999 * 0.2

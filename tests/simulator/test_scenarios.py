@@ -6,6 +6,7 @@ import pytest
 
 from repro.simulator.scenarios import (
     ChaosCampaign,
+    DegradedLink,
     DelayedRecovery,
     FailureStorm,
     FlappingNode,
@@ -13,6 +14,7 @@ from repro.simulator.scenarios import (
     NetworkPartition,
     scenario_from_jsonable,
 )
+from repro.simulator.topology import ClosTopology, FlatStar
 from repro.util.rng import RandomSource
 
 NODES = [f"n{i}" for i in range(8)]
@@ -131,6 +133,13 @@ class TestSerialisation:
                 NetworkPartition(start=80.0, duration=20.0, isolate_heartbeats=True, count=2),
                 GrayNode(start=90.0, duration=30.0, link_factor=0.5, exec_factor=2.0),
                 DelayedRecovery(start=0.0, duration=200.0, stretch=3.0, count=4),
+                DegradedLink(
+                    start=110.0,
+                    duration=25.0,
+                    links=("tor-up:1", "up:n3"),
+                    capacity_factor=0.5,
+                    corruption_rate=0.1,
+                ),
             ),
         )
 
@@ -169,3 +178,65 @@ class TestSerialisation:
     def test_scenarios_list_must_be_a_list(self):
         with pytest.raises(ValueError, match="must be a list"):
             ChaosCampaign.from_jsonable({"name": "x", "scenarios": "storm"})
+
+
+class TestDegradedLink:
+    def window(self, **kw):
+        defaults = dict(start=10.0, duration=20.0, capacity_factor=0.5)
+        defaults.update(kw)
+        return DegradedLink(**defaults)
+
+    def clos(self):
+        return ClosTopology(hosts=8, racks=4, pods=2, host_uplink_bps=100.0)
+
+    def test_must_degrade_something(self):
+        with pytest.raises(ValueError, match="degrade something"):
+            DegradedLink(start=0.0, duration=5.0)
+
+    def test_capacity_factor_bounds(self):
+        with pytest.raises(ValueError, match="capacity_factor"):
+            self.window(capacity_factor=1.5)
+        with pytest.raises(ValueError):
+            self.window(capacity_factor=0.0)
+
+    def test_corruption_rate_bounds(self):
+        with pytest.raises(ValueError, match="corruption_rate"):
+            self.window(capacity_factor=1.0, corruption_rate=1.0)
+
+    def test_corruption_alone_is_a_degradation(self):
+        s = DegradedLink(start=0.0, duration=5.0, corruption_rate=0.2)
+        assert s.capacity_factor == 1.0
+
+    def test_end_is_start_plus_duration(self):
+        assert self.window().end() == 30.0
+
+    def test_explicit_links_parsed_verbatim(self):
+        s = self.window(links=("tor-up:3", "up:7"))
+        links = s.resolve_links(self.clos(), RandomSource(1))
+        assert links == (("tor-up", 3), ("up", 7))
+
+    def test_explicit_host_names_interned(self):
+        s = self.window(links=("up:node-05",))
+        links = s.resolve_links(self.clos(), RandomSource(1), intern=lambda n: 5)
+        assert links == (("up", 5),)
+
+    def test_count_zero_degrades_every_fabric_link(self):
+        s = self.window(count=0)
+        assert s.resolve_links(self.clos(), RandomSource(1)) == self.clos().fabric_links()
+
+    def test_sampled_links_are_seed_deterministic(self):
+        s = self.window(count=3)
+        first = s.resolve_links(self.clos(), RandomSource(9).substream("chaos", 0))
+        second = s.resolve_links(self.clos(), RandomSource(9).substream("chaos", 0))
+        assert first == second
+        assert len(first) == 3
+        assert set(first) <= set(self.clos().fabric_links())
+
+    def test_flat_star_needs_explicit_links(self):
+        s = self.window(count=2)
+        with pytest.raises(ValueError, match="explicit"):
+            s.resolve_links(FlatStar(), RandomSource(1))
+
+    def test_jsonable_roundtrip(self):
+        s = self.window(links=("tor-up:1",), corruption_rate=0.25)
+        assert scenario_from_jsonable(s.to_jsonable()) == s

@@ -14,6 +14,11 @@ The committed ``BENCH_engine.json`` carries two sections:
   cell; the build-kernel bar: >= 10x lower build_seconds there).
 * ``current`` — the tree as checked out.
 
+Schema 2 cells carry a ``topology`` discriminator ("flat" unless the
+cell enables the Clos fabric); the 4k population is measured both flat
+and behind a 32-rack oversubscribed Clos with rack-aware ingest, and the
+``--guard`` gate fails CI when the Clos cell slows by more than 20%.
+
 Schema 2 adds a per-cell ``build_breakdown`` (seed derivation / pregen /
 object construction / bus wiring, from ``Cluster.build_profile``, plus a
 separately-timed metadata ingest of one block per node at replication 3 —
@@ -44,13 +49,29 @@ import sys
 import time
 from typing import Any, Dict, List, Optional
 
-#: (node_count, simulated days) — the 226k cell is the full SETI@home FTA
-#: population over a multi-day window (ROADMAP item 1).
-CELLS = [(1024, 2.0), (4096, 2.0), (16384, 2.0)]
-FULL_CELL = (226_208, 3.0)
+#: Per-cell knob overrides for the hierarchical-topology cell: the same
+#: 4k population behind a 32-rack Clos fabric at 4:1 oversubscription,
+#: with rack-aware placement so the ingest path pays the off-rack rule.
+#: ``_cluster_config_kwargs`` drops these on revisions that predate the
+#: topology layer, where the cell degenerates to a second flat 4k run.
+CLOS_KNOBS = {
+    "topology": "clos",
+    "racks": 32,
+    "oversubscription": 4.0,
+    "rack_aware_placement": True,
+}
+#: (node_count, simulated days, cell knobs) — the 226k cell is the full
+#: SETI@home FTA population over a multi-day window (ROADMAP item 1).
+CELLS = [
+    (1024, 2.0, {}),
+    (4096, 2.0, {}),
+    (4096, 2.0, CLOS_KNOBS),
+    (16384, 2.0, {}),
+]
+FULL_CELL = (226_208, 3.0, {})
 SMOKE_NODES = 1024
 #: The smoke run also measures this cell, so CI can guard build time at a
-#: size where construction cost is unmistakable.
+#: size where construction cost is unmistakable (flat and Clos variants).
 GUARD_BUILD_NODES = 4096
 GUARD_DROP_FRACTION = 0.20
 
@@ -117,6 +138,7 @@ def run_cell(nodes: int, days: float, seed: int, knobs: Dict[str, Any]) -> Dict[
     run_seconds = t2 - t1
     return {
         "nodes": nodes,
+        "topology": applied.get("topology", "flat"),
         "days": days,
         "seed": seed,
         "build_seconds": round(t1 - t0, 3),
@@ -160,7 +182,7 @@ def run_cell_subprocess(
 def render_table(record: Dict[str, Any]) -> str:
     lines = []
     header = (
-        f"{'section':<10} {'nodes':>8} {'days':>5} {'build_s':>9} "
+        f"{'section':<10} {'nodes':>8} {'topo':>6} {'days':>5} {'build_s':>9} "
         f"{'run_s':>9} {'events':>10} {'ev/s':>10} {'rss_mb':>8}"
     )
     lines.append(header)
@@ -171,7 +193,8 @@ def render_table(record: Dict[str, Any]) -> str:
             continue
         for cell in block["cells"]:
             lines.append(
-                f"{section:<10} {cell['nodes']:>8} {cell['days']:>5} "
+                f"{section:<10} {cell['nodes']:>8} "
+                f"{cell.get('topology', 'flat'):>6} {cell['days']:>5} "
                 f"{cell['build_seconds']:>9.2f} {cell['run_seconds']:>9.2f} "
                 f"{cell['events']:>10} {cell['events_per_sec']:>10.1f} "
                 f"{cell['peak_rss_mb']:>8.1f}"
@@ -187,11 +210,13 @@ def render_table(record: Dict[str, Any]) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _find_cell(block: Optional[Dict[str, Any]], nodes: int) -> Optional[Dict[str, Any]]:
+def _find_cell(
+    block: Optional[Dict[str, Any]], nodes: int, topology: str = "flat"
+) -> Optional[Dict[str, Any]]:
     if not block:
         return None
     for cell in block.get("cells", []):
-        if cell["nodes"] == nodes:
+        if cell["nodes"] == nodes and cell.get("topology", "flat") == topology:
             return cell
     return None
 
@@ -199,9 +224,11 @@ def _find_cell(block: Optional[Dict[str, Any]], nodes: int) -> Optional[Dict[str
 def guard(record: Dict[str, Any], baseline_path: str) -> int:
     """Fail (exit 1) on a >20% regression vs the committed record.
 
-    Two gates: events/sec on the smoke cell (run-loop throughput) and
-    build_seconds on the 4k cell (build-kernel speed). A gate is skipped
-    with a note when either record lacks its cell.
+    Three gates: events/sec on the smoke cell (run-loop throughput),
+    build_seconds on the flat 4k cell (build-kernel speed), and
+    total_seconds on the Clos 4k cell (hierarchical allocator + rack-aware
+    ingest). A gate is skipped with a note when either record lacks its
+    cell.
     """
     with open(baseline_path, encoding="utf-8") as fh:
         committed = json.load(fh)
@@ -231,6 +258,19 @@ def guard(record: Dict[str, Any], baseline_path: str) -> int:
         print(
             f"guard: build cell {measured['build_seconds']:.2f}s vs committed "
             f"{ref['build_seconds']:.2f}s (ceiling {ceiling:.2f}s) -> {verdict}"
+        )
+
+    ref = _find_cell(committed.get("current"), GUARD_BUILD_NODES, topology="clos")
+    measured = _find_cell(record.get("current"), GUARD_BUILD_NODES, topology="clos")
+    if ref is None or measured is None:
+        print("guard: clos cell missing from record; skipping topology gate")
+    else:
+        ceiling = ref["total_seconds"] * (1.0 + GUARD_DROP_FRACTION)
+        verdict = "OK" if measured["total_seconds"] <= ceiling else "REGRESSION"
+        failed |= verdict != "OK"
+        print(
+            f"guard: clos cell {measured['total_seconds']:.2f}s vs committed "
+            f"{ref['total_seconds']:.2f}s (ceiling {ceiling:.2f}s) -> {verdict}"
         )
     return 1 if failed else 0
 
@@ -299,15 +339,22 @@ def main() -> int:
         "pregen_jobs": args.pregen_jobs,
     }
     cells = (
-        [(SMOKE_NODES, 2.0), (GUARD_BUILD_NODES, 2.0)] if args.smoke else list(CELLS)
+        [
+            (SMOKE_NODES, 2.0, {}),
+            (GUARD_BUILD_NODES, 2.0, {}),
+            (GUARD_BUILD_NODES, 2.0, CLOS_KNOBS),
+        ]
+        if args.smoke
+        else list(CELLS)
     )
     if args.full:
         cells.append(FULL_CELL)
 
     measured: List[Dict[str, Any]] = []
-    for nodes, days in cells:
-        print(f"running cell nodes={nodes} days={days} ...", flush=True)
-        cell = run_cell_subprocess(nodes, days, args.seed, knobs)
+    for nodes, days, cell_knobs in cells:
+        topo = cell_knobs.get("topology", "flat")
+        print(f"running cell nodes={nodes} topology={topo} days={days} ...", flush=True)
+        cell = run_cell_subprocess(nodes, days, args.seed, {**knobs, **cell_knobs})
         print(
             f"  build {cell['build_seconds']:.2f}s  run {cell['run_seconds']:.2f}s  "
             f"{cell['events']} events  {cell['events_per_sec']:.1f} ev/s  "
