@@ -1,0 +1,37 @@
+"""simflow: flow-sensitive effect and phase-hazard analysis.
+
+Where simlint checks *syntax* (determinism rules) and *shape* (the
+publish/subscribe graph), simflow checks *flow*: per handler and service
+method it extracts field-level read/write effect sets, publish sites and
+RNG draw sites from the AST, closes them over the call graph, and then
+combines them with the phase-ordered bus graph to find ordering hazards
+that no per-line rule can see:
+
+* **F001** — a later-phase handler writes a field an earlier-phase
+  handler of the same event read (cross-phase write-after-read).
+* **F002** — a handler transitively publishes an event whose subscribers
+  run in an earlier phase than the handler itself.
+* **F003** — RNG draws on a path declared draw-free (``# simflow:
+  draws=0`` or a draw-neutrality docstring), or draws from a stream
+  seeded with a literal constant instead of being derived from the
+  cluster root.
+* **F004** — closures or bound methods shipped to a process-pool
+  fan-out (they capture shared-mutable or unpicklable state).
+
+The static model is validated against reality by
+:mod:`repro.devtools.simflow.runtime`: an :class:`EffectRecorder`
+intercepts bus dispatch and instruments handler-owner classes, and the
+golden-scenario crosscheck test asserts every *observed* read/write set
+is a subset of the *extracted* one.
+"""
+
+from repro.devtools.simflow.effects import EffectIndex, Effects, build_index
+from repro.devtools.simflow.runtime import EffectRecorder, compare_observed_to_static
+
+__all__ = [
+    "EffectIndex",
+    "EffectRecorder",
+    "Effects",
+    "build_index",
+    "compare_observed_to_static",
+]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.devtools.simflow``."""
+
+import sys
+
+from repro.devtools.simflow.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""simflow command line: ``python -m repro.devtools.simflow``.
+
+Runs the F-rule family (flow hazards) over the given paths with the same
+engine, severity policy, suppression accounting (``# simflow:
+ignore[...]`` comments), output formats and baseline handling as
+simlint. ``--effects PATH`` additionally writes the closed effect-set
+index as JSON — the CI artifact that makes handler effect diffs
+reviewable the same way the bus graph diagram is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.devtools.simflow.effects import build_index, effects_to_json
+from repro.devtools.simlint.cli import (
+    add_arguments as add_shared_arguments,
+    emit_diagnostics,
+    parse_select,
+    subtract_baseline,
+)
+from repro.devtools.simlint.engine import lint_paths
+from repro.devtools.simlint.registry import all_rules
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach simflow's options (shared core plus ``--effects``)."""
+    add_shared_arguments(parser, tool="simflow")
+    parser.add_argument(
+        "--effects",
+        metavar="PATH",
+        default=None,
+        help="write the closed per-function effect sets to PATH as JSON",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a flow-analysis run; returns the exit code."""
+    if args.list_rules:
+        for code, rule_class in all_rules("simflow").items():
+            print(f"{code}  {rule_class.summary}")
+        return 0
+
+    root = Path(args.root) if args.root else Path.cwd()
+    try:
+        result = lint_paths(
+            [Path(p) for p in args.paths],
+            root=root,
+            select=parse_select(args.select),
+            tool="simflow",
+        )
+    except FileNotFoundError as exc:
+        print(f"simflow: {exc}", file=sys.stderr)
+        return 2
+
+    if args.effects is not None:
+        assert result.graph is not None
+        index = build_index(result.modules, result.graph)
+        Path(args.effects).write_text(
+            json.dumps(effects_to_json(index), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    diagnostics = subtract_baseline(result.diagnostics, args, "simflow")
+    if diagnostics is None:
+        return 0
+    return emit_diagnostics(
+        diagnostics, len(result.modules), args, "simflow", all_rules("simflow")
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simflow",
+        description="flow-sensitive effect, phase-hazard and RNG-discipline analysis",
+    )
+    add_arguments(parser)
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,11 +1,17 @@
 """simlint command line: ``python -m repro.devtools.simlint`` / ``repro lint``.
 
-Output is one ``file:line:col CODE message`` line per diagnostic (or a
-stable JSON document under ``--format json``). Exit status is 1 when any
-*error*-severity diagnostic fires — findings in ``src/`` are errors,
-findings elsewhere are warnings unless ``--strict`` promotes them.
-``--graph`` additionally writes the statically-extracted event-bus graph
-(DOT by default, JSON for ``.json`` paths).
+Output is one ``file:line:col CODE message`` line per diagnostic, a
+stable JSON document under ``--format json``, or a SARIF 2.1.0 document
+under ``--format sarif`` (for GitHub code-scanning upload). Exit status
+is 1 when any *error*-severity diagnostic fires — findings in ``src/``
+are errors, findings elsewhere are warnings unless ``--strict`` promotes
+them. ``--graph`` additionally writes the statically-extracted event-bus
+graph (DOT by default, JSON for ``.json`` paths).
+
+``--baseline FILE`` subtracts a committed finding snapshot so only new
+findings gate; ``--write-baseline`` refreshes the snapshot from the
+current run. Both are shared with simflow's CLI, which reuses the
+helpers here (:func:`emit_diagnostics`, :func:`subtract_baseline`).
 """
 
 from __future__ import annotations
@@ -14,34 +20,42 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Type
 
 from repro.devtools.simlint.busgraph import to_dot, to_json
+from repro.devtools.simlint.diagnostics import Diagnostic
 from repro.devtools.simlint.engine import lint_paths
-from repro.devtools.simlint.registry import all_rules
+from repro.devtools.simlint.output import (
+    apply_baseline,
+    load_baseline,
+    to_sarif,
+    write_baseline,
+)
+from repro.devtools.simlint.registry import Rule, all_rules
 
 
-def add_arguments(parser: argparse.ArgumentParser) -> None:
-    """Attach simlint's options (shared with the ``repro lint`` subcommand)."""
+def add_arguments(parser: argparse.ArgumentParser, tool: str = "simlint") -> None:
+    """Attach the shared lint/flow options (``repro lint`` reuses this)."""
     parser.add_argument(
         "paths",
         nargs="*",
         default=["src"],
-        help="files or directories to lint (default: src)",
+        help="files or directories to analyse (default: src)",
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="diagnostic output format (default: text)",
     )
-    parser.add_argument(
-        "--graph",
-        metavar="PATH",
-        default=None,
-        help="write the extracted event-bus graph to PATH "
-        "(.json for JSON, anything else for GraphViz DOT)",
-    )
+    if tool == "simlint":
+        parser.add_argument(
+            "--graph",
+            metavar="PATH",
+            default=None,
+            help="write the extracted event-bus graph to PATH "
+            "(.json for JSON, anything else for GraphViz DOT)",
+        )
     parser.add_argument(
         "--select",
         metavar="CODES",
@@ -60,30 +74,116 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="repository root for display paths and categories (default: cwd)",
     )
     parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="subtract the findings recorded in FILE; only new findings gate",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings into --baseline FILE and exit 0",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule table and exit",
     )
 
 
+def subtract_baseline(
+    diagnostics: List[Diagnostic], args: argparse.Namespace, tool: str
+) -> Optional[List[Diagnostic]]:
+    """Handle ``--baseline`` / ``--write-baseline``.
+
+    Returns the (possibly filtered) diagnostics to report, or ``None``
+    when the invocation only wrote a baseline and should exit 0.
+    """
+    if args.write_baseline:
+        if not args.baseline:
+            print(f"{tool}: --write-baseline requires --baseline FILE", file=sys.stderr)
+            raise SystemExit(2)
+        write_baseline(Path(args.baseline), diagnostics, tool)
+        print(f"{tool}: wrote {len(diagnostics)} finding(s) to {args.baseline}")
+        return None
+    if args.baseline:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"{tool}: cannot load baseline: {exc}", file=sys.stderr)
+            raise SystemExit(2) from exc
+        filtered, matched = apply_baseline(diagnostics, baseline)
+        if matched and args.format == "text":
+            print(f"{tool}: {matched} baselined finding(s) suppressed")
+        return filtered
+    return diagnostics
+
+
+def emit_diagnostics(
+    diagnostics: List[Diagnostic],
+    files: int,
+    args: argparse.Namespace,
+    tool: str,
+    rules: Dict[str, Type[Rule]],
+) -> int:
+    """Render diagnostics in the selected format; returns the exit code."""
+    errors = [d for d in diagnostics if d.severity == "error"]
+    warnings = [d for d in diagnostics if d.severity == "warning"]
+    if args.format == "json":
+        document = {
+            "version": 1,
+            "diagnostics": [d.as_json() for d in diagnostics],
+            "counts": {
+                "errors": len(errors),
+                "warnings": len(warnings),
+                "files": files,
+            },
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(diagnostics, tool, rules), indent=2, sort_keys=True))
+    else:
+        for diagnostic in diagnostics:
+            marker = "" if diagnostic.severity == "error" else " (warning)"
+            print(f"{diagnostic.render()}{marker}")
+        if diagnostics:
+            print(
+                f"{tool}: {len(errors)} error(s), "
+                f"{len(warnings)} warning(s) in {files} file(s)"
+            )
+    if errors:
+        return 1
+    if args.strict and warnings:
+        return 1
+    return 0
+
+
+def parse_select(raw: Optional[str]) -> Optional[set]:
+    if not raw:
+        return None
+    return {code.strip().upper() for code in raw.split(",") if code.strip()}
+
+
 def run(args: argparse.Namespace) -> int:
     """Execute a lint run from parsed arguments; returns the exit code."""
     if args.list_rules:
-        for code, rule_class in all_rules().items():
+        for code, rule_class in all_rules("simlint").items():
             print(f"{code}  {rule_class.summary}")
         return 0
 
-    select = None
-    if args.select:
-        select = {code.strip().upper() for code in args.select.split(",") if code.strip()}
     root = Path(args.root) if args.root else Path.cwd()
     try:
-        result = lint_paths([Path(p) for p in args.paths], root=root, select=select)
+        result = lint_paths(
+            [Path(p) for p in args.paths],
+            root=root,
+            select=parse_select(args.select),
+            tool="simlint",
+        )
     except FileNotFoundError as exc:
         print(f"simlint: {exc}", file=sys.stderr)
         return 2
 
-    if args.graph is not None:
+    if getattr(args, "graph", None) is not None:
         graph_path = Path(args.graph)
         assert result.graph is not None
         if graph_path.suffix == ".json":
@@ -94,27 +194,12 @@ def run(args: argparse.Namespace) -> int:
         else:
             graph_path.write_text(to_dot(result.graph), encoding="utf-8")
 
-    if args.format == "json":
-        document = {
-            "version": 1,
-            "diagnostics": [d.as_json() for d in result.diagnostics],
-            "counts": {
-                "errors": len(result.errors),
-                "warnings": len(result.warnings),
-                "files": len(result.modules),
-            },
-        }
-        print(json.dumps(document, indent=2, sort_keys=True))
-    else:
-        for diagnostic in result.diagnostics:
-            marker = "" if diagnostic.severity == "error" else " (warning)"
-            print(f"{diagnostic.render()}{marker}")
-        if result.diagnostics:
-            print(
-                f"simlint: {len(result.errors)} error(s), "
-                f"{len(result.warnings)} warning(s) in {len(result.modules)} file(s)"
-            )
-    return result.exit_code(strict=args.strict)
+    diagnostics = subtract_baseline(result.diagnostics, args, "simlint")
+    if diagnostics is None:
+        return 0
+    return emit_diagnostics(
+        diagnostics, len(result.modules), args, "simlint", all_rules("simlint")
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -5,16 +5,25 @@ The engine parses every ``.py`` file under the given paths into
 per-module rules, extracts the event-bus graph once, runs the project
 rules over it, then applies per-line suppressions and severity policy.
 
-Suppression syntax (per line)::
+Suppression syntax (per line, the comment prefix is the tool name)::
 
     hazard()          # simlint: ignore[D001]
     hazard(); other() # simlint: ignore[D001, D002]
     anything()        # simlint: ignore
+    handler_wiring()  # simflow: ignore[F001]
 
 A bare ``ignore`` suppresses every code on the line. Each suppressed code
 must actually fire: a listed code with no matching diagnostic on that
 line is itself reported as ``U001 unused suppression``, so stale
-suppressions cannot accumulate.
+suppressions cannot accumulate. Usage accounting is *select-aware*: under
+``--select``, a listed code whose rule did not run this invocation is
+neither honoured nor reported unused (a partial run cannot know whether
+the suppression is stale), and bare ``ignore`` unused-ness is only judged
+on full runs. A code that matches no registered rule of the running tool
+is reported as ``U001`` with an "unknown code" message on full runs.
+
+Each tool only sees its own prefix: ``# simflow: …`` comments are inert
+under ``repro lint`` and vice versa, so one line can carry both.
 
 Directories named ``fixtures`` are skipped during discovery (the test
 corpus under ``tests/devtools/fixtures/`` is intentionally violating) but
@@ -35,6 +44,7 @@ from repro.devtools.simlint.busgraph import BusGraph, extract_graph
 from repro.devtools.simlint.diagnostics import SEVERITY_BY_CATEGORY, Diagnostic, Finding
 from repro.devtools.simlint.registry import (
     ModuleContext,
+    family_codes,
     iter_module_rules,
     iter_project_rules,
 )
@@ -44,8 +54,19 @@ PARSE_ERROR = "P001"
 #: Code for an unused suppression.
 UNUSED_SUPPRESSION = "U001"
 
-_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
 _SKIP_DIRS = {"__pycache__", "fixtures"}
+
+#: Per-tool suppression comment patterns, compiled lazily. The prefix is
+#: the tool name, so each tool only honours its own comments.
+_SUPPRESS_RES: Dict[str, "re.Pattern[str]"] = {}
+
+
+def _suppress_re(tool: str) -> "re.Pattern[str]":
+    pattern = _SUPPRESS_RES.get(tool)
+    if pattern is None:
+        pattern = re.compile(rf"#\s*{re.escape(tool)}:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+        _SUPPRESS_RES[tool] = pattern
+    return pattern
 
 
 @dataclass
@@ -142,12 +163,15 @@ class _Suppression:
     bare_used: bool = False
 
 
-def _scan_suppressions(module: ModuleContext) -> Dict[int, _Suppression]:
+def _scan_suppressions(module: ModuleContext, tool: str = "simlint") -> Dict[int, _Suppression]:
     """Suppressions from actual COMMENT tokens (not string literals).
 
     Tokenising instead of regex-scanning raw lines means a docstring that
-    *describes* the suppression syntax never suppresses anything.
+    *describes* the suppression syntax never suppresses anything. Only
+    comments carrying this ``tool``'s prefix are suppressions for this
+    run; the other tool's comments pass through untouched.
     """
+    suppress_re = _suppress_re(tool)
     suppressions: Dict[int, _Suppression] = {}
     source = "\n".join(module.lines) + "\n"
     try:
@@ -156,7 +180,7 @@ def _scan_suppressions(module: ModuleContext) -> Dict[int, _Suppression]:
     except tokenize.TokenError:  # pragma: no cover - ast.parse succeeded already
         comments = []
     for token in comments:
-        match = _SUPPRESS_RE.search(token.string)
+        match = suppress_re.search(token.string)
         if match is None:
             continue
         raw = match.group(1)
@@ -176,12 +200,15 @@ def lint_paths(
     paths: Iterable[Path],
     root: Optional[Path] = None,
     select: Optional[Set[str]] = None,
+    tool: str = "simlint",
 ) -> LintResult:
     """Lint every file under ``paths``; the core API behind the CLI.
 
     ``select`` restricts reporting to the given rule codes (suppression
     and parse diagnostics are always active). ``root`` anchors display
     paths and path categories; defaults to the current directory.
+    ``tool`` picks the rule family and the suppression-comment prefix:
+    ``"simlint"`` (D/C rules) or ``"simflow"`` (F rules).
     """
     paths = [Path(p) for p in paths]
     root = Path(root) if root is not None else Path.cwd()
@@ -199,7 +226,7 @@ def lint_paths(
 
     module_by_path = {module.path: module for module in result.modules}
 
-    for rule in iter_module_rules():
+    for rule in iter_module_rules(tool):
         if select is not None and rule.code not in select:
             continue
         for module in result.modules:
@@ -207,15 +234,29 @@ def lint_paths(
                 raw[module.path].append(_stamp(module, rule.code, finding))
 
     result.graph = extract_graph(result.modules)
-    for project_rule in iter_project_rules():
+    for project_rule in iter_project_rules(tool):
         if select is not None and project_rule.code not in select:
             continue
         for module, finding in project_rule.check_project(result.modules, result.graph):
             raw[module.path].append(_stamp(module, project_rule.code, finding))
 
+    # The codes whose rules actually ran this invocation: U001 accounting
+    # must never judge a suppression for a rule that was deselected.
+    known = family_codes(tool) | {PARSE_ERROR, UNUSED_SUPPRESSION}
+    active = known if select is None else (known & select) | {PARSE_ERROR, UNUSED_SUPPRESSION}
+
     for path_str, diagnostics in raw.items():
         module = module_by_path[path_str]
-        result.diagnostics.extend(_apply_suppressions(module, diagnostics))
+        result.diagnostics.extend(
+            _apply_suppressions(
+                module,
+                diagnostics,
+                tool=tool,
+                known=known,
+                active=active,
+                full_run=select is None,
+            )
+        )
 
     result.diagnostics.sort()
     return result
@@ -233,9 +274,27 @@ def _stamp(module: ModuleContext, code: str, finding: Finding) -> Diagnostic:
 
 
 def _apply_suppressions(
-    module: ModuleContext, diagnostics: List[Diagnostic]
+    module: ModuleContext,
+    diagnostics: List[Diagnostic],
+    tool: str = "simlint",
+    known: Optional[Set[str]] = None,
+    active: Optional[Set[str]] = None,
+    full_run: bool = True,
 ) -> List[Diagnostic]:
-    suppressions = _scan_suppressions(module)
+    """Filter ``diagnostics`` through the module's suppression comments.
+
+    ``known`` is every code the running tool could ever emit; ``active``
+    is the subset whose rules ran this invocation. A listed code outside
+    ``active`` is left alone entirely — it can neither suppress (its rule
+    produced nothing) nor be judged unused (a ``--select`` run has no
+    evidence the suppression is stale). Unknown codes and unused bare
+    ignores are only reported on full runs, for the same reason.
+    """
+    if known is None:
+        known = family_codes(tool) | {PARSE_ERROR, UNUSED_SUPPRESSION}
+    if active is None:
+        active = known
+    suppressions = _scan_suppressions(module, tool)
     kept: List[Diagnostic] = []
     for diagnostic in diagnostics:
         suppression = suppressions.get(diagnostic.line)
@@ -249,34 +308,47 @@ def _apply_suppressions(
         else:
             kept.append(diagnostic)
     severity = SEVERITY_BY_CATEGORY.get(module.category, "warning")
+
+    def unused(lineno: int, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=module.path,
+            line=lineno,
+            col=0,
+            code=UNUSED_SUPPRESSION,
+            message=message,
+            severity=severity,
+        )
+
     for lineno in sorted(suppressions):
         suppression = suppressions[lineno]
         if suppression.codes is None:
-            if not suppression.bare_used:
+            if full_run and not suppression.bare_used:
                 kept.append(
-                    Diagnostic(
-                        path=module.path,
-                        line=lineno,
-                        col=0,
-                        code=UNUSED_SUPPRESSION,
-                        message="unused suppression: no diagnostic fires on this line",
-                        severity=severity,
-                    )
+                    unused(lineno, "unused suppression: no diagnostic fires on this line")
                 )
             continue
         for code in suppression.codes:
-            if code not in suppression.used:
-                kept.append(
-                    Diagnostic(
-                        path=module.path,
-                        line=lineno,
-                        col=0,
-                        code=UNUSED_SUPPRESSION,
-                        message=f"unused suppression for {code}: "
-                        "no such diagnostic fires on this line",
-                        severity=severity,
+            if code in suppression.used:
+                continue
+            if code not in known:
+                if full_run:
+                    kept.append(
+                        unused(
+                            lineno,
+                            f"suppression for unknown code {code}: "
+                            f"no registered {tool} rule emits it",
+                        )
                     )
+                continue
+            if code not in active:
+                continue  # rule deselected this run; no usage evidence
+            kept.append(
+                unused(
+                    lineno,
+                    f"unused suppression for {code}: "
+                    "no such diagnostic fires on this line",
                 )
+            )
     return kept
 
 

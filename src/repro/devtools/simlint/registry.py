@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
 
 from repro.devtools.simlint.diagnostics import Finding
 
@@ -37,10 +37,15 @@ class ModuleContext:
 class Rule:
     """Base class carrying rule identity; never instantiated directly."""
 
-    #: Stable diagnostic code (``D001`` … / ``C001`` …).
+    #: Stable diagnostic code (``D001`` … / ``C001`` … / ``F001`` …).
     code: str = ""
     #: One-line description for ``--list-rules`` and the docs table.
     summary: str = ""
+    #: Tool family the rule belongs to. ``simlint`` rules run under
+    #: ``repro lint`` / ``python -m repro.devtools.simlint``; ``simflow``
+    #: rules only run under ``python -m repro.devtools.simflow``. The two
+    #: share one registry so codes stay globally unique.
+    family: str = "simlint"
 
 
 class ModuleRule(Rule):
@@ -72,28 +77,44 @@ def register(rule_class: Type[Rule]) -> Type[Rule]:
     return rule_class
 
 
-def all_rules() -> Dict[str, Type[Rule]]:
-    """Registered rules, keyed by code, in sorted-code order."""
+def all_rules(family: Optional[str] = None) -> Dict[str, Type[Rule]]:
+    """Registered rules, keyed by code, in sorted-code order.
+
+    ``family`` restricts the view to one tool's rules (``simlint`` /
+    ``simflow``); ``None`` returns everything.
+    """
     _ensure_loaded()
-    return dict(sorted(_RULES.items()))
+    return {
+        code: rule_class
+        for code, rule_class in sorted(_RULES.items())
+        if family is None or rule_class.family == family
+    }
+
+
+def family_codes(family: str) -> Set[str]:
+    """Every rule code belonging to one tool family."""
+    return set(all_rules(family))
 
 
 def _ensure_loaded() -> None:
-    # Importing the rules package populates the registry as a side effect.
+    # Importing the rules packages populates the registry as a side
+    # effect. simflow's rules live in a sibling package but share this
+    # registry, so both CLIs see a single code namespace.
     from repro.devtools.simlint import rules  # noqa: F401
+    from repro.devtools.simflow import rules as flow_rules  # noqa: F401
 
 
-def iter_module_rules() -> Iterable[ModuleRule]:
+def iter_module_rules(family: str = "simlint") -> Iterable[ModuleRule]:
     _ensure_loaded()
     for rule_class in sorted(_RULES.values(), key=lambda r: r.code):
-        if issubclass(rule_class, ModuleRule):
+        if issubclass(rule_class, ModuleRule) and rule_class.family == family:
             yield rule_class()
 
 
-def iter_project_rules() -> Iterable[ProjectRule]:
+def iter_project_rules(family: str = "simlint") -> Iterable[ProjectRule]:
     _ensure_loaded()
     for rule_class in sorted(_RULES.values(), key=lambda r: r.code):
-        if issubclass(rule_class, ProjectRule):
+        if issubclass(rule_class, ProjectRule) and rule_class.family == family:
             yield rule_class()
 
 
@@ -104,6 +125,7 @@ __all__ = [
     "ProjectRule",
     "register",
     "all_rules",
+    "family_codes",
     "iter_module_rules",
     "iter_project_rules",
 ]

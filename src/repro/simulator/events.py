@@ -46,7 +46,7 @@ from __future__ import annotations
 import bisect
 import enum
 from dataclasses import dataclass, fields
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type, TypeVar, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Type, TypeVar, Union
 
 from repro.core.ids import NodeId
 
@@ -133,12 +133,20 @@ class PermanentFailure(NodeEvent):
 @dataclass(frozen=True, slots=True)
 class NodeDeclaredDead(NodeEvent):
     """Failure *detection* fired: the masters now believe the node dead
-    (heartbeat timeout, or instantly under oracle detection)."""
+    (heartbeat timeout, or instantly under oracle detection).
+
+    Dispatch-root: published from inside detector handlers; this event
+    starts a fresh phase cycle (belief change, not physical change), so
+    its subscribers legitimately run in phases earlier than the
+    publishing detector's phase."""
 
 
 @dataclass(frozen=True, slots=True)
 class NodeReturned(NodeEvent):
-    """The masters believe a previously-dead node is back."""
+    """The masters believe a previously-dead node is back.
+
+    Dispatch-root: like :class:`NodeDeclaredDead`, this belief-change
+    event restarts the phase cycle when published from a detector."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -160,7 +168,11 @@ class BlockLost(Event):
 
 @dataclass(frozen=True, slots=True)
 class ReplicaAdded(Event):
-    """A re-replication copy landed: ``node_id`` now holds ``block_id``."""
+    """A re-replication copy landed: ``node_id`` now holds ``block_id``.
+
+    Dispatch-root: re-replication completes inside the STORAGE-phase
+    monitor, and accounting subscribers observe the completed copy as a
+    fresh occurrence rather than a same-cycle reaction."""
 
     block_id: str
     node_id: NodeId
@@ -280,6 +292,10 @@ E = TypeVar("E", bound=Event)
 Handler = Callable[[E], None]
 #: A tap sees (event, phases that have at least one handler registered).
 Tap = Callable[[Event, Tuple[Phase, ...]], None]
+#: A dispatch interceptor wraps each handler invocation: it receives the
+#: handler, the phase it was registered at, and the event, and must call
+#: ``handler(event)`` itself (see ``EventBus.set_dispatch_interceptor``).
+DispatchInterceptor = Callable[[Callable[[Event], None], Phase, Event], None]
 
 #: (phase, sequence, handler) — sequence is global, so sorting by this
 #: tuple yields phase-major, subscription-order-minor dispatch.
@@ -329,6 +345,8 @@ class EventBus:
         self._seq = 0
         self._published = 0
         self._dispatched = 0
+        #: Optional dispatch wrapper (see :meth:`set_dispatch_interceptor`).
+        self._interceptor: Optional[DispatchInterceptor] = None
         #: Per-type frozen snapshot of the unkeyed entry list, rebuilt
         #: lazily after any unkeyed (un)subscription. ``publish`` iterates
         #: the tuple directly — the no-keyed-match fast path allocates
@@ -417,7 +435,40 @@ class EventBus:
         """Register an observer of *every* published event (tracing)."""
         self._taps.append(tap)
 
+    def set_dispatch_interceptor(self, interceptor: Optional["DispatchInterceptor"]) -> None:
+        """Route every handler invocation through ``interceptor``.
+
+        The interceptor is called as ``interceptor(handler, phase, event)``
+        and is responsible for invoking ``handler(event)`` itself — that
+        lets it bracket the call (push/pop a dispatch-context stack, time
+        it, trace it) with nested publishes attributed correctly. Where a
+        tap sees each *event* once at publish entry, the interceptor sees
+        each *handler invocation* with its dispatch metadata. One
+        interceptor at a time; pass ``None`` to restore direct dispatch.
+        simflow's runtime effect crosscheck is the shipped consumer.
+        """
+        self._interceptor = interceptor
+
     # -- introspection -----------------------------------------------------------
+
+    def iter_subscriptions(
+        self,
+    ) -> Iterator[Tuple[Type[Event], Optional[RoutingKey], Phase, Handler[Any]]]:
+        """Live ``(event type, key, phase, handler)`` tuples, wiring order.
+
+        Unlike :meth:`registry_snapshot` (a name-level view for the static
+        crosscheck), this yields the handler *objects*, so callers can
+        reach bound-method owners — simflow's effect recorder uses it to
+        find the classes to instrument.
+        """
+        entries: List[Tuple[int, Type[Event], Optional[RoutingKey], Phase, Handler[Any]]] = []
+        for event_type, by_key in self._subs.items():
+            for key, subs in by_key.items():
+                for phase, seq, handler in subs:
+                    entries.append((seq, event_type, key, Phase(phase), handler))
+        entries.sort(key=lambda item: item[0])
+        for _seq, event_type, key, phase, handler in entries:
+            yield event_type, key, phase, handler
 
     def wants(self, event_type: Type[Event]) -> bool:
         """Whether publishing ``event_type`` would reach anything.
@@ -507,9 +558,15 @@ class EventBus:
             phases = tuple(sorted({Phase(entry[0]) for entry in merged}))
             for tap in self._taps:
                 tap(event, phases)
-        for _phase, _seq, handler in merged:
-            self._dispatched += 1
-            handler(event)
+        interceptor = self._interceptor
+        if interceptor is None:
+            for _phase, _seq, handler in merged:
+                self._dispatched += 1
+                handler(event)
+        else:
+            for _phase, _seq, handler in merged:
+                self._dispatched += 1
+                interceptor(handler, Phase(_phase), event)
 
 
 __all__ = [
@@ -536,4 +593,5 @@ __all__ = [
     "ChaosScenarioEnded",
     "EventBus",
     "Subscription",
+    "DispatchInterceptor",
 ]

@@ -1,0 +1,62 @@
+"""F001 fixture: a NETWORK-phase handler mutates shared state that a
+STORAGE-phase handler read earlier in the same dispatch."""
+
+STORAGE = 1
+NETWORK = 3
+
+
+class Event:
+    def __init__(self, time):
+        self.time = time
+
+
+class NodeDown(Event):
+    pass
+
+
+class Store:
+    def __init__(self):
+        self.count = 0
+
+
+class Auditor:
+    name = "auditor"
+
+    def __init__(self, store: Store):
+        self._store = store
+
+    def start(self):
+        pass
+
+    def stop(self):
+        pass
+
+    def handle_node_down(self, event):
+        return self._store.count
+
+
+class Mutator:
+    name = "mutator"
+
+    def __init__(self, store: Store):
+        self._store = store
+
+    def start(self):
+        pass
+
+    def stop(self):
+        pass
+
+    def handle_node_down(self, event):
+        self._store.count = self._store.count - 1
+
+
+def wire(bus, services):
+    store = Store()
+    auditor = Auditor(store)
+    mutator = Mutator(store)
+    services.register(auditor)
+    services.register(mutator)
+    bus.subscribe(NodeDown, auditor.handle_node_down, STORAGE)
+    bus.subscribe(NodeDown, mutator.handle_node_down, NETWORK)
+    bus.publish(NodeDown(0.0))

@@ -1,0 +1,57 @@
+"""F002 fixture: a DETECTION-phase handler publishes an event whose
+subscriber runs at ACCOUNTING — an earlier phase in the same cycle."""
+
+ACCOUNTING = 0
+DETECTION = 4
+
+
+class Event:
+    def __init__(self, time):
+        self.time = time
+
+
+class NodeDown(Event):
+    pass
+
+
+class DeclaredDead(Event):
+    pass
+
+
+class Detector:
+    name = "detector"
+
+    def __init__(self, bus):
+        self._bus = bus
+
+    def start(self):
+        pass
+
+    def stop(self):
+        pass
+
+    def handle_node_down(self, event):
+        self._bus.publish(DeclaredDead(event.time))
+
+
+class Ledger:
+    name = "ledger"
+
+    def start(self):
+        pass
+
+    def stop(self):
+        pass
+
+    def handle_declared_dead(self, event):
+        return event
+
+
+def wire(bus, services):
+    detector = Detector(bus)
+    ledger = Ledger()
+    services.register(detector)
+    services.register(ledger)
+    bus.subscribe(NodeDown, detector.handle_node_down, DETECTION)
+    bus.subscribe(DeclaredDead, ledger.handle_declared_dead, ACCOUNTING)
+    bus.publish(NodeDown(0.0))

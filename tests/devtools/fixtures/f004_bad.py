@@ -1,0 +1,22 @@
+"""F004 fixture: closures and bound methods shipped to a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Runner:
+    def simulate(self, spec):
+        return spec
+
+    def sweep(self, specs):
+        with ProcessPoolExecutor() as pool:
+            doubled = pool.map(lambda spec: spec * 2, specs)
+            handles = [pool.submit(self.simulate, spec) for spec in specs]
+        return doubled, handles
+
+
+def sweep_with_nested(specs):
+    def run_one(spec):
+        return spec
+
+    pool = ProcessPoolExecutor()
+    return list(pool.map(run_one, specs))

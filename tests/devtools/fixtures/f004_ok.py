@@ -1,0 +1,14 @@
+"""F004 clean fixture: module-level functions shipped to the pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_one(spec):
+    return spec
+
+
+def sweep(specs):
+    with ProcessPoolExecutor() as pool:
+        doubled = pool.map(run_one, specs)
+        handles = [pool.submit(run_one, spec) for spec in specs]
+    return doubled, handles

@@ -17,7 +17,15 @@ from repro.availability.generator import build_group_hosts
 from repro.devtools.simlint.busgraph import to_dot, to_json
 from repro.devtools.simlint.engine import lint_paths
 from repro.runtime.cluster import ClusterConfig, build_cluster
-from repro.simulator.scenarios import ChaosCampaign, DegradedLink, NetworkPartition
+from repro.simulator.scenarios import (
+    ChaosCampaign,
+    DegradedLink,
+    DelayedRecovery,
+    FailureStorm,
+    FlappingNode,
+    GrayNode,
+    NetworkPartition,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -41,6 +49,33 @@ CONFIG_CHAOS = ClusterConfig(
     chaos=ChaosCampaign(
         name="wiring",
         scenarios=(NetworkPartition(start=10.0, duration=5.0, count=1),),
+    ),
+)
+#: Kitchen-sink Clos config: rack-aware placement, heartbeat detection,
+#: the replication monitor, retransmit-tax link mitigation, and a chaos
+#: campaign spanning every scenario primitive — the widest wiring any
+#: single supported configuration can reach.
+CONFIG_CLOS_FULL = ClusterConfig(
+    seed=3,
+    detection="heartbeat",
+    replication_monitor=True,
+    topology="clos",
+    racks=2,
+    pods=2,
+    rack_aware_placement=True,
+    link_mitigation="retransmit-tax",
+    trace_events=True,
+    audit="report",
+    chaos=ChaosCampaign(
+        name="wiring-clos-full",
+        scenarios=(
+            FailureStorm(start=5.0, duration=4.0, count=2),
+            FlappingNode(start=12.0, cycles=2, down_time=1.0, up_time=1.0, count=1),
+            NetworkPartition(start=20.0, duration=5.0, count=1, isolate_heartbeats=True),
+            GrayNode(start=28.0, duration=4.0, link_factor=0.5, exec_factor=2.0, count=1),
+            DegradedLink(start=34.0, duration=4.0, count=1, capacity_factor=0.5),
+            DelayedRecovery(start=40.0, duration=5.0, stretch=2.0, count=1),
+        ),
     ),
 )
 #: Exercises the Clos fabric plus the degraded-link mitigation wiring.
@@ -85,8 +120,8 @@ def _runtime_tuples(config):
 class TestRuntimeSubsetOfStatic:
     @pytest.mark.parametrize(
         "config",
-        [CONFIG_FULL, CONFIG_ORACLE, CONFIG_CHAOS, CONFIG_DEGRADED],
-        ids=["full", "oracle", "chaos", "degraded"],
+        [CONFIG_FULL, CONFIG_ORACLE, CONFIG_CHAOS, CONFIG_DEGRADED, CONFIG_CLOS_FULL],
+        ids=["full", "oracle", "chaos", "degraded", "clos-full"],
     )
     def test_every_live_subscription_was_extracted(self, static_graph, config):
         static = _static_tuples(static_graph)
@@ -110,6 +145,7 @@ class TestStaticSubsetOfRuntime:
             | _runtime_tuples(CONFIG_ORACLE)
             | _runtime_tuples(CONFIG_CHAOS)
             | _runtime_tuples(CONFIG_DEGRADED)
+            | _runtime_tuples(CONFIG_CLOS_FULL)
         )
         dead = wiring - live
         assert not dead, f"static subscribe sites no configuration wires: {sorted(dead, key=str)}"

@@ -68,6 +68,79 @@ class TestSuppression:
         assert result.diagnostics == []
 
 
+class TestSuppressionAccounting:
+    """Select-aware, per-code, per-tool usage accounting (U001)."""
+
+    def test_multi_code_ignore_reports_only_the_unused_code(self, tmp_path):
+        write(
+            tmp_path,
+            "src/mod.py",
+            "import time\n\n\ndef stamp():\n"
+            "    return time.time()  # simlint: ignore[D002, D003]\n",
+        )
+        result = lint_paths([tmp_path / "src"], root=tmp_path)
+        (diag,) = result.diagnostics
+        assert diag.code == "U001"
+        assert "D003" in diag.message and "D002" not in diag.message
+
+    def test_select_does_not_judge_deselected_codes_unused(self, tmp_path):
+        # Regression: a --select run used to emit U001 for every listed
+        # code whose rule never even ran this invocation.
+        write(
+            tmp_path,
+            "src/mod.py",
+            "import random\n\n\ndef jitter():\n"
+            "    return random.random()  # simlint: ignore[D001, D003]\n",
+        )
+        full = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert [d.code for d in full.diagnostics] == ["U001"]  # D003 is stale
+        partial = lint_paths([tmp_path / "src"], root=tmp_path, select={"D001"})
+        assert partial.diagnostics == []  # no evidence D003 is stale
+
+    def test_unknown_code_is_u001_on_full_runs_only(self, tmp_path):
+        write(
+            tmp_path,
+            "src/mod.py",
+            "import time\n\n\ndef stamp():\n"
+            "    return time.time()  # simlint: ignore[D002, Z999]\n",
+        )
+        full = lint_paths([tmp_path / "src"], root=tmp_path)
+        (diag,) = full.diagnostics
+        assert diag.code == "U001"
+        assert "unknown code Z999" in diag.message
+        partial = lint_paths([tmp_path / "src"], root=tmp_path, select={"D002"})
+        assert partial.diagnostics == []
+
+    def test_bare_ignore_unused_only_judged_on_full_runs(self, tmp_path):
+        write(tmp_path, "src/mod.py", "VALUE = 1  # simlint: ignore\n")
+        full = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert [d.code for d in full.diagnostics] == ["U001"]
+        partial = lint_paths([tmp_path / "src"], root=tmp_path, select={"D001"})
+        assert partial.diagnostics == []
+
+    def test_other_tools_comments_are_inert(self, tmp_path):
+        # A simflow-prefixed comment neither suppresses a simlint finding
+        # nor shows up in simlint's U001 accounting.
+        write(
+            tmp_path,
+            "src/mod.py",
+            "import time\n\n\ndef stamp():\n"
+            "    return time.time()  # simflow: ignore[F003]\n",
+        )
+        result = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert [d.code for d in result.diagnostics] == ["D002"]
+
+    def test_one_line_can_carry_both_tool_prefixes(self, tmp_path):
+        write(
+            tmp_path,
+            "src/mod.py",
+            "import time\n\n\ndef stamp():\n"
+            "    return time.time()  # simlint: ignore[D002]  # simflow: ignore[F003]\n",
+        )
+        result = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert result.diagnostics == []
+
+
 class TestSeverityAndSelect:
     def test_src_findings_are_errors(self, tmp_path):
         write(tmp_path, "src/mod.py", WALL_CLOCK)
@@ -183,3 +256,109 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 1
         assert "D002" in out
+
+
+class TestSarif:
+    def test_sarif_document_shape(self, tmp_path, capsys):
+        write(tmp_path, "src/mod.py", WALL_CLOCK)
+        code = simlint_main(
+            [str(tmp_path / "src"), "--root", str(tmp_path), "--format", "sarif"]
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert document["version"] == "2.1.0"
+        (run,) = document["runs"]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        assert any(rule["id"] == "D002" for rule in run["tool"]["driver"]["rules"])
+        (result,) = run["results"]
+        assert result["ruleId"] == "D002"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 5
+        assert region["startColumn"] >= 1  # SARIF columns are 1-based
+
+    def test_sarif_output_is_stable_across_runs(self, tmp_path, capsys):
+        write(tmp_path, "src/mod.py", WALL_CLOCK)
+        argv = [str(tmp_path / "src"), "--root", str(tmp_path), "--format", "sarif"]
+        simlint_main(argv)
+        first = capsys.readouterr().out
+        simlint_main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestBaseline:
+    def test_write_then_subtract_round_trip(self, tmp_path, capsys):
+        write(tmp_path, "src/mod.py", WALL_CLOCK)
+        baseline = tmp_path / "baseline.json"
+        argv = [str(tmp_path / "src"), "--root", str(tmp_path), "--baseline", str(baseline)]
+        assert simlint_main(argv + ["--write-baseline"]) == 0
+        capsys.readouterr()
+        assert baseline.exists()
+        assert simlint_main(argv) == 0  # the finding is baselined away
+        assert "baselined" in capsys.readouterr().out
+
+    def test_only_new_findings_gate_after_baseline(self, tmp_path, capsys):
+        write(tmp_path, "src/mod.py", WALL_CLOCK)
+        baseline = tmp_path / "baseline.json"
+        argv = [str(tmp_path / "src"), "--root", str(tmp_path), "--baseline", str(baseline)]
+        simlint_main(argv + ["--write-baseline"])
+        capsys.readouterr()
+        write(
+            tmp_path,
+            "src/other.py",
+            "import random\n\n\ndef jitter():\n    return random.random()\n",
+        )
+        code = simlint_main(argv)
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "D001" in out and "D002" not in out
+
+    def test_baseline_is_multiplicity_aware(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "src/mod.py",
+            "import time\n\n\ndef stamp():\n    return time.time()\n\n\n"
+            "def stamp2():\n    return time.time()\n",
+        )
+        baseline = tmp_path / "baseline.json"
+        argv = [str(tmp_path / "src"), "--root", str(tmp_path), "--baseline", str(baseline)]
+        simlint_main(argv + ["--write-baseline"])
+        capsys.readouterr()
+        document = json.loads(baseline.read_text())
+        (entry,) = document["entries"]
+        assert entry["count"] == 2
+        # A third identical finding is new and must gate.
+        write(
+            tmp_path,
+            "src/mod.py",
+            "import time\n\n\ndef stamp():\n    return time.time()\n\n\n"
+            "def stamp2():\n    return time.time()\n\n\n"
+            "def stamp3():\n    return time.time()\n",
+        )
+        code = simlint_main(argv)
+        out = capsys.readouterr().out
+        assert code == 1
+        assert out.count("D002") == 1
+
+    def test_missing_baseline_file_exits_2(self, tmp_path, capsys):
+        write(tmp_path, "src/mod.py", "VALUE = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            simlint_main(
+                [
+                    str(tmp_path / "src"),
+                    "--root",
+                    str(tmp_path),
+                    "--baseline",
+                    str(tmp_path / "nope.json"),
+                ]
+            )
+        assert excinfo.value.code == 2
+
+    def test_write_baseline_requires_baseline_path(self, tmp_path, capsys):
+        write(tmp_path, "src/mod.py", "VALUE = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            simlint_main(
+                [str(tmp_path / "src"), "--root", str(tmp_path), "--write-baseline"]
+            )
+        assert excinfo.value.code == 2
